@@ -1,0 +1,252 @@
+// Package algorithms contains classic read/write mutual-exclusion
+// algorithms expressed in the package program DSL, ready to run on any
+// simulated memory. The centerpiece is Lamport's Bakery algorithm exactly
+// as the paper presents it in Figure 6, with the labeling of Section 5:
+// every synchronization access (to choosing and number) is a labeled
+// operation, so a properly-labeled RC memory is exercised exactly as the
+// paper intends. Peterson's and Dekker's algorithms are included as
+// further read/write coordination workloads with the same failure mode
+// under weak synchronization consistency.
+//
+// Boolean encoding: the shared flags use 0/2 for false and 1 for true —
+// locations start at 0 (false), "set true" writes 1, and "set false again"
+// writes 2, so tests of the form "while flag is true" compare against 1.
+// This matches the initial-value convention of the paper (all locations
+// start 0) while keeping "false" distinguishable from "never written".
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/program"
+)
+
+// Boolean encoding constants for shared flags.
+const (
+	// FlagTrue marks a set flag.
+	FlagTrue = 1
+	// FlagFalse marks a flag explicitly reset to false (distinct from
+	// the initial 0, which also reads as false).
+	FlagFalse = 2
+)
+
+// choosingLoc and numberLoc name the Bakery algorithm's shared arrays.
+func choosingLoc(i int) string { return fmt.Sprintf("choosing[%d]", i) }
+func numberLoc(i int) string   { return fmt.Sprintf("number[%d]", i) }
+
+// Bakery returns the n-processor Bakery programs (paper Figure 6), each
+// performing `rounds` passes through the critical section. When labeled is
+// true, every access to choosing and number is a labeled (synchronization)
+// operation — the labeling the paper applies before running the algorithm
+// on RCsc and RCpc.
+//
+// The returned programs follow the figure line by line for processor i:
+//
+//	choosing[i] := true
+//	number[i] := 1 + max(number[0..n-1])
+//	choosing[i] := false
+//	for j ≠ i:
+//	    wait until not choosing[j]
+//	    wait until number[j] = 0 or (number[i], i) < (number[j], j)
+//	critical section
+//	number[i] := 0
+func Bakery(n, rounds int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, n)
+	for i := 0; i < n; i++ {
+		progs[i] = bakeryProc(n, i, rounds, labeled)
+	}
+	return progs
+}
+
+func bakeryProc(n, i, rounds int, labeled bool) []program.Stmt {
+	var body []program.Stmt
+
+	// choosing[i] := true
+	body = append(body, program.Store{Loc: choosingLoc(i), E: program.Const(FlagTrue), Labeled: labeled})
+
+	// mine := 1 + max over j of number[j]  (the paper's "reads the array
+	// number"; the loop is unrolled since n is static).
+	body = append(body, program.Assign{Dst: "max", E: program.Const(0)})
+	for j := 0; j < n; j++ {
+		body = append(body,
+			program.Load{Dst: "t", Loc: numberLoc(j), Labeled: labeled},
+			program.If{
+				Cond: program.Bin{Op: program.Lt, L: program.Local("max"), R: program.Local("t")},
+				Then: []program.Stmt{program.Assign{Dst: "max", E: program.Local("t")}},
+			},
+		)
+	}
+	body = append(body,
+		program.Assign{Dst: "mine", E: program.Bin{Op: program.Add, L: program.Local("max"), R: program.Const(1)}},
+		// number[i] := mine
+		program.Store{Loc: numberLoc(i), E: program.Local("mine"), Labeled: labeled},
+		// choosing[i] := false
+		program.Store{Loc: choosingLoc(i), E: program.Const(FlagFalse), Labeled: labeled},
+	)
+
+	// for j ≠ i: the two wait loops.
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		// repeat test := choosing[j] until not test
+		body = append(body,
+			program.Assign{Dst: "test", E: program.Const(FlagTrue)},
+			program.While{
+				Cond: program.Bin{Op: program.Eq, L: program.Local("test"), R: program.Const(FlagTrue)},
+				Body: []program.Stmt{program.Load{Dst: "test", Loc: choosingLoc(j), Labeled: labeled}},
+			},
+		)
+		// repeat other := number[j]
+		// until other = 0 or (mine, i) < (other, j), lexicographically:
+		//   other == 0 || mine < other || (mine == other && i < j)
+		ok := program.Bin{Op: program.Or,
+			L: program.Bin{Op: program.Eq, L: program.Local("other"), R: program.Const(0)},
+			R: program.Bin{Op: program.Or,
+				L: program.Bin{Op: program.Lt, L: program.Local("mine"), R: program.Local("other")},
+				R: program.Bin{Op: program.And,
+					L: program.Bin{Op: program.Eq, L: program.Local("mine"), R: program.Local("other")},
+					R: program.Const(b2c(i < j)),
+				},
+			},
+		}
+		body = append(body,
+			program.Assign{Dst: "other", E: program.Const(-1)}, // force one load
+			program.While{
+				Cond: program.Not{E: ok},
+				Body: []program.Stmt{program.Load{Dst: "other", Loc: numberLoc(j), Labeled: labeled}},
+			},
+		)
+	}
+
+	body = append(body,
+		program.CSEnter{},
+		program.CSExit{},
+		// number[i] := 0
+		program.Store{Loc: numberLoc(i), E: program.Const(0), Labeled: labeled},
+	)
+
+	if rounds <= 1 {
+		return body
+	}
+	// Repeat the round a fixed number of times using a local counter.
+	loop := []program.Stmt{
+		program.Assign{Dst: "round", E: program.Const(rounds)},
+		program.While{
+			Cond: program.Bin{Op: program.Lt, L: program.Const(0), R: program.Local("round")},
+			Body: append(append([]program.Stmt{}, body...),
+				program.Assign{Dst: "round", E: program.Bin{Op: program.Sub, L: program.Local("round"), R: program.Const(1)}}),
+		},
+	}
+	return loop
+}
+
+func b2c(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Peterson returns the two-processor Peterson programs. Shared locations:
+// flag[0], flag[1] (boolean encoding above) and turn (values 1 and 2 name
+// the processor whose turn it is; initial 0 means nobody waits). When
+// labeled is true all accesses are synchronization operations.
+func Peterson(rounds int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, 2)
+	for i := 0; i < 2; i++ {
+		j := 1 - i
+		flagI := fmt.Sprintf("flag[%d]", i)
+		flagJ := fmt.Sprintf("flag[%d]", j)
+		round := []program.Stmt{
+			program.Store{Loc: flagI, E: program.Const(FlagTrue), Labeled: labeled},
+			program.Store{Loc: "turn", E: program.Const(j + 1), Labeled: labeled},
+			// wait while flag[j] == true && turn == j+1
+			program.Assign{Dst: "f", E: program.Const(FlagTrue)},
+			program.Assign{Dst: "t", E: program.Const(j + 1)},
+			program.While{
+				Cond: program.Bin{Op: program.And,
+					L: program.Bin{Op: program.Eq, L: program.Local("f"), R: program.Const(FlagTrue)},
+					R: program.Bin{Op: program.Eq, L: program.Local("t"), R: program.Const(j + 1)},
+				},
+				Body: []program.Stmt{
+					program.Load{Dst: "f", Loc: flagJ, Labeled: labeled},
+					program.Load{Dst: "t", Loc: "turn", Labeled: labeled},
+				},
+			},
+			program.CSEnter{},
+			program.CSExit{},
+			program.Store{Loc: flagI, E: program.Const(FlagFalse), Labeled: labeled},
+		}
+		progs[i] = repeat(round, rounds)
+	}
+	return progs
+}
+
+// Dekker returns the two-processor Dekker programs. Shared locations:
+// flag[0], flag[1] and turn (values 1 and 2 name the processor holding the
+// turn; initial 0 counts as processor 1's turn). When labeled is true all
+// accesses are synchronization operations.
+func Dekker(rounds int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, 2)
+	for i := 0; i < 2; i++ {
+		j := 1 - i
+		flagI := fmt.Sprintf("flag[%d]", i)
+		flagJ := fmt.Sprintf("flag[%d]", j)
+		var myTurn program.Expr
+		if i == 0 {
+			// For p0, turn==0 (initial) and turn==1 both mean "my turn".
+			myTurn = program.Bin{Op: program.Or,
+				L: program.Bin{Op: program.Eq, L: program.Local("t"), R: program.Const(1)},
+				R: program.Bin{Op: program.Eq, L: program.Local("t"), R: program.Const(0)},
+			}
+		} else {
+			myTurn = program.Bin{Op: program.Eq, L: program.Local("t"), R: program.Const(2)}
+		}
+		round := []program.Stmt{
+			program.Store{Loc: flagI, E: program.Const(FlagTrue), Labeled: labeled},
+			program.Load{Dst: "f", Loc: flagJ, Labeled: labeled},
+			program.While{
+				Cond: program.Bin{Op: program.Eq, L: program.Local("f"), R: program.Const(FlagTrue)},
+				Body: []program.Stmt{
+					program.Load{Dst: "t", Loc: "turn", Labeled: labeled},
+					program.If{
+						Cond: program.Not{E: myTurn},
+						Then: []program.Stmt{
+							program.Store{Loc: flagI, E: program.Const(FlagFalse), Labeled: labeled},
+							// wait until it is my turn
+							program.While{
+								Cond: program.Not{E: myTurn},
+								Body: []program.Stmt{program.Load{Dst: "t", Loc: "turn", Labeled: labeled}},
+							},
+							program.Store{Loc: flagI, E: program.Const(FlagTrue), Labeled: labeled},
+						},
+					},
+					program.Load{Dst: "f", Loc: flagJ, Labeled: labeled},
+				},
+			},
+			program.CSEnter{},
+			program.CSExit{},
+			program.Store{Loc: "turn", E: program.Const(j + 1), Labeled: labeled},
+			program.Store{Loc: flagI, E: program.Const(FlagFalse), Labeled: labeled},
+		}
+		progs[i] = repeat(round, rounds)
+	}
+	return progs
+}
+
+// repeat wraps a round body in a counted loop (or returns it unchanged for
+// a single round).
+func repeat(round []program.Stmt, rounds int) []program.Stmt {
+	if rounds <= 1 {
+		return round
+	}
+	return []program.Stmt{
+		program.Assign{Dst: "round", E: program.Const(rounds)},
+		program.While{
+			Cond: program.Bin{Op: program.Lt, L: program.Const(0), R: program.Local("round")},
+			Body: append(append([]program.Stmt{}, round...),
+				program.Assign{Dst: "round", E: program.Bin{Op: program.Sub, L: program.Local("round"), R: program.Const(1)}}),
+		},
+	}
+}

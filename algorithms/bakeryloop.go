@@ -1,0 +1,101 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/program"
+)
+
+// BakeryLoop is the Bakery algorithm written exactly as the paper's Figure
+// 6 presents it — with real loops over the processor index j, using the
+// DSL's dynamic array indexing — rather than the statically unrolled form
+// Bakery produces. The two compile to different code but implement the
+// same algorithm; the drf package's outcome comparison verifies they are
+// observationally equivalent on sequentially consistent memory.
+func BakeryLoop(n, rounds int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, n)
+	for i := 0; i < n; i++ {
+		progs[i] = repeat(bakeryLoopProc(n, i, labeled), rounds)
+	}
+	return progs
+}
+
+func bakeryLoopProc(n, i int, labeled bool) []program.Stmt {
+	st := func(loc string, idx program.Expr, v program.Expr) program.Stmt {
+		return program.Store{Loc: loc, Idx: idx, E: v, Labeled: labeled}
+	}
+	ld := func(dst, loc string, idx program.Expr) program.Stmt {
+		return program.Load{Dst: dst, Loc: loc, Idx: idx, Labeled: labeled}
+	}
+	me := program.Const(i)
+	incJ := program.Assign{Dst: "j", E: program.Bin{Op: program.Add, L: program.Local("j"), R: program.Const(1)}}
+
+	// choosing[i] := true
+	body := []program.Stmt{st("choosing", me, program.Const(FlagTrue))}
+
+	// number[i] := 1 + max{number[j]} — the paper's "reads the array".
+	body = append(body,
+		program.Assign{Dst: "max", E: program.Const(0)},
+		program.Assign{Dst: "j", E: program.Const(0)},
+		program.While{
+			Cond: program.Bin{Op: program.Lt, L: program.Local("j"), R: program.Const(n)},
+			Body: []program.Stmt{
+				ld("t", "number", program.Local("j")),
+				program.If{
+					Cond: program.Bin{Op: program.Lt, L: program.Local("max"), R: program.Local("t")},
+					Then: []program.Stmt{program.Assign{Dst: "max", E: program.Local("t")}},
+				},
+				incJ,
+			},
+		},
+		program.Assign{Dst: "mine", E: program.Bin{Op: program.Add, L: program.Local("max"), R: program.Const(1)}},
+		st("number", me, program.Local("mine")),
+		st("choosing", me, program.Const(FlagFalse)),
+	)
+
+	// for j = 1..n, j ≠ i: the two wait loops.
+	ok := program.Bin{Op: program.Or,
+		L: program.Bin{Op: program.Eq, L: program.Local("other"), R: program.Const(0)},
+		R: program.Bin{Op: program.Or,
+			L: program.Bin{Op: program.Lt, L: program.Local("mine"), R: program.Local("other")},
+			R: program.Bin{Op: program.And,
+				L: program.Bin{Op: program.Eq, L: program.Local("mine"), R: program.Local("other")},
+				R: program.Bin{Op: program.Lt, L: program.Const(i), R: program.Local("j")},
+			},
+		},
+	}
+	body = append(body,
+		program.Assign{Dst: "j", E: program.Const(0)},
+		program.While{
+			Cond: program.Bin{Op: program.Lt, L: program.Local("j"), R: program.Const(n)},
+			Body: []program.Stmt{
+				program.If{
+					Cond: program.Bin{Op: program.Ne, L: program.Local("j"), R: me},
+					Then: []program.Stmt{
+						// repeat test := choosing[j] until not test
+						program.Assign{Dst: "test", E: program.Const(FlagTrue)},
+						program.While{
+							Cond: program.Bin{Op: program.Eq, L: program.Local("test"), R: program.Const(FlagTrue)},
+							Body: []program.Stmt{ld("test", "choosing", program.Local("j"))},
+						},
+						// repeat other := number[j] until ok
+						program.Assign{Dst: "other", E: program.Const(-1)},
+						program.While{
+							Cond: program.Not{E: ok},
+							Body: []program.Stmt{ld("other", "number", program.Local("j"))},
+						},
+					},
+				},
+				incJ,
+			},
+		},
+		program.CSEnter{},
+		program.CSExit{},
+		st("number", me, program.Const(0)),
+	)
+	return body
+}
+
+// locName is a helper for tests: the location BakeryLoop's indexed
+// accesses resolve to.
+func locName(base string, i int) string { return fmt.Sprintf("%s[%d]", base, i) }

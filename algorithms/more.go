@@ -1,0 +1,197 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"repro/program"
+)
+
+// LamportFast returns Lamport's fast mutual exclusion algorithm (1987) for
+// two processors, each entering the critical section once. Shared
+// locations: x, y (values are processor ids 1 and 2; 0 = empty) and the
+// flags b[0], b[1] (boolean encoding as in this package). Retry ("goto
+// start") is encoded as falling through an enclosing while loop that exits
+// only once the critical section has been executed. When labeled is true,
+// every shared access is a synchronization operation.
+//
+// In the contention-free fast path the algorithm issues only seven shared
+// accesses — that is its point — and its correctness leans on sequential
+// consistency at least as hard as the Bakery algorithm's: it fails on
+// RCpc (and on plain TSO) the same way.
+func LamportFast(labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, 2)
+	for i := 0; i < 2; i++ {
+		progs[i] = lamportFastProc(i, labeled)
+	}
+	return progs
+}
+
+func lamportFastProc(i int, labeled bool) []program.Stmt {
+	id := i + 1
+	j := 1 - i
+	bi := fmt.Sprintf("b[%d]", i)
+	bj := fmt.Sprintf("b[%d]", j)
+	st := func(loc string, v int) program.Stmt {
+		return program.Store{Loc: loc, E: program.Const(v), Labeled: labeled}
+	}
+	ld := func(dst, loc string) program.Stmt {
+		return program.Load{Dst: dst, Loc: loc, Labeled: labeled}
+	}
+	awaitZero := func(local, loc string) program.Stmt {
+		return program.While{
+			Cond: program.Bin{Op: program.Ne, L: program.Local(local), R: program.Const(0)},
+			Body: []program.Stmt{ld(local, loc)},
+		}
+	}
+	cs := []program.Stmt{
+		program.CSEnter{},
+		program.CSExit{},
+		st("y", 0),
+		st(bi, FlagFalse),
+		program.Assign{Dst: "done", E: program.Const(1)},
+	}
+	// Inner slow-path check after x != id:
+	//   b[i] := false; await !b[j];
+	//   if y == id { CS } else { await y == 0; retry }
+	slow := []program.Stmt{
+		st(bi, FlagFalse),
+		ld("u", bj),
+		program.While{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("u"), R: program.Const(FlagTrue)},
+			Body: []program.Stmt{ld("u", bj)},
+		},
+		ld("t", "y"),
+		program.If{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("t"), R: program.Const(id)},
+			Then: cs,
+			Else: []program.Stmt{awaitZero("t", "y")}, // then retry via the outer loop
+		},
+	}
+	body := []program.Stmt{
+		st(bi, FlagTrue),
+		st("x", id),
+		ld("t", "y"),
+		program.If{
+			Cond: program.Bin{Op: program.Ne, L: program.Local("t"), R: program.Const(0)},
+			Then: []program.Stmt{
+				st(bi, FlagFalse),
+				awaitZero("t", "y"), // then retry
+			},
+			Else: []program.Stmt{
+				st("y", id),
+				ld("t", "x"),
+				program.If{
+					Cond: program.Bin{Op: program.Ne, L: program.Local("t"), R: program.Const(id)},
+					Then: slow,
+					Else: cs,
+				},
+			},
+		},
+	}
+	return []program.Stmt{
+		program.Assign{Dst: "done", E: program.Const(0)},
+		program.While{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("done"), R: program.Const(0)},
+			Body: body,
+		},
+	}
+}
+
+// Dijkstra returns Dijkstra's original n-processor mutual exclusion
+// algorithm (1965), one critical-section entry per processor. Shared
+// locations: b[j] and c[j] with Dijkstra's booleans encoded so that the
+// initial value 0 reads as TRUE (b[j] and c[j] start true in the
+// algorithm): 0 and 2 mean true, 1 means false; and k (initially 0,
+// favoring processor 0, which Dijkstra permits). When labeled is true all
+// shared accesses are synchronization operations.
+func Dijkstra(n int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, n)
+	for i := 0; i < n; i++ {
+		progs[i] = dijkstraProc(n, i, labeled)
+	}
+	return progs
+}
+
+// Dijkstra boolean encoding: initial 0 ≡ true.
+const (
+	dijkstraTrue  = 2
+	dijkstraFalse = 1
+)
+
+func dijkstraProc(n, i int, labeled bool) []program.Stmt {
+	bi := fmt.Sprintf("b[%d]", i)
+	ci := fmt.Sprintf("c[%d]", i)
+	st := func(loc string, v int) program.Stmt {
+		return program.Store{Loc: loc, E: program.Const(v), Labeled: labeled}
+	}
+	ld := func(dst, loc string) program.Stmt {
+		return program.Load{Dst: dst, Loc: loc, Labeled: labeled}
+	}
+	isTrue := func(local string) program.Expr { // 0 or 2
+		return program.Bin{Op: program.Ne, L: program.Local(local), R: program.Const(dijkstraFalse)}
+	}
+
+	// The Li loop: repeat until we pass both phases in one iteration.
+	//   if k != i { c[i] := true; if b[k] { k := i }; retry }
+	//   else { c[i] := false; if ∃ j≠i with ¬c[j] { retry } else enter }
+	//
+	// Reading b[k] needs dynamic indexing, which the DSL lacks; unroll
+	// as a chain: for each possible value v of k, if k == v test b[v].
+	var testBk []program.Stmt
+	testBk = append(testBk, program.Assign{Dst: "bk", E: program.Const(dijkstraFalse)})
+	for v := 0; v < n; v++ {
+		testBk = append(testBk, program.If{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("kv"), R: program.Const(v)},
+			Then: []program.Stmt{ld("bk", fmt.Sprintf("b[%d]", v))},
+		})
+	}
+
+	// Phase 2: scan c[j], j ≠ i; allOthers == 1 iff every c[j] is true...
+	// Dijkstra requires every OTHER c[j] true (nobody else past phase 1).
+	scan := []program.Stmt{program.Assign{Dst: "clear", E: program.Const(1)}}
+	for j := 0; j < n; j++ {
+		if j == i {
+			continue
+		}
+		scan = append(scan,
+			ld("cj", fmt.Sprintf("c[%d]", j)),
+			program.If{
+				Cond: program.Not{E: isTrue("cj")},
+				Then: []program.Stmt{program.Assign{Dst: "clear", E: program.Const(0)}},
+			},
+		)
+	}
+
+	body := []program.Stmt{
+		ld("kv", "k"),
+		program.If{
+			Cond: program.Bin{Op: program.Ne, L: program.Local("kv"), R: program.Const(i)},
+			Then: append(append([]program.Stmt{st(ci, dijkstraTrue)}, testBk...),
+				program.If{
+					Cond: isTrue("bk"),
+					Then: []program.Stmt{st("k", i)},
+				},
+			), // retry via the outer loop
+			Else: append(append([]program.Stmt{st(ci, dijkstraFalse)}, scan...),
+				program.If{
+					Cond: program.Bin{Op: program.Eq, L: program.Local("clear"), R: program.Const(1)},
+					Then: []program.Stmt{
+						program.CSEnter{},
+						program.CSExit{},
+						st(ci, dijkstraTrue),
+						st(bi, dijkstraTrue),
+						program.Assign{Dst: "done", E: program.Const(1)},
+					},
+				},
+			),
+		},
+	}
+	return []program.Stmt{
+		st(bi, dijkstraFalse), // b[i] := false — I want in
+		program.Assign{Dst: "done", E: program.Const(0)},
+		program.While{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("done"), R: program.Const(0)},
+			Body: body,
+		},
+	}
+}

@@ -1,0 +1,215 @@
+package algorithms
+
+import (
+	"testing"
+
+	"repro/explore"
+	"repro/history"
+	"repro/program"
+	"repro/sim"
+)
+
+// exhaust explores with a depth cap. Write-looping algorithms (Dijkstra,
+// the fast mutex's retry paths) have genuinely unbounded queue growth on
+// message-based memories: depth-first exploration then runs ever deeper
+// into new states whose clone cost grows with queue length, so a DEPTH
+// bound (which bounds queue length) is the safe way to bound such runs —
+// a state cap alone admits quadratic memory.
+func exhaust(t *testing.T, mem sim.Memory, progs [][]program.Stmt, stopAtFirst bool, maxDepth int) explore.Result {
+	t.Helper()
+	m, err := program.NewMachine(mem, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Exhaustive(m, explore.Options{
+		StopAtFirst: stopAtFirst,
+		MaxStates:   1 << 20,
+		MaxDepth:    maxDepth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLamportFastSCSound(t *testing.T) {
+	res := exhaust(t, sim.NewSC(2), LamportFast(false), false, 0)
+	if !res.Sound() {
+		t.Errorf("fast mutex on SC: violations=%d complete=%v states=%d",
+			len(res.Violations), res.Complete, res.States)
+	}
+	if res.TerminalStates == 0 {
+		t.Error("no terminal states")
+	}
+}
+
+func TestLamportFastRCscSound(t *testing.T) {
+	res := exhaust(t, sim.NewRCsc(2), LamportFast(true), false, 0)
+	if !res.Sound() {
+		t.Errorf("fast mutex on RCsc: violations=%d complete=%v", len(res.Violations), res.Complete)
+	}
+}
+
+func TestLamportFastRCpcViolated(t *testing.T) {
+	res := exhaust(t, sim.NewRCpc(2), LamportFast(true), true, 400)
+	if len(res.Violations) == 0 {
+		t.Error("fast mutex on RCpc: no violation found")
+	}
+}
+
+func TestLamportFastTSOViolated(t *testing.T) {
+	// The fast path's b[i]:=true; x:=i; read y is exactly an SB shape:
+	// TSO breaks it.
+	res := exhaust(t, sim.NewTSO(2), LamportFast(false), true, 400)
+	if len(res.Violations) == 0 {
+		t.Error("fast mutex on forwarding TSO: no violation found")
+	}
+}
+
+func TestDijkstraSCSound(t *testing.T) {
+	// Dijkstra's phase-1 retry loop WRITES (c[i] := true) on every
+	// iteration; with canonicalized fingerprints the n=2 SC state graph
+	// is finite and small, so this is an exhaustive proof. (n=3 is
+	// finite too but runs to millions of states — the bounded variant
+	// below covers it.)
+	res := exhaust(t, sim.NewSC(2), Dijkstra(2, false), false, 0)
+	if !res.Sound() {
+		t.Errorf("Dijkstra n=2 on SC: violations=%d complete=%v states=%d",
+			len(res.Violations), res.Complete, res.States)
+	}
+	t.Logf("Dijkstra n=2 SC: %d states", res.States)
+}
+
+func TestDijkstraThreeProcsSCBounded(t *testing.T) {
+	m, err := program.NewMachine(sim.NewSC(3), Dijkstra(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Exhaustive(m, explore.Options{MaxStates: 80_000, MaxDepth: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("Dijkstra n=3 on SC: %d violations within %d states", len(res.Violations), res.States)
+	}
+}
+
+// TestDijkstraRCscNoViolationBounded: on queue-based memories a
+// write-looping algorithm has a genuinely infinite state space (each retry
+// enqueues another update; pending-queue length is unbounded), so the RCsc
+// claim here is bounded: no violation within the explored prefix.
+func TestDijkstraRCscNoViolationBounded(t *testing.T) {
+	m, err := program.NewMachine(sim.NewRCsc(2), Dijkstra(2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := explore.Exhaustive(m, explore.Options{MaxDepth: 250, MaxStates: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Errorf("Dijkstra on RCsc: %d violations within %d states", len(res.Violations), res.States)
+	}
+}
+
+func TestDijkstraRCpcViolated(t *testing.T) {
+	res := exhaust(t, sim.NewRCpc(2), Dijkstra(2, true), true, 300)
+	if len(res.Violations) == 0 {
+		t.Error("Dijkstra on RCpc: no violation found")
+	}
+}
+
+func TestDijkstraPRAMViolated(t *testing.T) {
+	res := exhaust(t, sim.NewPRAM(2), Dijkstra(2, false), true, 300)
+	if len(res.Violations) == 0 {
+		t.Error("Dijkstra on PRAM: no violation found")
+	}
+}
+
+func TestLamportFastCompletesSequentially(t *testing.T) {
+	m, err := program.NewMachine(sim.NewSC(2), LamportFast(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !m.Halted() {
+		r := m.Runnable()
+		if err := m.StepThread(r[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both threads must have passed through the CS exactly once: y reset
+	// to 0 and both flags lowered.
+	mem := m.Mem()
+	if v := mem.Read(0, "y", false); v != 0 {
+		t.Errorf("y = %d after completion", v)
+	}
+}
+
+func TestBakeryLoopLocationsMatchUnrolled(t *testing.T) {
+	// Both variants must touch the same shared locations.
+	if locName("number", 1) != "number[1]" {
+		t.Fatal("locName helper broken")
+	}
+	m, err := program.NewMachine(sim.NewSC(2), BakeryLoop(2, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !m.Halted() {
+		if err := m.StepThread(m.Runnable()[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := m.Mem().Recorder().System()
+	for _, loc := range []string{"choosing[0]", "choosing[1]", "number[0]", "number[1]"} {
+		if h.LocIndex(history.Loc(loc)) < 0 {
+			t.Errorf("loop variant never touched %s", loc)
+		}
+	}
+}
+
+func TestBakeryLoopRCscSoundRCpcViolated(t *testing.T) {
+	res := exhaust(t, sim.NewRCsc(2), BakeryLoop(2, 1, true), false, 0)
+	if !res.Sound() {
+		t.Errorf("loop Bakery on RCsc: violations=%d complete=%v", len(res.Violations), res.Complete)
+	}
+	res2 := exhaust(t, sim.NewRCpc(2), BakeryLoop(2, 1, true), true, 400)
+	if len(res2.Violations) == 0 {
+		t.Error("loop Bakery on RCpc: no violation found")
+	}
+}
+
+func TestSzymanskiSCSound(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		res := exhaust(t, sim.NewSC(n), Szymanski(n, false), false, 0)
+		if !res.Sound() {
+			t.Errorf("Szymanski n=%d on SC: violations=%d complete=%v states=%d",
+				n, len(res.Violations), res.Complete, res.States)
+		}
+		if res.TerminalStates == 0 {
+			t.Errorf("Szymanski n=%d: no terminal states", n)
+		}
+		t.Logf("Szymanski n=%d SC: %d states", n, res.States)
+	}
+}
+
+func TestSzymanskiRCscSound(t *testing.T) {
+	res := exhaust(t, sim.NewRCsc(2), Szymanski(2, true), false, 0)
+	if !res.Sound() {
+		t.Errorf("Szymanski on RCsc: violations=%d complete=%v", len(res.Violations), res.Complete)
+	}
+}
+
+func TestSzymanskiRCpcViolated(t *testing.T) {
+	res := exhaust(t, sim.NewRCpc(2), Szymanski(2, true), true, 0)
+	if len(res.Violations) == 0 {
+		t.Error("Szymanski on RCpc: no violation found")
+	}
+}
+
+func TestSzymanskiTSOViolated(t *testing.T) {
+	// flag[i] := 1 then scanning others' flags is a store-buffering shape.
+	res := exhaust(t, sim.NewTSO(2), Szymanski(2, false), true, 0)
+	if len(res.Violations) == 0 {
+		t.Error("Szymanski on TSO: no violation found")
+	}
+}

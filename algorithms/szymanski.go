@@ -1,0 +1,114 @@
+package algorithms
+
+import "repro/program"
+
+// Szymanski returns Szymanski's n-processor mutual exclusion algorithm
+// (1988), one critical-section entry per processor, written with the DSL's
+// dynamic array indexing. Each processor advertises a phase in flag[i]:
+//
+//	0 noncritical   1 intending   2 waiting room   3 door closing   4 door closed
+//
+// The protocol (for processor i):
+//
+//	flag[i] := 1;      await ∀j: flag[j] < 3
+//	flag[i] := 3;      if ∃j: flag[j] = 1 { flag[i] := 2; await ∃j: flag[j] = 4 }
+//	flag[i] := 4;      await ∀j < i: flag[j] < 2
+//	critical section
+//	await ∀j > i: flag[j] ∈ {0, 1, 4}
+//	flag[i] := 0
+//
+// Like the Bakery algorithm it coordinates with reads and writes only, so
+// it belongs to the class the paper's Section 5 shows RCsc and RCpc
+// disagree on. Unlike Dijkstra's algorithm its wait loops are read-only
+// (writes happen only on phase transitions), so its state space stays
+// finite on every simulated memory.
+func Szymanski(n int, labeled bool) [][]program.Stmt {
+	progs := make([][]program.Stmt, n)
+	for i := 0; i < n; i++ {
+		progs[i] = szymanskiProc(n, i, labeled)
+	}
+	return progs
+}
+
+func szymanskiProc(n, i int, labeled bool) []program.Stmt {
+	me := program.Const(i)
+	st := func(v int) program.Stmt {
+		return program.Store{Loc: "flag", Idx: me, E: program.Const(v), Labeled: labeled}
+	}
+	ld := func(dst string, j program.Expr) program.Stmt {
+		return program.Load{Dst: dst, Loc: "flag", Idx: j, Labeled: labeled}
+	}
+	incJ := program.Assign{Dst: "j", E: program.Bin{Op: program.Add, L: program.Local("j"), R: program.Const(1)}}
+
+	// scanAll sets local "hit" to 1 if pred holds for some j in [lo, hi)
+	// (with j ≠ i when skipSelf), scanning flag[j] into "fj".
+	scan := func(lo, hi program.Expr, skipSelf bool, pred program.Expr) []program.Stmt {
+		check := program.If{Cond: pred, Then: []program.Stmt{program.Assign{Dst: "hit", E: program.Const(1)}}}
+		var body []program.Stmt
+		if skipSelf {
+			body = []program.Stmt{program.If{
+				Cond: program.Bin{Op: program.Ne, L: program.Local("j"), R: me},
+				Then: []program.Stmt{ld("fj", program.Local("j")), check},
+			}}
+		} else {
+			body = []program.Stmt{ld("fj", program.Local("j")), check}
+		}
+		body = append(body, incJ)
+		return []program.Stmt{
+			program.Assign{Dst: "hit", E: program.Const(0)},
+			program.Assign{Dst: "j", E: lo},
+			program.While{Cond: program.Bin{Op: program.Lt, L: program.Local("j"), R: hi}, Body: body},
+		}
+	}
+	fjGE := func(v int) program.Expr {
+		return program.Bin{Op: program.Le, L: program.Const(v), R: program.Local("fj")}
+	}
+	fjEQ := func(v int) program.Expr {
+		return program.Bin{Op: program.Eq, L: program.Local("fj"), R: program.Const(v)}
+	}
+	var out []program.Stmt
+	// spinWhileSome repeats full scans until no j satisfies pred.
+	spinWhileSome := func(lo, hi program.Expr, skipSelf bool, pred program.Expr) {
+		out = append(out, program.Assign{Dst: "hit", E: program.Const(1)})
+		out = append(out, program.While{
+			Cond: program.Bin{Op: program.Eq, L: program.Local("hit"), R: program.Const(1)},
+			Body: scan(lo, hi, skipSelf, pred),
+		})
+	}
+
+	zero, limit := program.Const(0), program.Const(n)
+
+	// flag[i] := 1; await ∀j: flag[j] < 3.
+	out = append(out, st(1))
+	spinWhileSome(zero, limit, true, fjGE(3))
+
+	// flag[i] := 3; if ∃j: flag[j] = 1 { flag[i] := 2; await ∃j: flag[j] = 4 }.
+	out = append(out, st(3))
+	out = append(out, scan(zero, limit, true, fjEQ(1))...)
+	out = append(out, program.If{
+		Cond: program.Bin{Op: program.Eq, L: program.Local("hit"), R: program.Const(1)},
+		Then: func() []program.Stmt {
+			inner := []program.Stmt{st(2)}
+			inner = append(inner, program.Assign{Dst: "hit", E: program.Const(0)})
+			inner = append(inner, program.While{
+				Cond: program.Bin{Op: program.Eq, L: program.Local("hit"), R: program.Const(0)},
+				Body: scan(zero, limit, true, fjEQ(4)),
+			})
+			return inner
+		}(),
+	})
+
+	// flag[i] := 4; await ∀j < i: flag[j] < 2.
+	out = append(out, st(4))
+	spinWhileSome(zero, me, false, fjGE(2))
+
+	out = append(out, program.CSEnter{}, program.CSExit{})
+
+	// await ∀j > i: flag[j] ∈ {0,1,4} — i.e. no flag[j] in {2,3}.
+	in23 := program.Bin{Op: program.And, L: fjGE(2), R: program.Bin{Op: program.Le, L: program.Local("fj"), R: program.Const(3)}}
+	spinWhileSome(program.Const(i+1), limit, false, in23)
+
+	// flag[i] := 0.
+	out = append(out, st(0))
+	return out
+}

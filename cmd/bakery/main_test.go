@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"repro/program"
+	"repro/sim"
+)
+
+func TestMemoryFactoryCoversAllNames(t *testing.T) {
+	for _, name := range []string{"sc", "tso", "tso-fwd", "pram", "pcg", "causal", "rcsc", "rcpc", "slow"} {
+		mk := memoryFactory(name)
+		if mk == nil {
+			t.Fatalf("no factory for %q", name)
+		}
+		mem := mk(2)
+		if mem.NumProcs() != 2 {
+			t.Errorf("%q: wrong processor count", name)
+		}
+	}
+}
+
+func TestBuildProgsAlgorithms(t *testing.T) {
+	for _, algo := range []string{"bakery", "peterson", "dekker", "fast", "dijkstra", "szymanski"} {
+		progs, err := buildProgs(algo, 2, true)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(progs) != 2 {
+			t.Errorf("%s: %d programs", algo, len(progs))
+		}
+		if _, err := program.NewMachine(sim.NewRCsc(2), progs); err != nil {
+			t.Errorf("%s does not compile: %v", algo, err)
+		}
+	}
+	if _, err := buildProgs("peterson", 3, true); err == nil {
+		t.Error("peterson with n=3 accepted")
+	}
+	if _, err := buildProgs("dekker", 3, true); err == nil {
+		t.Error("dekker with n=3 accepted")
+	}
+	if _, err := buildProgs("nope", 2, true); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	progs, err := buildProgs("bakery", 4, false)
+	if err != nil || len(progs) != 4 {
+		t.Errorf("bakery n=4: %d programs, %v", len(progs), err)
+	}
+}

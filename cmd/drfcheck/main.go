@@ -1,0 +1,89 @@
+// Command drfcheck analyzes a built-in synchronization algorithm for
+// proper labeling (data-race freedom over every sequentially consistent
+// execution) and then tests the Gibbons–Merritt–Gharachorloo consequence
+// the paper's Section 5 invokes: a properly labeled program's observable
+// outcomes on a release-consistent memory with SC synchronization (RCsc)
+// coincide with its outcomes on sequentially consistent memory — while on
+// RCpc they may not.
+//
+// Usage:
+//
+//	drfcheck [-algorithm bakery|peterson|dekker] [-n 2] [-labeled]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/algorithms"
+	"repro/drf"
+	"repro/explore"
+	"repro/program"
+	"repro/sim"
+)
+
+func main() {
+	algo := flag.String("algorithm", "bakery", "bakery, peterson, dekker, fast or szymanski")
+	n := flag.Int("n", 2, "processors (bakery only; peterson/dekker are 2)")
+	labeled := flag.Bool("labeled", true, "label the synchronization accesses")
+	flag.Parse()
+
+	var progs [][]program.Stmt
+	switch *algo {
+	case "bakery":
+		progs = algorithms.Bakery(*n, 1, *labeled)
+	case "peterson":
+		progs = algorithms.Peterson(1, *labeled)
+		*n = 2
+	case "dekker":
+		progs = algorithms.Dekker(1, *labeled)
+		*n = 2
+	case "fast":
+		progs = algorithms.LamportFast(*labeled)
+		*n = 2
+	case "szymanski":
+		progs = algorithms.Szymanski(*n, *labeled)
+	default:
+		fmt.Fprintf(os.Stderr, "drfcheck: unknown algorithm %q\n", *algo)
+		os.Exit(1)
+	}
+	fmt.Printf("algorithm=%s n=%d labeled=%v\n\n", *algo, *n, *labeled)
+
+	rep, err := drf.Analyze(progs, explore.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drfcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("proper labeling: DRF=%v over %d SC executions (exhaustive=%v)\n",
+		rep.DRF, rep.Executions, rep.Complete)
+	for _, r := range rep.Races {
+		fmt.Println("  ", r)
+	}
+
+	nn := *n
+	compare := func(name string, mk func() sim.Memory) {
+		cmp, err := drf.CompareOutcomes(
+			func() sim.Memory { return sim.NewSC(nn) }, mk, progs, explore.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "drfcheck:", err)
+			os.Exit(1)
+		}
+		verdict := "EQUAL"
+		if !cmp.Equal {
+			verdict = fmt.Sprintf("DIFFER (%d outcomes only on %s, %d only on SC)",
+				len(cmp.OnlyB), name, len(cmp.OnlyA))
+		}
+		fmt.Printf("outcomes SC vs %-5s %s (|SC|=%d |%s|=%d)\n", name+":", verdict, cmp.SizeA, name, cmp.SizeB)
+	}
+	fmt.Println()
+	compare("RCsc", func() sim.Memory { return sim.NewRCsc(nn) })
+	compare("RCpc", func() sim.Memory { return sim.NewRCpc(nn) })
+
+	if rep.DRF {
+		fmt.Println("\nproperly labeled: the theorem predicts SC ≡ RCsc (and Section 5")
+		fmt.Println("shows RCpc may still differ — that is the paper's point).")
+	} else {
+		fmt.Println("\nnot properly labeled: no SC-equivalence guarantee applies.")
+	}
+}

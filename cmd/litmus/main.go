@@ -1,0 +1,129 @@
+// Command litmus runs the repository's litmus corpus — every example
+// history from the paper plus the classic shapes — under every memory
+// model checker and prints the verdict table, flagging any disagreement
+// with the corpus's established expectations. This regenerates the
+// paper's Figures 1–4 verdicts in one table.
+//
+// Usage:
+//
+//	litmus [-test NAME] [-models SC,TSO,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/litmus"
+	"repro/model"
+)
+
+func main() {
+	testName := flag.String("test", "", "run only this corpus test")
+	models := flag.String("models", "", "comma-separated model names (default: all)")
+	export := flag.String("export", "", "write the corpus as .litmus files into this directory and exit")
+	dir := flag.String("dir", "", "also run every .litmus file from this directory")
+	flag.Parse()
+
+	if *export != "" {
+		exportCorpus(*export)
+		return
+	}
+
+	ms := model.All()
+	if *models != "" {
+		ms = ms[:0]
+		for _, n := range strings.Split(*models, ",") {
+			m, err := model.ByName(strings.TrimSpace(n))
+			if err != nil {
+				fatal(err)
+			}
+			ms = append(ms, m)
+		}
+	}
+
+	tests := litmus.Corpus()
+	if *testName != "" {
+		t, err := litmus.ByName(*testName)
+		if err != nil {
+			fatal(err)
+		}
+		tests = []litmus.Test{t}
+	}
+	if *dir != "" {
+		extra, err := loadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		tests = append(tests, extra...)
+	}
+
+	fmt.Printf("%-22s", "test")
+	for _, m := range ms {
+		fmt.Printf("%12s", m.Name())
+	}
+	fmt.Println()
+
+	mismatches := 0
+	for _, t := range tests {
+		results, err := litmus.Run(t, ms)
+		if err != nil {
+			fmt.Printf("%-22s error: %v\n", t.Name, err)
+			continue
+		}
+		fmt.Printf("%-22s", t.Name)
+		for _, r := range results {
+			cell := map[bool]string{true: "allow", false: "forbid"}[r.Allowed]
+			if !r.Match() {
+				cell += "!"
+				mismatches++
+			}
+			fmt.Printf("%12s", cell)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if mismatches > 0 {
+		fmt.Printf("%d verdicts disagree with corpus expectations (marked '!')\n", mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("all verdicts match the corpus expectations")
+}
+
+// exportCorpus writes every corpus test as NAME.litmus into dir.
+func exportCorpus(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, t := range litmus.Corpus() {
+		path := filepath.Join(dir, t.Name+".litmus")
+		if err := litmus.SaveFile(path, t); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}
+
+// loadDir reads every .litmus file in dir.
+func loadDir(dir string) ([]litmus.Test, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.litmus"))
+	if err != nil {
+		return nil, err
+	}
+	var out []litmus.Test
+	for _, p := range paths {
+		t, err := litmus.LoadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "litmus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command memcheck decides whether a system execution history is allowed
+// by the paper's memory models and, when it is, prints the per-processor
+// views that certify it — the executable version of the paper's figure
+// walk-throughs.
+//
+// Usage:
+//
+//	memcheck [-models SC,TSO,...] [-witness] [history | -f file]
+//
+// The history uses the paper's notation, one processor per line or
+// '|'-separated on one line:
+//
+//	memcheck -witness 'w(x)1 r(y)0 | w(y)1 r(x)0'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/history"
+	"repro/model"
+)
+
+func main() {
+	models := flag.String("models", "", "comma-separated model names (default: all)")
+	file := flag.String("f", "", "read the history from this file instead of the argument")
+	witness := flag.Bool("witness", false, "print certifying views for allowed verdicts")
+	flag.Parse()
+
+	text, err := inputText(*file, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := history.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("history (%d processors, %d operations):\n%s\n", sys.NumProcs(), sys.NumOps(), sys)
+
+	for _, m := range selectModels(*models) {
+		v, err := m.Allows(sys)
+		if err != nil {
+			fmt.Printf("%-11s error: %v\n", m.Name(), err)
+			continue
+		}
+		if !v.Allowed {
+			fmt.Printf("%-11s FORBIDDEN\n", m.Name())
+			continue
+		}
+		fmt.Printf("%-11s allowed\n", m.Name())
+		if *witness {
+			printWitness(sys, v.Witness)
+		}
+	}
+}
+
+func inputText(file string, args []string) (string, error) {
+	switch {
+	case file != "":
+		b, err := os.ReadFile(file)
+		return string(b), err
+	case len(args) > 0:
+		return strings.Join(args, " "), nil
+	default:
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+}
+
+func selectModels(names string) []model.Model {
+	if names == "" {
+		return model.All()
+	}
+	var out []model.Model
+	for _, n := range strings.Split(names, ",") {
+		m, err := model.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fatal(err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func printWitness(sys *history.System, w *model.Witness) {
+	for _, line := range strings.Split(strings.TrimRight(w.Format(sys), "\n"), "\n") {
+		fmt.Println("   ", line)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "memcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestInputTextFromArgs(t *testing.T) {
+	got, err := inputText("", []string{"w(x)1 r(y)0", "|", "w(y)1 r(x)0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "w(x)1 r(y)0 | w(y)1 r(x)0"
+	if got != want {
+		t.Errorf("inputText = %q, want %q", got, want)
+	}
+}
+
+func TestInputTextFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.litmus")
+	content := "p0: w(x)1\np1: r(x)1\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inputText(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != content {
+		t.Errorf("inputText = %q, want %q", got, content)
+	}
+}
+
+func TestInputTextMissingFile(t *testing.T) {
+	if _, err := inputText(filepath.Join(t.TempDir(), "absent"), nil); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSelectModelsDefaultIsAll(t *testing.T) {
+	ms := selectModels("")
+	if len(ms) < 10 {
+		t.Errorf("default selection has %d models", len(ms))
+	}
+}
+
+func TestSelectModelsByName(t *testing.T) {
+	ms := selectModels("SC, TSO")
+	if len(ms) != 2 || ms[0].Name() != "SC" || ms[1].Name() != "TSO" {
+		t.Errorf("selectModels = %v", ms)
+	}
+}

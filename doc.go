@@ -1,0 +1,26 @@
+// Package repro is a Go reproduction of Kohli, Neiger and Ahamad,
+// "A Characterization of Scalable Shared Memories" (GIT-CC-93/04,
+// ICPP 1993).
+//
+// The paper gives a non-operational framework in which a shared-memory
+// consistency model is the set of system execution histories it allows,
+// characterized by three parameters: the operation set each processor's
+// view contains, the mutual-consistency requirements across views, and the
+// ordering (program order, partial program order, causal order,
+// semi-causality) each view must respect. This module turns the framework
+// into executable artifacts:
+//
+//   - package history — operations, histories, views, legality;
+//   - package order — the paper's ordering relations;
+//   - package model — decision procedures for SC, TSO, PC, PCG, PRAM,
+//     Causal, Coherence, RCsc, RCpc and the Section 7 combinator;
+//   - package litmus — the paper's figures and classic shapes as tests;
+//   - package sim — operational machines generating histories;
+//   - package program / algorithms / explore — a guest-program DSL,
+//     Lamport's Bakery (paper Figure 6) and friends, and an exhaustive
+//     state-space explorer reproducing the Section 5 RCsc/RCpc split;
+//   - package relate — the empirical Figure 5 containment lattice.
+//
+// The benchmarks in this directory regenerate each of the paper's figures;
+// see EXPERIMENTS.md for the paper-versus-measured record.
+package repro

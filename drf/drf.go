@@ -1,0 +1,221 @@
+// Package drf analyzes guest programs for the property the paper's
+// Section 5 builds on: proper labeling. A program is properly labeled
+// (equivalently, data-race-free) when, in every sequentially consistent
+// execution, each pair of conflicting ordinary accesses — two accesses to
+// the same location from different processors, at least one a write — is
+// ordered by happens-before: the transitive closure of program order and
+// synchronization order (a labeled release ordered before the labeled
+// acquire that reads it).
+//
+// Gibbons, Merritt and Gharachorloo proved (as the paper recounts) that a
+// properly labeled program running on RCsc behaves as if the memory were
+// sequentially consistent. Analyze decides proper labeling by exhaustive
+// exploration of a program's SC executions; CompareOutcomes then makes the
+// theorem testable, comparing the full set of observable outcomes (every
+// thread's final locals) across two memories. For a properly labeled
+// program the RCsc outcome set equals the SC outcome set; for a racy
+// program — the unlabeled Bakery algorithm, say — weaker memories produce
+// outcomes SC cannot.
+package drf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/explore"
+	"repro/history"
+	"repro/order"
+	"repro/program"
+	"repro/sim"
+)
+
+// Race is one unordered pair of conflicting ordinary accesses, with the SC
+// execution in which it occurred.
+type Race struct {
+	A, B    history.Op
+	History *history.System
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race between %v and %v", r.A, r.B)
+}
+
+// Report is the result of Analyze.
+type Report struct {
+	// DRF reports whether every explored SC execution was race-free.
+	DRF bool
+	// Races lists one representative race per offending execution (up
+	// to a small cap).
+	Races []Race
+	// Executions counts the terminal SC executions examined.
+	Executions int
+	// Complete reports whether the exploration was exhaustive.
+	Complete bool
+}
+
+// maxRacesReported caps the representative races kept in a Report.
+const maxRacesReported = 8
+
+// Analyze explores every SC execution of the program and checks each for
+// data races. A nil error with Report.DRF true and Report.Complete true is
+// a proof (over the DSL semantics) that the program is properly labeled.
+func Analyze(progs [][]program.Stmt, opts explore.Options) (Report, error) {
+	m, err := program.NewMachine(sim.NewSC(len(progs)), progs)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{DRF: true}
+	opts.Invariant = func(*program.Machine) error { return nil } // races are checked at terminals
+	opts.OnTerminal = func(t *program.Machine) bool {
+		rep.Executions++
+		h := t.Mem().Recorder().System()
+		if race := FindRace(h); race != nil {
+			rep.DRF = false
+			if len(rep.Races) < maxRacesReported {
+				rep.Races = append(rep.Races, *race)
+			}
+		}
+		return true
+	}
+	res, err := explore.Exhaustive(m, opts)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Complete = res.Complete
+	return rep, nil
+}
+
+// FindRace returns a data race in the (assumed sequentially consistent)
+// execution history, or nil if conflicting ordinary accesses are all
+// ordered by happens-before. Happens-before is (po ∪ sw)+, where sw links
+// each labeled write to every labeled read that observed it.
+func FindRace(h *history.System) *Race {
+	hb := happensBefore(h)
+	ids := h.Ops()
+	for i := 0; i < len(ids); i++ {
+		a := h.Op(ids[i])
+		if a.Labeled {
+			continue
+		}
+		for j := i + 1; j < len(ids); j++ {
+			b := h.Op(ids[j])
+			if b.Labeled || a.Proc == b.Proc || a.Loc != b.Loc {
+				continue
+			}
+			if a.Kind != history.Write && b.Kind != history.Write {
+				continue
+			}
+			if !hb.Has(ids[i], ids[j]) && !hb.Has(ids[j], ids[i]) {
+				return &Race{A: a, B: b, History: h}
+			}
+		}
+	}
+	return nil
+}
+
+// happensBefore builds (po ∪ sw)+ over the history. Synchronizes-with
+// edges require reads-from resolution, which tagged recordings guarantee.
+func happensBefore(h *history.System) *order.Relation {
+	hb := order.Program(h)
+	for _, id := range h.Ops() {
+		o := h.Op(id)
+		if !o.IsAcquire() {
+			continue
+		}
+		w, ok, err := h.WriterOf(id)
+		if err != nil || !ok {
+			continue
+		}
+		if h.Op(w).IsRelease() {
+			hb.Add(w, id)
+		}
+	}
+	return hb.TransitiveClosure()
+}
+
+// Outcome is a canonical rendering of one terminal state's observable
+// behaviour: every thread's final locals.
+type Outcome string
+
+// outcomeOf canonicalizes a terminal machine.
+func outcomeOf(m *program.Machine) Outcome {
+	var sb strings.Builder
+	for i := 0; i < m.NumThreads(); i++ {
+		regs := m.Registers(i)
+		names := make([]string, 0, len(regs))
+		for n := range regs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "t%d{", i)
+		for _, n := range names {
+			fmt.Fprintf(&sb, "%s=%d;", n, regs[n])
+		}
+		sb.WriteString("}")
+	}
+	return Outcome(sb.String())
+}
+
+// Outcomes exhaustively explores the program on the given memory and
+// returns the set of observable outcomes over all terminal states. The
+// boolean reports whether exploration was exhaustive.
+func Outcomes(mem sim.Memory, progs [][]program.Stmt, opts explore.Options) (map[Outcome]bool, bool, error) {
+	m, err := program.NewMachine(mem, progs)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make(map[Outcome]bool)
+	opts.Invariant = func(*program.Machine) error { return nil }
+	opts.OnTerminal = func(t *program.Machine) bool {
+		out[outcomeOf(t)] = true
+		return true
+	}
+	res, err := explore.Exhaustive(m, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, res.Complete, nil
+}
+
+// Comparison is the result of CompareOutcomes.
+type Comparison struct {
+	// Equal reports whether the two outcome sets coincide.
+	Equal bool
+	// OnlyA and OnlyB list outcomes reachable on one memory only.
+	OnlyA, OnlyB []Outcome
+	// SizeA and SizeB are the outcome-set cardinalities.
+	SizeA, SizeB int
+	// Complete reports whether both explorations were exhaustive.
+	Complete bool
+}
+
+// CompareOutcomes explores the program exhaustively on two memories and
+// compares the observable outcome sets. For a properly labeled program,
+// the Gibbons–Merritt–Gharachorloo theorem predicts Equal == true when A
+// is sequentially consistent memory and B is RCsc.
+func CompareOutcomes(mkA, mkB func() sim.Memory, progs [][]program.Stmt, opts explore.Options) (Comparison, error) {
+	a, ca, err := Outcomes(mkA(), progs, opts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	b, cb, err := Outcomes(mkB(), progs, opts)
+	if err != nil {
+		return Comparison{}, err
+	}
+	cmp := Comparison{SizeA: len(a), SizeB: len(b), Complete: ca && cb}
+	for o := range a {
+		if !b[o] {
+			cmp.OnlyA = append(cmp.OnlyA, o)
+		}
+	}
+	for o := range b {
+		if !a[o] {
+			cmp.OnlyB = append(cmp.OnlyB, o)
+		}
+	}
+	sort.Slice(cmp.OnlyA, func(i, j int) bool { return cmp.OnlyA[i] < cmp.OnlyA[j] })
+	sort.Slice(cmp.OnlyB, func(i, j int) bool { return cmp.OnlyB[i] < cmp.OnlyB[j] })
+	cmp.Equal = len(cmp.OnlyA) == 0 && len(cmp.OnlyB) == 0
+	return cmp, nil
+}

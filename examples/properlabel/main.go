@@ -1,0 +1,85 @@
+// Properlabel: the program-side story of the paper's Section 5. We take a
+// small producer/consumer program, check whether it is properly labeled
+// (data-race-free over every sequentially consistent execution), and then
+// test the Gibbons–Merritt–Gharachorloo consequence: a properly labeled
+// program behaves on RCsc exactly as on SC — and, as the paper shows, NOT
+// necessarily on RCpc.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/drf"
+	"repro/explore"
+	"repro/program"
+	"repro/sim"
+)
+
+// producerConsumer builds guarded message passing: the producer writes
+// data (ordinary) and raises a labeled flag; the consumer spins on the
+// flag (labeled) and then reads the data. With labeled=false the flag
+// accesses are plain and the program races.
+func producerConsumer(labeled bool) [][]program.Stmt {
+	return [][]program.Stmt{
+		{
+			program.Store{Loc: "data", E: program.Const(41)},
+			program.Store{Loc: "data", E: program.Const(42)},
+			program.Store{Loc: "ready", E: program.Const(1), Labeled: labeled},
+		},
+		{
+			program.Assign{Dst: "f", E: program.Const(0)},
+			program.While{
+				Cond: program.Bin{Op: program.Ne, L: program.Local("f"), R: program.Const(1)},
+				Body: []program.Stmt{program.Load{Dst: "f", Loc: "ready", Labeled: labeled}},
+			},
+			program.Load{Dst: "v", Loc: "data"},
+		},
+	}
+}
+
+func main() {
+	for _, labeled := range []bool{true, false} {
+		progs := producerConsumer(labeled)
+		rep, err := drf.Analyze(progs, explore.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("flag labeled=%v: properly labeled (DRF) = %v over %d SC executions\n",
+			labeled, rep.DRF, rep.Executions)
+		for _, r := range rep.Races {
+			fmt.Println("   ", r)
+		}
+	}
+
+	progs := producerConsumer(true)
+	fmt.Println("\noutcome sets of the properly labeled program:")
+	for _, mem := range []struct {
+		name string
+		mk   func() sim.Memory
+	}{
+		{"RCsc", func() sim.Memory { return sim.NewRCsc(2) }},
+		{"RCpc", func() sim.Memory { return sim.NewRCpc(2) }},
+		{"Slow", func() sim.Memory { return sim.NewSlow(2) }},
+	} {
+		cmp, err := drf.CompareOutcomes(
+			func() sim.Memory { return sim.NewSC(2) }, mem.mk, progs, explore.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "identical to SC"
+		if !cmp.Equal {
+			verdict = fmt.Sprintf("DIFFERS from SC (%d extra outcomes)", len(cmp.OnlyB))
+		}
+		fmt.Printf("  on %-5s %s\n", mem.name+":", verdict)
+	}
+	fmt.Println(`
+Proper labeling buys SC behaviour on RCsc — the theorem the paper invokes.
+This ONE-DIRECTIONAL handoff happens to survive RCpc too (a release flushes
+the producer's data, and one flag needs no global synchronization order);
+the paper's point is that TWO-SIDED coordination does not:
+run 'go run ./cmd/drfcheck -algorithm bakery' to watch the properly labeled
+Bakery algorithm keep its SC outcomes on RCsc and grow extra ones on RCpc.
+Slow memory breaks even this handoff: its per-location channels let the
+flag overtake the data.`)
+}

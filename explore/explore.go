@@ -1,0 +1,333 @@
+// Package explore model-checks guest programs on simulated memories: it
+// exhaustively enumerates every interleaving of program steps and memory-
+// internal actions (deliveries, buffer drains), deduplicating states by
+// fingerprint, and checks an invariant — mutual exclusion, for the paper's
+// Section 5 — in every reachable state. It also provides a stochastic
+// runner for workloads whose state space is too large to exhaust.
+//
+// This is the tool that mechanizes the paper's central experiment: under
+// the RCsc memory the Bakery algorithm's state space contains no state
+// with two processors in the critical section; under RCpc the explorer
+// finds one and returns the schedule and the recorded history — a history
+// the model.RCpc checker accepts and the model.RCsc checker rejects.
+package explore
+
+import (
+	"fmt"
+
+	"math/rand"
+
+	"repro/history"
+	"repro/program"
+)
+
+// Invariant checks a machine state, returning a non-nil error describing
+// the violation if the state is bad.
+type Invariant func(*program.Machine) error
+
+// MutualExclusion is the invariant of the paper's Section 5: at most one
+// thread inside its critical section.
+func MutualExclusion(m *program.Machine) error {
+	if n := m.InCS(); n > 1 {
+		return fmt.Errorf("mutual exclusion violated: %d threads in the critical section", n)
+	}
+	return nil
+}
+
+// Violation describes an invariant violation found during exploration.
+type Violation struct {
+	// Err is the invariant's description of what went wrong.
+	Err error
+	// Trace lists the choices leading to the violation, in order, e.g.
+	// "thread 1" or "internal 0 (deliver p0→p1 x)".
+	Trace []string
+	// History is the tagged system execution history recorded along the
+	// violating path — checkable against package model.
+	History *history.System
+	// State is the violating machine (a clone; safe to inspect).
+	State *program.Machine
+}
+
+// Options bounds exploration.
+type Options struct {
+	// MaxStates caps visited states (0 = 1<<20).
+	MaxStates int
+	// MaxDepth caps schedule length (0 = 10_000).
+	MaxDepth int
+	// Invariant is checked at every state (nil = MutualExclusion).
+	Invariant Invariant
+	// StopAtFirst stops at the first violation.
+	StopAtFirst bool
+	// PInternal is the probability the Stochastic runner performs an
+	// enabled internal action rather than a program step (0 = default
+	// 0.5). Low values delay deliveries, widening the race windows that
+	// weak memories expose; Exhaustive ignores it.
+	PInternal float64
+	// OnTerminal, if non-nil, is called for every terminal state (all
+	// threads halted, no internal actions pending) reached by
+	// Exhaustive. The machine is a dead-end clone; the callback may
+	// inspect it freely. Returning false stops the exploration.
+	OnTerminal func(*program.Machine) bool
+	// TrackProgress records the state graph during Exhaustive so the
+	// result can report progress failures: states from which no terminal
+	// state is reachable under ANY schedule (deadlock or inherent
+	// livelock). The paper's Section 5 notes Bakery is "free from
+	// deadlocks"; this makes the claim checkable.
+	TrackProgress bool
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// States is the number of distinct states visited.
+	States int
+	// Transitions is the number of edges explored.
+	Transitions int
+	// Violations found (possibly truncated by StopAtFirst).
+	Violations []Violation
+	// Complete reports whether the state space was exhausted within the
+	// bounds; if false, absence of violations is not a proof.
+	Complete bool
+	// TerminalStates counts states where all threads halted.
+	TerminalStates int
+	// StuckStates counts states from which no terminal state is
+	// reachable (only populated with Options.TrackProgress on a complete
+	// exploration). Zero means the program is deadlock-free: every
+	// reachable state has some schedule that finishes.
+	StuckStates int
+	// progress-tracking internals (TrackProgress only).
+	edges     map[string][]string
+	terminals []string
+}
+
+// DeadlockFree reports whether the exploration proved every reachable
+// state can reach a terminal state. It requires TrackProgress and a
+// complete exploration.
+func (r Result) DeadlockFree() bool {
+	return r.Complete && r.edges != nil && r.StuckStates == 0
+}
+
+// Sound reports whether a clean result proves the invariant: no violations
+// and a complete exploration.
+func (r Result) Sound() bool { return len(r.Violations) == 0 && r.Complete }
+
+type node struct {
+	m     *program.Machine
+	trace []string
+	depth int
+}
+
+// Exhaustive explores every schedule of the machine (program steps and
+// memory-internal actions) from its current state, deduplicating states by
+// fingerprint. The machine passed in is not modified.
+func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
+	if opts.MaxStates == 0 {
+		opts.MaxStates = 1 << 20
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 10_000
+	}
+	inv := opts.Invariant
+	if inv == nil {
+		inv = MutualExclusion
+	}
+
+	var res Result
+	res.Complete = true
+	if opts.TrackProgress {
+		res.edges = map[string][]string{}
+	}
+	visited := map[string]bool{}
+	stack := []node{{m: m0.Clone()}}
+	visited[m0.Fingerprint()] = true
+
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+		var nFP string
+		if opts.TrackProgress {
+			nFP = n.m.Fingerprint()
+		}
+
+		if err := inv(n.m); err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Err:     err,
+				Trace:   n.trace,
+				History: n.m.Mem().Recorder().System(),
+				State:   n.m,
+			})
+			if opts.StopAtFirst {
+				res.Complete = false
+				return res, nil
+			}
+			continue // do not explore past a violation
+		}
+		if n.m.Halted() && len(n.m.Mem().Internal()) == 0 {
+			res.TerminalStates++
+			if opts.TrackProgress {
+				res.terminals = append(res.terminals, nFP)
+			}
+			if opts.OnTerminal != nil && !opts.OnTerminal(n.m) {
+				res.Complete = false
+				return res, nil
+			}
+			continue
+		}
+		if n.depth >= opts.MaxDepth {
+			res.Complete = false
+			continue
+		}
+		if res.States >= opts.MaxStates {
+			res.Complete = false
+			continue
+		}
+
+		expand := func(child *program.Machine, step string) {
+			res.Transitions++
+			fp := child.Fingerprint()
+			if opts.TrackProgress {
+				res.edges[nFP] = append(res.edges[nFP], fp)
+			}
+			if visited[fp] {
+				return
+			}
+			visited[fp] = true
+			trace := make([]string, len(n.trace), len(n.trace)+1)
+			copy(trace, n.trace)
+			stack = append(stack, node{m: child, trace: append(trace, step), depth: n.depth + 1})
+		}
+
+		for _, ti := range n.m.Runnable() {
+			child := n.m.Clone()
+			if err := child.StepThread(ti); err != nil {
+				return res, fmt.Errorf("explore: step thread %d: %w", ti, err)
+			}
+			expand(child, fmt.Sprintf("thread %d", ti))
+		}
+		for ii, desc := range n.m.Mem().Internal() {
+			child := n.m.Clone()
+			child.Mem().Step(ii)
+			expand(child, fmt.Sprintf("internal %d (%s)", ii, desc))
+		}
+	}
+	if opts.TrackProgress && res.Complete {
+		res.StuckStates = countStuck(res.edges, res.terminals)
+	}
+	return res, nil
+}
+
+// countStuck reverse-reaches from the terminal states and counts states
+// with no path to any terminal.
+func countStuck(edges map[string][]string, terminals []string) int {
+	rev := map[string][]string{}
+	all := map[string]bool{}
+	for from, tos := range edges {
+		all[from] = true
+		for _, to := range tos {
+			rev[to] = append(rev[to], from)
+			all[to] = true
+		}
+	}
+	canFinish := map[string]bool{}
+	queue := append([]string(nil), terminals...)
+	for _, t := range terminals {
+		all[t] = true
+		canFinish[t] = true
+	}
+	for len(queue) > 0 {
+		s := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, p := range rev[s] {
+			if !canFinish[p] {
+				canFinish[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	stuck := 0
+	for s := range all {
+		if !canFinish[s] {
+			stuck++
+		}
+	}
+	return stuck
+}
+
+// Replay re-executes a trace (as recorded in Violation.Trace) from a fresh
+// machine, returning the machine in the state the trace leads to. It lets
+// a violation found by Exhaustive or Stochastic be reproduced and inspected
+// deterministically — the recorded history, the thread states, the memory
+// contents. An unparsable or inapplicable step returns an error naming it.
+func Replay(m *program.Machine, trace []string) (*program.Machine, error) {
+	cur := m.Clone()
+	for i, step := range trace {
+		var idx int
+		switch {
+		case len(step) > 7 && step[:7] == "thread ":
+			if _, err := fmt.Sscanf(step, "thread %d", &idx); err != nil {
+				return nil, fmt.Errorf("explore: replay step %d: %q: %v", i, step, err)
+			}
+			if err := cur.StepThread(idx); err != nil {
+				return nil, fmt.Errorf("explore: replay step %d (%q): %w", i, step, err)
+			}
+		case len(step) > 9 && step[:9] == "internal ":
+			if _, err := fmt.Sscanf(step, "internal %d", &idx); err != nil {
+				return nil, fmt.Errorf("explore: replay step %d: %q: %v", i, step, err)
+			}
+			if idx < 0 || idx >= len(cur.Mem().Internal()) {
+				return nil, fmt.Errorf("explore: replay step %d (%q): internal action unavailable", i, step)
+			}
+			cur.Mem().Step(idx)
+		default:
+			return nil, fmt.Errorf("explore: replay step %d: unrecognized %q", i, step)
+		}
+	}
+	return cur, nil
+}
+
+// Stochastic runs the machine to completion `runs` times under a seeded
+// random scheduler (uniform over enabled program steps and internal
+// actions), checking the invariant after every step. It reports the number
+// of runs that violated the invariant and retains the first violation.
+func Stochastic(mk func() (*program.Machine, error), runs int, seed int64, opts Options) (violations int, first *Violation, err error) {
+	inv := opts.Invariant
+	if inv == nil {
+		inv = MutualExclusion
+	}
+	pInternal := opts.PInternal
+	if pInternal == 0 {
+		pInternal = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for r := 0; r < runs; r++ {
+		m, err := mk()
+		if err != nil {
+			return violations, first, err
+		}
+		var trace []string
+		bad := false
+		for !m.Halted() && !bad {
+			runnable := m.Runnable()
+			internal := m.Mem().Internal()
+			if len(internal) > 0 && (len(runnable) == 0 || rng.Float64() < pInternal) {
+				ii := rng.Intn(len(internal))
+				m.Mem().Step(ii)
+				trace = append(trace, fmt.Sprintf("internal %d (%s)", ii, internal[ii]))
+			} else {
+				ti := runnable[rng.Intn(len(runnable))]
+				if err := m.StepThread(ti); err != nil {
+					return violations, first, err
+				}
+				trace = append(trace, fmt.Sprintf("thread %d", ti))
+			}
+			if e := inv(m); e != nil {
+				violations++
+				bad = true
+				if first == nil {
+					first = &Violation{Err: e, Trace: trace, History: m.Mem().Recorder().System(), State: m}
+				}
+			}
+		}
+	}
+	return violations, first, nil
+}

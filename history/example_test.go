@@ -1,0 +1,61 @@
+package history_test
+
+import (
+	"fmt"
+
+	"repro/history"
+)
+
+func ExampleParse() {
+	sys, err := history.Parse("p0: w(x)1 r(y)0\np1: w(y)1 r(x)0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d processors, %d operations\n", sys.NumProcs(), sys.NumOps())
+	fmt.Print(sys)
+	// Output:
+	// 2 processors, 4 operations
+	// p0: w(x)1 r(y)0
+	// p1: w(y)1 r(x)0
+}
+
+func ExampleView_Legal() {
+	sys := history.MustParse("p0: w(x)1 r(y)0\np1: w(y)1 r(x)0")
+	// The paper's Figure 1 TSO view for p0: its own operations plus
+	// p1's write, with the read bypassing the buffered write.
+	view := history.View{1, 0, 2} // r0(y)0 w0(x)1 w1(y)1
+	fmt.Println("legal:", view.IsLegal(sys))
+
+	bad := history.View{2, 1, 0} // w1(y)1 r0(y)0 … the read must see 1
+	fmt.Println("legal:", bad.IsLegal(sys))
+	// Output:
+	// legal: true
+	// legal: false
+}
+
+func ExampleSystem_ViewOps() {
+	sys := history.MustParse("p0: w(x)1 r(y)0\np1: w(y)1 r(x)0")
+	// δp = w: p0's view contains its own operations plus p1's writes —
+	// not p1's reads.
+	for _, id := range sys.ViewOps(0) {
+		fmt.Println(sys.Op(id))
+	}
+	// Output:
+	// w0(x)1
+	// r0(y)0
+	// w1(y)1
+}
+
+func ExampleSystem_WriterOf() {
+	sys := history.MustParse("p0: w(x)1\np1: r(x)1 r(y)0")
+	r1 := sys.ProcOps(1)[0]
+	w, ok, _ := sys.WriterOf(r1)
+	fmt.Println(ok, sys.Op(w))
+
+	r2 := sys.ProcOps(1)[1]
+	_, ok, _ = sys.WriterOf(r2)
+	fmt.Println(ok) // read of the initial value has no writer
+	// Output:
+	// true w0(x)1
+	// false
+}

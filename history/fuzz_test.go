@@ -1,0 +1,43 @@
+package history
+
+import "testing"
+
+// FuzzParse exercises the parser with arbitrary inputs: it must never
+// panic, and anything it accepts must render (Format) and re-parse to an
+// equal history. Run with `go test -fuzz=FuzzParse ./history` for
+// continuous fuzzing; the seed corpus runs in every normal test pass.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p0: w(x)1 r(y)0\np1: w(y)1 r(x)0",
+		"w(x)1 r(y)0 | w(y)1 r(x)0",
+		"p0: W(s)1 R(s)1",
+		"p0: w(number[2])-7",
+		"p0:",
+		"r(x)0",
+		"p: w(x)1 r(y)0\nq: w(y)1 r(x)0\nr: r(z)9",
+		": : :",
+		"w(x)",
+		"w()1",
+		"W(a.b_c[0])3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sys, err := Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := Format(sys)
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Format output does not re-parse: %q: %v", rendered, err)
+		}
+		if Format(back) != rendered {
+			t.Fatalf("Format/Parse not idempotent:\n%q\n%q", rendered, Format(back))
+		}
+		if back.NumOps() != sys.NumOps() || back.NumProcs() != sys.NumProcs() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// View is a sequential execution history: an ordered arrangement of a
+// subset of a System's operations, written S_{p+δp} in the paper. A View is
+// a processor's private account of what the shared memory did.
+type View []OpID
+
+// String renders the view as a space-separated operation sequence in the
+// paper's notation, e.g. "r0(y)0 w0(x)1 w1(y)1".
+func (v View) String(s *System) string {
+	parts := make([]string, len(v))
+	for i, id := range v {
+		parts[i] = s.Op(id).String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Contains reports whether the view includes the operation.
+func (v View) Contains(id OpID) bool {
+	for _, x := range v {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PositionOf returns the index of id in the view, or -1.
+func (v View) PositionOf(id OpID) int {
+	for i, x := range v {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Legal reports whether the view is legal in the paper's sense: every read
+// r(x)v in the view is immediately preceded, among operations on x, by a
+// write w(x)v — i.e. each read returns the value written by the most recent
+// preceding write to its location, or the initial value 0 if no write to
+// that location precedes it. When the view is not legal, the returned error
+// identifies the first offending read.
+func (v View) Legal(s *System) error {
+	last := make(map[Loc]Value)
+	for _, id := range v {
+		o := s.Op(id)
+		switch o.Kind {
+		case Write:
+			last[o.Loc] = o.Value
+		case Read:
+			want, ok := last[o.Loc]
+			if !ok {
+				want = Initial
+			}
+			if o.Value != want {
+				return fmt.Errorf("history: illegal view: %v reads %d but most recent write to %s left %d",
+					o, o.Value, o.Loc, want)
+			}
+		}
+	}
+	return nil
+}
+
+// IsLegal reports whether Legal(s) == nil.
+func (v View) IsLegal(s *System) bool { return v.Legal(s) == nil }
+
+// ProjectWrites returns the subsequence of the view containing only write
+// operations — the paper's S|w, used to state TSO's mutual-consistency
+// requirement S_{p+w}|w = S_{q+w}|w.
+func (v View) ProjectWrites(s *System) View {
+	var out View
+	for _, id := range v {
+		if s.Op(id).Kind == Write {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ProjectLoc returns the subsequence of operations on the given location —
+// the paper's S|x, used when reasoning about coherence.
+func (v View) ProjectLoc(s *System, loc Loc) View {
+	var out View
+	for _, id := range v {
+		if s.Op(id).Loc == loc {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ProjectWritesLoc returns the subsequence of writes to the given location
+// — the paper's S|w,x. Coherence requires this to be identical across all
+// processors' views.
+func (v View) ProjectWritesLoc(s *System, loc Loc) View {
+	var out View
+	for _, id := range v {
+		if o := s.Op(id); o.Kind == Write && o.Loc == loc {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ProjectLabeled returns the subsequence of labeled operations — the
+// paper's S|ℓ, whose family across processors must satisfy SC (for RC_sc)
+// or PC (for RC_pc).
+func (v View) ProjectLabeled(s *System) View {
+	var out View
+	for _, id := range v {
+		if s.Op(id).Labeled {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// ProjectProc returns the subsequence of operations issued by processor p.
+// A view of processor p must contain exactly H_p in program order; this
+// projection is how that is verified.
+func (v View) ProjectProc(s *System, p Proc) View {
+	var out View
+	for _, id := range v {
+		if s.Op(id).Proc == p {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two views are the same sequence.
+func (v View) Equal(w View) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SameSet reports whether two views contain the same set of operations,
+// regardless of order.
+func (v View) SameSet(w View) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	seen := make(map[OpID]int, len(v))
+	for _, id := range v {
+		seen[id]++
+	}
+	for _, id := range w {
+		seen[id]--
+		if seen[id] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckViewOf verifies the structural requirements every model in the paper
+// places on a candidate view for processor p with δ_p = w: the view must
+// (1) contain exactly p's operations plus all writes of other processors,
+// (2) keep p's own operations in their program order is NOT required here —
+// ordering requirements differ per model and are checked by package model —
+// and (3) be legal. It returns nil when the view is structurally valid.
+func CheckViewOf(s *System, p Proc, v View) error {
+	want := s.ViewOps(p)
+	if !v.SameSet(View(want)) {
+		return fmt.Errorf("history: view of p%d has wrong operation set: got %d ops, want own ops plus others' writes (%d ops)",
+			p, len(v), len(want))
+	}
+	return v.Legal(s)
+}

@@ -1,0 +1,81 @@
+// Package perm enumerates linear extensions of small partial orders. The
+// memory-model checkers use it to enumerate candidate global write orders
+// (TSO), per-location coherence orders (PC, RC) and labeled-operation
+// serializations (RC_sc).
+package perm
+
+// LinearExtensions enumerates every ordering of the items 0..n-1 in which
+// item a appears before item b whenever before(a, b) is true. The yield
+// function receives each extension; the slice is reused between calls and
+// must be copied if retained. If yield returns false, enumeration stops and
+// LinearExtensions returns false; otherwise it returns true after
+// exhausting all extensions.
+//
+// before need not be transitively closed, but it must be acyclic over the
+// items; a cycle simply yields no extensions. n must be at most 64.
+func LinearExtensions(n int, before func(a, b int) bool, yield func(order []int) bool) bool {
+	if n > 64 {
+		panic("perm: LinearExtensions limited to 64 items")
+	}
+	// preds[i] is the bitmask of items that must precede item i.
+	preds := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && before(j, i) {
+				preds[i] |= 1 << uint(j)
+			}
+		}
+	}
+	order := make([]int, 0, n)
+	var rec func(placed uint64) bool
+	rec = func(placed uint64) bool {
+		if len(order) == n {
+			return yield(order)
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if placed&bit != 0 || preds[i]&^placed != 0 {
+				continue
+			}
+			order = append(order, i)
+			ok := rec(placed | bit)
+			order = order[:len(order)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}
+
+// CountLinearExtensions returns the number of linear extensions; it is a
+// convenience for tests and diagnostics.
+func CountLinearExtensions(n int, before func(a, b int) bool) int {
+	count := 0
+	LinearExtensions(n, before, func([]int) bool { count++; return true })
+	return count
+}
+
+// Products enumerates the cartesian product of choice counts: for sizes
+// [s0, s1, …], yield receives every index vector [i0, i1, …] with
+// 0 ≤ ik < sk. The slice is reused; copy if retained. Stops early when
+// yield returns false, returning false. An empty sizes slice yields one
+// empty vector.
+func Products(sizes []int, yield func(idx []int) bool) bool {
+	idx := make([]int, len(sizes))
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == len(sizes) {
+			return yield(idx)
+		}
+		for i := 0; i < sizes[d]; i++ {
+			idx[d] = i
+			if !rec(d + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

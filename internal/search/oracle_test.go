@@ -1,0 +1,192 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/history"
+	"repro/order"
+)
+
+// bruteForce is the oracle: try every permutation of ops and report
+// whether any is a legal view respecting prec. Exponential — only for
+// small problems in tests.
+func bruteForce(s *history.System, ops []history.OpID, prec *order.Relation) bool {
+	n := len(ops)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == n {
+			v := make(history.View, n)
+			for i, k := range perm {
+				v[i] = ops[k]
+			}
+			if prec != nil && !prec.Respects(v) {
+				return false
+			}
+			return v.IsLegal(s)
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			perm[d] = i
+			if rec(d + 1) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// genProblem wraps a random small view-existence problem for testing/quick.
+type genProblem struct {
+	Sys  *history.System
+	Prec *order.Relation
+}
+
+// Generate implements quick.Generator: a random ≤7-operation history with
+// a random acyclic precedence relation (a random subset of a random total
+// order, so acyclicity is guaranteed).
+func (genProblem) Generate(r *rand.Rand, _ int) reflect.Value {
+	procs := 1 + r.Intn(3)
+	ops := 3 + r.Intn(5)
+	b := history.NewBuilder(procs)
+	var next history.Value
+	var written []history.Value
+	for i := 0; i < ops; i++ {
+		p := history.Proc(r.Intn(procs))
+		loc := history.Loc(fmt.Sprintf("l%d", r.Intn(2)))
+		if r.Intn(2) == 0 {
+			next++
+			b.Write(p, loc, next)
+			written = append(written, next)
+		} else if len(written) > 0 && r.Intn(2) == 0 {
+			b.Read(p, loc, written[r.Intn(len(written))])
+		} else {
+			b.Read(p, loc, history.Initial)
+		}
+	}
+	s := b.System()
+	// Random acyclic precedence: pairs (i, j) with i < j under a random
+	// permutation of the IDs.
+	perm := r.Perm(s.NumOps())
+	rank := make([]int, s.NumOps())
+	for i, k := range perm {
+		rank[k] = i
+	}
+	prec := order.New(s.NumOps())
+	for a := 0; a < s.NumOps(); a++ {
+		for bID := 0; bID < s.NumOps(); bID++ {
+			if rank[a] < rank[bID] && r.Intn(4) == 0 {
+				prec.Add(history.OpID(a), history.OpID(bID))
+			}
+		}
+	}
+	return reflect.ValueOf(genProblem{Sys: s, Prec: prec})
+}
+
+// TestQuickSolverMatchesBruteForce is the solver's oracle test: on random
+// small problems, FindView succeeds exactly when exhaustive permutation
+// search finds a legal, precedence-respecting sequence — and when it
+// succeeds, its answer is itself legal and respectful.
+func TestQuickSolverMatchesBruteForce(t *testing.T) {
+	prop := func(g genProblem) bool {
+		ops := g.Sys.Ops()
+		v, ok, err := FindView(Problem{Sys: g.Sys, Ops: ops, Prec: g.Prec})
+		if err != nil {
+			return false
+		}
+		want := bruteForce(g.Sys, ops, g.Prec)
+		if ok != want {
+			t.Logf("solver=%v oracle=%v on:\n%s", ok, want, g.Sys)
+			return false
+		}
+		if ok {
+			if err := v.Legal(g.Sys); err != nil {
+				return false
+			}
+			if !g.Prec.Respects(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEnumerateViewsComplete: EnumerateViews yields exactly the legal
+// precedence-respecting permutations (count-checked against brute force).
+func TestQuickEnumerateViewsComplete(t *testing.T) {
+	countBrute := func(s *history.System, ops []history.OpID, prec *order.Relation) int {
+		n := len(ops)
+		perm := make([]int, n)
+		used := make([]bool, n)
+		count := 0
+		var rec func(d int)
+		rec = func(d int) {
+			if d == n {
+				v := make(history.View, n)
+				for i, k := range perm {
+					v[i] = ops[k]
+				}
+				if prec.Respects(v) && v.IsLegal(s) {
+					count++
+				}
+				return
+			}
+			for i := 0; i < n; i++ {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				perm[d] = i
+				rec(d + 1)
+				used[i] = false
+			}
+		}
+		rec(0)
+		return count
+	}
+	prop := func(g genProblem) bool {
+		if g.Sys.NumOps() > 6 {
+			return true // keep the factorial oracle cheap
+		}
+		got := 0
+		seen := map[string]bool{}
+		err := EnumerateViews(Problem{Sys: g.Sys, Ops: g.Sys.Ops(), Prec: g.Prec}, func(v history.View) bool {
+			got++
+			key := fmt.Sprint([]history.OpID(v)) // IDs, not rendering: distinct ops may look identical
+			if seen[key] {
+				t.Logf("duplicate enumeration: %s", key)
+				return false
+			}
+			seen[key] = true
+			if !v.IsLegal(g.Sys) || !g.Prec.Respects(v) {
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return false
+		}
+		want := countBrute(g.Sys, g.Sys.Ops(), g.Prec)
+		if got != want {
+			t.Logf("enumerated %d, oracle %d on:\n%s", got, want, g.Sys)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

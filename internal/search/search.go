@@ -1,0 +1,266 @@
+// Package search decides view existence: given a set of operations, a
+// precedence relation and the legality requirement (every read returns the
+// most recent preceding write to its location, or the initial value), does
+// a legal linearization exist?
+//
+// This is the computational core of every memory-model checker in package
+// model: each model reduces "is history H allowed?" to one or more view-
+// existence problems, possibly inside an enumeration of write orders. The
+// problem generalizes sequential-consistency verification and is NP-hard in
+// general; the solver is a memoized depth-first search over states
+// (placed-operation set, last write per location), which decides
+// litmus-scale instances (≤ ~24 operations) in microseconds.
+package search
+
+import (
+	"fmt"
+
+	"repro/history"
+	"repro/order"
+)
+
+// Problem is one view-existence question. Ops lists the operations the view
+// must contain (each exactly once); Prec is a relation over the whole
+// system's operations, of which only pairs with both endpoints in Ops
+// constrain the view. Prec should already be transitively closed if chains
+// through operations outside Ops are to constrain the view (the paper's
+// orders are closed before restriction).
+type Problem struct {
+	Sys  *history.System
+	Ops  []history.OpID
+	Prec *order.Relation
+}
+
+// MaxOps is the largest operation set FindView accepts. The solver's state
+// encoding uses one bit per operation.
+const MaxOps = 64
+
+type solver struct {
+	sys    *history.System
+	ops    []history.OpID // local index → global ID
+	preds  []uint64       // local index → bitmask of required predecessors
+	kind   []history.Kind
+	locOf  []int           // local index → dense location index
+	val    []history.Value // local index → value
+	nLocs  int
+	failed map[stateKey]bool // memoized dead states
+}
+
+type stateKey struct {
+	placed uint64
+	lastW  string // one byte per location: local write index + 1, 0 = none
+}
+
+// FindView reports whether a legal linearization of p.Ops exists that
+// respects p.Prec, and returns one if so. It returns an error only for
+// malformed problems (too many operations, duplicate operations).
+func FindView(p Problem) (history.View, bool, error) {
+	return findView(p, true)
+}
+
+// FindViewUnmemoized is FindView with the failed-state cache disabled. It
+// exists to support the memoization ablation benchmark; results are
+// identical, only the search cost differs.
+func FindViewUnmemoized(p Problem) (history.View, bool, error) {
+	return findView(p, false)
+}
+
+// EnumerateViews yields every legal linearization of p.Ops respecting
+// p.Prec, in depth-first order, until yield returns false. Unlike
+// enumerate-then-filter approaches, legality prunes the search tree as it
+// grows, and states proved to admit no completion are memoized — so
+// enumeration over histories with long forced chains (e.g. candidate
+// sequentially consistent serializations of labeled operations in the RCsc
+// checker) stays tractable. The View passed to yield is freshly allocated
+// and may be retained.
+func EnumerateViews(p Problem, yield func(history.View) bool) error {
+	s, err := newSolver(p, true)
+	if err != nil {
+		return err
+	}
+	seq := make([]int, 0, len(p.Ops))
+	lastW := make([]byte, s.nLocs)
+	s.enumerate(0, lastW, &seq, func() bool {
+		view := make(history.View, len(seq))
+		for i, li := range seq {
+			view[i] = s.ops[li]
+		}
+		return yield(view)
+	})
+	return nil
+}
+
+// enumerate is dfs generalized to visit every completion. cont is false
+// when the whole enumeration must stop (yield asked to); found reports
+// whether this subtree produced at least one completion, which lets dead
+// states — and only dead states — enter the failure cache (a state with
+// completions cannot be skipped on revisit: distinct prefixes reaching it
+// yield distinct full sequences).
+func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func() bool) (cont, found bool) {
+	n := len(s.ops)
+	if len(*seq) == n {
+		return yield(), true
+	}
+	var key stateKey
+	if s.failed != nil {
+		key = stateKey{placed, string(lastW)}
+		if s.failed[key] {
+			return true, false // dead subtree; keep enumerating elsewhere
+		}
+	}
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if placed&bit != 0 || s.preds[i]&^placed != 0 {
+			continue
+		}
+		loc := s.locOf[i]
+		var prev byte
+		if s.kind[i] == history.Read {
+			if w := lastW[loc]; w == 0 {
+				if s.val[i] != history.Initial {
+					continue
+				}
+			} else if s.val[int(w)-1] != s.val[i] {
+				continue
+			}
+		} else {
+			prev = lastW[loc]
+			lastW[loc] = byte(i) + 1
+		}
+		*seq = append(*seq, i)
+		c, f := s.enumerate(placed|bit, lastW, seq, yield)
+		*seq = (*seq)[:len(*seq)-1]
+		if s.kind[i] == history.Write {
+			lastW[loc] = prev
+		}
+		found = found || f
+		if !c {
+			return false, found
+		}
+	}
+	if !found && s.failed != nil {
+		s.failed[key] = true
+	}
+	return true, found
+}
+
+// newSolver validates the problem and builds the solver's dense local
+// encoding.
+func newSolver(p Problem, memo bool) (*solver, error) {
+	n := len(p.Ops)
+	if n > MaxOps {
+		return nil, fmt.Errorf("search: %d operations exceeds limit of %d", n, MaxOps)
+	}
+	s := &solver{
+		sys:   p.Sys,
+		ops:   p.Ops,
+		preds: make([]uint64, n),
+		kind:  make([]history.Kind, n),
+		locOf: make([]int, n),
+		val:   make([]history.Value, n),
+	}
+	if memo {
+		s.failed = make(map[stateKey]bool)
+	}
+	local := make(map[history.OpID]int, n)
+	for i, id := range p.Ops {
+		if _, dup := local[id]; dup {
+			return nil, fmt.Errorf("search: duplicate operation %v in problem", p.Sys.Op(id))
+		}
+		local[id] = i
+	}
+	locIdx := make(map[history.Loc]int)
+	for i, id := range p.Ops {
+		o := p.Sys.Op(id)
+		s.kind[i] = o.Kind
+		s.val[i] = o.Value
+		li, ok := locIdx[o.Loc]
+		if !ok {
+			li = len(locIdx)
+			locIdx[o.Loc] = li
+		}
+		s.locOf[i] = li
+	}
+	s.nLocs = len(locIdx)
+	if p.Prec != nil {
+		for i, a := range p.Ops {
+			for j, b := range p.Ops {
+				if i != j && p.Prec.Has(a, b) {
+					s.preds[j] |= 1 << uint(i)
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+func findView(p Problem, memo bool) (history.View, bool, error) {
+	s, err := newSolver(p, memo)
+	if err != nil {
+		return nil, false, err
+	}
+	n := len(p.Ops)
+	seq := make([]int, 0, n)
+	lastW := make([]byte, s.nLocs)
+	if s.dfs(0, lastW, &seq) {
+		view := make(history.View, n)
+		for i, li := range seq {
+			view[i] = s.ops[li]
+		}
+		return view, true, nil
+	}
+	return nil, false, nil
+}
+
+// dfs extends the partial linearization. placed is the bitmask of already
+// placed local indices; lastW[loc] records the most recent write placed per
+// location (local index + 1, 0 if none). seq accumulates the order.
+func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
+	n := len(s.ops)
+	if len(*seq) == n {
+		return true
+	}
+	var key stateKey
+	if s.failed != nil {
+		key = stateKey{placed, string(lastW)}
+		if s.failed[key] {
+			return false
+		}
+	}
+	for i := 0; i < n; i++ {
+		bit := uint64(1) << uint(i)
+		if placed&bit != 0 || s.preds[i]&^placed != 0 {
+			continue
+		}
+		loc := s.locOf[i]
+		if s.kind[i] == history.Read {
+			// A read is placeable only when the most recent write
+			// to its location (or the initial value) matches.
+			if w := lastW[loc]; w == 0 {
+				if s.val[i] != history.Initial {
+					continue
+				}
+			} else if s.val[int(w)-1] != s.val[i] {
+				continue
+			}
+			*seq = append(*seq, i)
+			if s.dfs(placed|bit, lastW, seq) {
+				return true
+			}
+			*seq = (*seq)[:len(*seq)-1]
+		} else {
+			prev := lastW[loc]
+			lastW[loc] = byte(i) + 1
+			*seq = append(*seq, i)
+			if s.dfs(placed|bit, lastW, seq) {
+				return true
+			}
+			*seq = (*seq)[:len(*seq)-1]
+			lastW[loc] = prev
+		}
+	}
+	if s.failed != nil {
+		s.failed[key] = true
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package litmus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/history"
+)
+
+// The litmus file format is line-oriented and self-describing:
+//
+//	# comment
+//	name: Fig1-SB
+//	description: store buffering (paper Figure 1)
+//	source: paper Figure 1
+//	expect: SC=forbid TSO=allow
+//	---
+//	p0: w(x)1 r(y)0
+//	p1: w(y)1 r(x)0
+//
+// Header keys may appear in any order; only name and the history are
+// required. The expect line lists model verdicts as NAME=allow|forbid.
+
+// WriteTest renders a Test in the litmus file format.
+func WriteTest(w io.Writer, t Test) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\n", t.Name)
+	if t.Description != "" {
+		fmt.Fprintf(&b, "description: %s\n", t.Description)
+	}
+	if t.Source != "" {
+		fmt.Fprintf(&b, "source: %s\n", t.Source)
+	}
+	if len(t.Expect) > 0 {
+		names := make([]string, 0, len(t.Expect))
+		for n := range t.Expect {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("expect:")
+		for _, n := range names {
+			verdict := "forbid"
+			if t.Expect[n] {
+				verdict = "allow"
+			}
+			fmt.Fprintf(&b, " %s=%s", n, verdict)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("---\n")
+	b.WriteString(t.History.String())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadTest parses a Test from the litmus file format.
+func ReadTest(r io.Reader) (Test, error) {
+	var t Test
+	sc := bufio.NewScanner(r)
+	var historyLines []string
+	inHistory := false
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case inHistory:
+			if trimmed != "" {
+				historyLines = append(historyLines, line)
+			}
+		case trimmed == "" || strings.HasPrefix(trimmed, "#"):
+			// skip blank lines and comments in the header
+		case trimmed == "---":
+			inHistory = true
+		default:
+			key, val, ok := strings.Cut(trimmed, ":")
+			if !ok {
+				return t, fmt.Errorf("litmus: malformed header line %q", line)
+			}
+			val = strings.TrimSpace(val)
+			switch strings.TrimSpace(key) {
+			case "name":
+				t.Name = val
+			case "description":
+				t.Description = val
+			case "source":
+				t.Source = val
+			case "expect":
+				exp, err := parseExpect(val)
+				if err != nil {
+					return t, err
+				}
+				t.Expect = exp
+			default:
+				return t, fmt.Errorf("litmus: unknown header key %q", key)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return t, err
+	}
+	if t.Name == "" {
+		return t, fmt.Errorf("litmus: file has no name header")
+	}
+	if len(historyLines) == 0 {
+		return t, fmt.Errorf("litmus: %s: no history after ---", t.Name)
+	}
+	h, err := history.Parse(strings.Join(historyLines, "\n"))
+	if err != nil {
+		return t, fmt.Errorf("litmus: %s: %w", t.Name, err)
+	}
+	t.History = h
+	return t, nil
+}
+
+func parseExpect(s string) (map[string]bool, error) {
+	out := make(map[string]bool)
+	for _, field := range strings.Fields(s) {
+		name, verdict, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("litmus: malformed expect entry %q", field)
+		}
+		switch verdict {
+		case "allow":
+			out[name] = true
+		case "forbid":
+			out[name] = false
+		default:
+			return nil, fmt.Errorf("litmus: expect verdict %q (want allow or forbid)", verdict)
+		}
+	}
+	return out, nil
+}
+
+// SaveFile writes the test to path in the litmus file format.
+func SaveFile(path string, t Test) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTest(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads one test from a litmus file.
+func LoadFile(path string) (Test, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Test{}, err
+	}
+	defer f.Close()
+	return ReadTest(f)
+}

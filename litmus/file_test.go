@@ -1,0 +1,92 @@
+package litmus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFileRoundTripCorpus(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range Corpus() {
+		path := filepath.Join(dir, tc.Name+".litmus")
+		if err := SaveFile(path, tc); err != nil {
+			t.Fatalf("%s: save: %v", tc.Name, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", tc.Name, err)
+		}
+		if back.Name != tc.Name || back.Description != tc.Description || back.Source != tc.Source {
+			t.Errorf("%s: headers changed: %+v", tc.Name, back)
+		}
+		if back.History.String() != tc.History.String() {
+			t.Errorf("%s: history changed:\n%s\nvs\n%s", tc.Name, back.History, tc.History)
+		}
+		if len(back.Expect) != len(tc.Expect) {
+			t.Errorf("%s: expect map changed: %v vs %v", tc.Name, back.Expect, tc.Expect)
+		}
+		for m, v := range tc.Expect {
+			if back.Expect[m] != v {
+				t.Errorf("%s: expectation for %s changed", tc.Name, m)
+			}
+		}
+	}
+}
+
+func TestReadTestFormat(t *testing.T) {
+	src := `# a comment
+name: demo
+description: a demo test
+expect: SC=forbid TSO=allow
+
+---
+p0: w(x)1 r(y)0
+p1: w(y)1 r(x)0
+`
+	tc, err := ReadTest(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Name != "demo" || tc.Description != "a demo test" {
+		t.Errorf("headers: %+v", tc)
+	}
+	if v, ok := tc.Expect["SC"]; !ok || v {
+		t.Error("SC expectation wrong")
+	}
+	if v, ok := tc.Expect["TSO"]; !ok || !v {
+		t.Error("TSO expectation wrong")
+	}
+	if tc.History.NumOps() != 4 {
+		t.Errorf("history ops = %d", tc.History.NumOps())
+	}
+}
+
+func TestReadTestErrors(t *testing.T) {
+	bad := []string{
+		"",                                      // no name, no history
+		"name: x\n",                             // no history
+		"bogus line\n---\np0: w(x)1\n",          // malformed header
+		"name: x\nexpect: SC=maybe\n---\nw(x)1", // bad verdict
+		"name: x\nexpect: SC\n---\nw(x)1",       // malformed expect
+		"name: x\nwhat: y\n---\nw(x)1",          // unknown key
+		"name: x\n---\nq(x)1\n",                 // bad history
+	}
+	for _, src := range bad {
+		if _, err := ReadTest(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadTest(%q) succeeded", src)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "absent.litmus")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSaveFileBadPath(t *testing.T) {
+	if err := SaveFile(filepath.Join(t.TempDir(), "no", "such", "dir", "x.litmus"), Corpus()[0]); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

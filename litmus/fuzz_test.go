@@ -1,0 +1,32 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTest: the litmus file parser must never panic, and accepted
+// tests must round-trip through WriteTest.
+func FuzzReadTest(f *testing.F) {
+	f.Add("name: t\nexpect: SC=allow\n---\nw(x)1")
+	f.Add("# c\nname: u\ndescription: d\nsource: s\n---\np0: r(x)0\np1: w(x)1")
+	f.Add("---\nw(x)1")
+	f.Add("name: v\nexpect: SC=\n---\nw(x)1")
+	f.Fuzz(func(t *testing.T, text string) {
+		tc, err := ReadTest(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteTest(&sb, tc); err != nil {
+			t.Fatalf("WriteTest on accepted test: %v", err)
+		}
+		back, err := ReadTest(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("rendered test does not re-parse: %v\n%s", err, sb.String())
+		}
+		if back.Name != tc.Name || back.History.String() != tc.History.String() {
+			t.Fatal("round trip changed the test")
+		}
+	})
+}

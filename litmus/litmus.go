@@ -1,0 +1,350 @@
+// Package litmus provides the repository's litmus-test corpus: small
+// histories with established verdicts under the paper's memory models. The
+// corpus contains every example history from the paper (Figures 1–4, the
+// Section 5 Bakery violation, and the PRAM-vs-causal variant discussed in
+// Section 3.5) plus the classic shapes from the litmus literature
+// (message passing, load buffering, IRIW, coherence tests) restated in the
+// paper's framework.
+//
+// Paper-sourced expectations are ground truth from the text; the remaining
+// expectations follow from the model definitions and are pinned here as
+// regression anchors, independently cross-checked by package relate's
+// containment properties.
+package litmus
+
+import (
+	"fmt"
+
+	"repro/history"
+	"repro/model"
+)
+
+// Test is one litmus test: a history and its expected verdict under the
+// models for which the verdict is established. Models absent from Expect
+// are not asserted (their verdict is still well-defined; package relate
+// classifies the full corpus under every model).
+type Test struct {
+	Name        string
+	Description string
+	Source      string // where the expectation comes from
+	History     *history.System
+	Expect      map[string]bool // model name → allowed
+}
+
+// Result is the outcome of checking one test against one model.
+type Result struct {
+	Test    string
+	Model   string
+	Allowed bool
+	// Expected and Asserted report the corpus expectation; Asserted is
+	// false when the corpus has no established verdict for this model.
+	Expected bool
+	Asserted bool
+}
+
+// Match reports whether the result agrees with the corpus expectation
+// (vacuously true when no expectation is asserted).
+func (r Result) Match() bool { return !r.Asserted || r.Allowed == r.Expected }
+
+// Run checks the test against the given models and returns one result per
+// model, in the given order.
+func Run(t Test, models []model.Model) ([]Result, error) {
+	out := make([]Result, 0, len(models))
+	for _, m := range models {
+		v, err := m.Allows(t.History)
+		if err != nil {
+			return nil, fmt.Errorf("litmus: %s under %s: %w", t.Name, m.Name(), err)
+		}
+		exp, asserted := t.Expect[m.Name()]
+		out = append(out, Result{
+			Test:     t.Name,
+			Model:    m.Name(),
+			Allowed:  v.Allowed,
+			Expected: exp,
+			Asserted: asserted,
+		})
+	}
+	return out, nil
+}
+
+// RunCorpus runs every corpus test under every given model.
+func RunCorpus(models []model.Model) ([]Result, error) {
+	var out []Result
+	for _, t := range Corpus() {
+		rs, err := Run(t, models)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// Corpus returns the full litmus corpus. The returned tests are freshly
+// built; callers may mutate them.
+func Corpus() []Test {
+	tests := []Test{
+		{
+			Name:        "Fig1-SB",
+			Description: "store buffering: both processors read 0 after writing (paper Figure 1)",
+			Source:      "paper Figure 1; §3.2",
+			History:     history.MustParse("p0: w(x)1 r(y)0\np1: w(y)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": true, "TSO-ax": true, // stated in §3.2
+				"PC": true, "PCG": true, "Causal": true, "PRAM": true,
+				"Coherence": true, "Causal+Coh": true, "RCsc": true, "RCpc": true,
+			},
+		},
+		{
+			Name:        "Fig2-WRC",
+			Description: "write-to-read causality chain invisible to a third processor (paper Figure 2)",
+			Source:      "paper Figure 2; §3.3",
+			History:     history.MustParse("p0: w(x)1\np1: r(x)1 w(y)1\np2: r(y)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, "PC": true, // stated in §3.3
+				"PCG": true, "Causal": false, "PRAM": true,
+			},
+		},
+		{
+			Name:        "Fig3-PRAM",
+			Description: "each processor sees its own write first (paper Figure 3); violates coherence",
+			Source:      "paper Figure 3; §3.5",
+			History:     history.MustParse("p0: w(x)1 r(x)1 r(x)2\np1: w(x)2 r(x)2 r(x)1"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, // stated in §3.5
+				"PC": false, "PCG": false, "Coherence": false,
+				"Causal": true, "PRAM": true, "Causal+Coh": false, "Slow": true,
+			},
+		},
+		{
+			Name:        "Fig4-Causal",
+			Description: "causally ordered writes observed consistently (paper Figure 4)",
+			Source:      "paper Figure 4; §3.5",
+			History: history.MustParse(
+				"p0: w(x)1 w(y)1\np1: r(y)1 w(z)1 r(x)2\np2: w(x)2 r(x)1 r(z)1 r(y)1"),
+			Expect: map[string]bool{
+				"TSO": false, "Causal": true, // stated in §3.5
+				"SC": false, "PRAM": true,
+			},
+		},
+		{
+			Name:        "Fig4b-PRAMnotCausal",
+			Description: "Figure 4 with the final read returning 0: allowed by PRAM, forbidden by causal (the §3.5 discussion)",
+			Source:      "paper §3.5 closing discussion",
+			History: history.MustParse(
+				"p0: w(x)1 w(y)1\np1: r(y)1 w(z)1 r(x)2\np2: w(x)2 r(x)1 r(z)1 r(y)0"),
+			Expect: map[string]bool{
+				"Causal": false, "PRAM": true, "SC": false, "TSO": false,
+			},
+		},
+		{
+			Name:        "Fig3-labeled",
+			Description: "Figure 3 with synchronization operations: labeled writes observed in different orders",
+			// Causal memory has no coherence requirement at all, so the
+			// labeled variant stays causal-legal; the paper's second §7
+			// combinator (coherence over labeled writes only) rejects
+			// it, as does full causal+coherence. Pins the strictness of
+			// Causal+Coh ⊂ Causal+LCoh ⊂ Causal.
+			Source:  "paper §7, second suggestion; Figure 3 relabeled",
+			History: history.MustParse("p0: W(x)1 R(x)1 R(x)2\np1: W(x)2 R(x)2 R(x)1"),
+			Expect: map[string]bool{
+				"Causal": true, "Causal+LCoh": false, "Causal+Coh": false,
+				"SC": false, "RCsc": false, "RCpc": false,
+			},
+		},
+		{
+			Name:        "MP",
+			Description: "message passing with a stale data read",
+			Source:      "classic; forbidden once writes propagate in order",
+			History:     history.MustParse("p0: w(x)1 w(y)1\np1: r(y)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, "PC": false, "PCG": false,
+				"Causal": false, "PRAM": false, "Coherence": true,
+				"Causal+Coh": false, "Slow": true,
+			},
+		},
+		{
+			Name:        "LB",
+			Description: "load buffering: each load sees the other's later store",
+			// Views are per-processor, so PRAM, PCG and PC can each
+			// place the other processor's write before the local read;
+			// the cycle only exists across views. Causal memory closes
+			// po ∪ wb into a cycle and rejects it, as do the global-
+			// order models SC and TSO.
+			Source:  "classic; verdicts per the paper's definitions",
+			History: history.MustParse("p0: r(x)1 w(y)1\np1: r(y)1 w(x)1"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, "Causal": false,
+				"PC": true, "PCG": true, "PRAM": true, "Coherence": true,
+			},
+		},
+		{
+			Name:        "IRIW",
+			Description: "independent readers disagree on the order of independent writes",
+			Source:      "classic; distinguishes global write order (TSO) from coherence-only models",
+			History:     history.MustParse("p0: w(x)1\np1: w(y)1\np2: r(x)1 r(y)0\np3: r(y)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, "PC": true, "PCG": true,
+				"Causal": true, "PRAM": true, "Causal+Coh": true,
+			},
+		},
+		{
+			Name:        "CoRR-single-writer",
+			Description: "two readers disagree on one writer's write order",
+			Source:      "classic coherence test; even PRAM orders one writer's writes",
+			History:     history.MustParse("p0: w(x)1 w(x)2\np1: r(x)1 r(x)2\np2: r(x)2 r(x)1"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": false, "PC": false, "PCG": false,
+				"Causal": false, "PRAM": false, "Coherence": false,
+			},
+		},
+		{
+			Name:        "ISA2",
+			Description: "write-to-read chain through a third location; the stale read at the end is invisible to semi-causality-free models",
+			// sem chains w_p(x)1 →rwb r_q(y)1 →ppo w_q(z)1 through q's
+			// read, so PC forces w(x)1 before w(z)1 in every view and
+			// rejects; PCG (program order + coherence, no semi-
+			// causality) accepts. One half of the PCG/PC
+			// incomparability the paper cites from [2].
+			Source:  "classic ISA2; verdicts per the paper's definitions",
+			History: history.MustParse("p0: w(x)1 w(y)1\np1: r(y)1 w(z)1\np2: r(z)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "PC": false, "Causal": false,
+				"PCG": true, "PRAM": true, "Coherence": true,
+			},
+		},
+		{
+			Name:        "PC-not-PCG",
+			Description: "write→read bypass required under a coherence-forced chain",
+			// Coherence forces y-writes into the order 3,2,1; p2's
+			// program order w(y)2 → r(x)0 then closes a cycle through
+			// p1's program order — unless the write→read pair is
+			// bypassed, which ppo (PC) permits and po (PCG) does not.
+			// The other half of the PCG/PC incomparability.
+			Source:  "found by randomized search over the checkers; verdicts per the paper's definitions",
+			History: history.MustParse("p0: r(y)0 w(y)1\np1: w(x)1 w(y)3 r(y)2\np2: w(y)2 r(x)0 r(y)1"),
+			Expect: map[string]bool{
+				"PC": true, "PCG": false, "SC": false,
+			},
+		},
+		{
+			Name:        "SB-labeled",
+			Description: "store buffering entirely on labeled (synchronization) operations: the minimal RCsc/RCpc separation",
+			Source:      "derived; labeled ops are SC under RCsc (forbidding SB) but PC under RCpc",
+			History:     history.MustParse("p0: W(x)1 R(y)0\np1: W(y)1 R(x)0"),
+			Expect: map[string]bool{
+				"RCsc": false, "RCpc": true, "SC": false, "WO": false,
+			},
+		},
+		{
+			Name:        "RC-MP-sync",
+			Description: "properly-labeled message passing: data write, release; acquire, data read",
+			Source:      "RC definition; the acquire observed the release, so data must be fresh",
+			History:     history.MustParse("p0: w(d)5 W(s)1\np1: R(s)1 r(d)5"),
+			Expect:      map[string]bool{"RCsc": true, "RCpc": true, "SC": true},
+		},
+		{
+			Name:        "RC-MP-stale",
+			Description: "properly-labeled message passing with a stale data read after a successful acquire",
+			Source:      "RC definition; bracketing forbids it",
+			History:     history.MustParse("p0: w(d)5 W(s)1\np1: R(s)1 r(d)0"),
+			Expect:      map[string]bool{"RCsc": false, "RCpc": false},
+		},
+		{
+			Name:        "RC-MP-unsync",
+			Description: "acquire misses the release, so the stale data read is permitted",
+			Source:      "RC definition; no bracketing edge applies",
+			History:     history.MustParse("p0: w(d)5 W(s)1\np1: R(s)0 r(d)0"),
+			Expect:      map[string]bool{"RCsc": true, "RCpc": true, "SC": true},
+		},
+		{
+			Name:        "Bakery-violation",
+			Description: "both Bakery competitors enter the critical section (paper Section 5)",
+			Source:      "paper §5: allowed by RCpc, impossible under RCsc",
+			History: history.MustParse(
+				"p0: W(c0)1 R(n1)0 W(n0)1 W(c0)2 R(c1)0 R(n1)0\n" +
+					"p1: W(c1)1 R(n0)0 W(n1)1 W(c1)2 R(c0)0 R(n0)0"),
+			Expect: map[string]bool{
+				"RCsc": false, "RCpc": true, "SC": false, "WO": false,
+			},
+		},
+		{
+			Name:        "TSOax-not-PC",
+			Description: "store forwarding under a coherence-forced write order: realizable on SPARC TSO, rejected by the paper's PC",
+			// p1 reads x=1 after its own w(x)2, so coherence must order
+			// w(x)2 before w(x)1; PC's ppo keeps p0's w(x)1 < r(x)1 <
+			// r(y)0, closing a cycle through p1's program order. The
+			// axiomatic TSO forwards p0's read from its buffer and
+			// drains w(x)1 after w(x)2 — allowed. Found by the
+			// exhaustive 2-processor 3-operation sweep; shows the
+			// paper's PC shares its TSO's forwarding blind spot, so
+			// SPARC TSO ⊄ paper-PC.
+			Source:  "exhaustive shape sweep (this reproduction)",
+			History: history.MustParse("p0: w(x)1 r(x)1 r(y)0\np1: w(y)1 w(x)2 r(x)1"),
+			Expect: map[string]bool{
+				"TSO-ax": true, "PC": false, "TSO": false, "SC": false,
+				"PRAM": true,
+			},
+		},
+		{
+			Name:        "WO-release-fence",
+			Description: "an ordinary read hoisted above an earlier release: RC permits it, weak ordering's full fence does not",
+			// The labeled serialization forces W(s)2 before W(s)1 (p2
+			// reads them in that order), so p1's fence chain
+			// w(d)7 < W(s)2 < W(s)1 < r(d)0 makes the stale read
+			// illegal under WO; RCsc has no release→later-ordinary
+			// edge and accepts.
+			Source:  "derived; separates WO from RCsc",
+			History: history.MustParse("p0: W(s)1 r(d)0\np1: w(d)7 W(s)2\np2: R(s)2 R(s)1"),
+			Expect: map[string]bool{
+				"RCsc": true, "WO": false, "RCpc": true,
+			},
+		},
+		{
+			Name:        "Causal-transitivity",
+			Description: "write observed through a causal chain must not be reordered",
+			Source:      "causal memory definition",
+			History:     history.MustParse("p0: w(x)1\np1: r(x)1 w(y)2\np2: r(y)2 r(x)1"),
+			Expect: map[string]bool{
+				"SC": true, "TSO": true, "PC": true, "Causal": true, "PRAM": true,
+			},
+		},
+		{
+			Name:        "PRAM-fifo",
+			Description: "a single processor's writes must be seen in order even by PRAM",
+			Source:      "PRAM definition (point-to-point order)",
+			History:     history.MustParse("p0: w(x)1 w(x)2\np1: r(x)2 r(x)1"),
+			Expect: map[string]bool{
+				"PRAM": false, "Causal": false, "SC": false, "TSO": false,
+				"PC": false, "PCG": false, "Coherence": false,
+			},
+		},
+		{
+			Name:        "SB-rfi",
+			Description: "store buffering where each processor first reads its own write (store forwarding)",
+			// The paper's ppo orders same-location write→read, so its
+			// TSO characterization REJECTS this history even though
+			// SPARC TSO (with store-buffer forwarding, Sindhu et al.'s
+			// Value axiom) allows it. This is a real divergence between
+			// the paper's model and the axiomatic TSO it claims to
+			// capture; see EXPERIMENTS.md. PC rejects it for the same
+			// reason. The coherence-free models accept it.
+			Source:  "classic SB+rfi; verdicts per the paper's definitions",
+			History: history.MustParse("p0: w(x)1 r(x)1 r(y)0\np1: w(y)1 r(y)1 r(x)0"),
+			Expect: map[string]bool{
+				"SC": false, "TSO": false, "TSO-ax": true, "PC": true, "PRAM": true, "Causal": true,
+			},
+		},
+	}
+	return tests
+}
+
+// ByName returns the corpus test with the given name.
+func ByName(name string) (Test, error) {
+	for _, t := range Corpus() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Test{}, fmt.Errorf("litmus: unknown test %q", name)
+}

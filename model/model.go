@@ -1,0 +1,203 @@
+// Package model implements the memory consistency models of Kohli, Neiger
+// and Ahamad's framework as decision procedures. Each Model answers the
+// question at the heart of the paper: is a given system execution history
+// allowed by this memory? A positive answer comes with a Witness — the
+// per-processor views (and, where applicable, the write order, coherence
+// order or labeled-operation serialization) that certify it, exactly the
+// objects the paper constructs by hand in its figures.
+//
+// The models implemented are those the paper defines: sequential
+// consistency (SC), total store ordering (TSO), the DASH flavour of
+// processor consistency (PC), PRAM, causal memory, cache coherence, and
+// release consistency with sequentially consistent (RCsc) or processor
+// consistent (RCpc) synchronization operations. Six extensions round out
+// the lattice: the axiomatic SPARC TSO of Sindhu et al. (TSOAxiomatic),
+// Goodman's processor consistency (PCG), weak ordering (WO), slow memory
+// (Slow), and both memories the paper's Section 7 sketches
+// (CausalCoherent and CausalLabeledCoherent).
+//
+// Deciding these questions is NP-hard in general (it subsumes verifying
+// sequential consistency), so the checkers enumerate candidate mutual-
+// consistency structures (write orders, coherence orders) and solve
+// view-existence subproblems with a memoized search; they are intended for
+// litmus-scale histories — tens of operations — which they decide in
+// micro- to milliseconds.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/history"
+	"repro/internal/perm"
+	"repro/internal/search"
+	"repro/order"
+)
+
+// Witness certifies that a history is allowed by a model. Views maps each
+// processor to its sequential view S_{p+δp}. Depending on the model, the
+// auxiliary fields record the enumerated mutual-consistency structure that
+// made the views possible.
+type Witness struct {
+	// Views holds one legal view per processor. For SC all entries are
+	// the same serialization.
+	Views map[history.Proc]history.View
+	// WriteOrder is TSO's agreed total order on all writes (S|w).
+	WriteOrder history.View
+	// Coherence is the per-location write order used by PC, PCG, RC and
+	// causal+coherent memory.
+	Coherence map[history.Loc]history.View
+	// LabeledOrder is RCsc's sequentially consistent serialization of
+	// the labeled operations.
+	LabeledOrder history.View
+	// LocSerializations holds the per-location serializations produced
+	// by the cache-coherence checker (reads included).
+	LocSerializations map[history.Loc]history.View
+}
+
+// Verdict is the result of Model.Allows: whether the history is allowed,
+// and a witness when it is.
+type Verdict struct {
+	Allowed bool
+	Witness *Witness
+}
+
+// Model decides membership of histories in a consistency model. Allows
+// returns an error only when the question itself is malformed for the
+// checker (too many operations, ambiguous reads-from where the model's
+// orders require resolution) — never to signal "not allowed".
+type Model interface {
+	Name() string
+	// Allows reports whether the system execution history is one of the
+	// histories permitted by this memory model.
+	Allows(s *history.System) (Verdict, error)
+}
+
+// checkSize guards the solver's operation-count limit with a model-specific
+// error message.
+func checkSize(name string, s *history.System) error {
+	if n := s.NumOps(); n > search.MaxOps {
+		return fmt.Errorf("model: %s: history has %d operations; checker limit is %d", name, n, search.MaxOps)
+	}
+	return nil
+}
+
+// allowedVerdict assembles a positive verdict.
+func allowedVerdict(w *Witness) Verdict { return Verdict{Allowed: true, Witness: w} }
+
+// rejected is the negative verdict.
+var rejected = Verdict{}
+
+// All returns every model in the repository, strongest first (the order of
+// the paper's Figure 5, extensions last). The returned slice is fresh and
+// may be modified.
+func All() []Model {
+	return []Model{
+		SC{}, TSO{}, TSOAxiomatic{}, PC{}, Causal{}, PRAM{}, Coherence{},
+		WO{}, RCsc{}, RCpc{}, PCG{}, CausalCoherent{}, CausalLabeledCoherent{}, Slow{},
+	}
+}
+
+// ByName returns the model with the given name (as reported by Name), or
+// an error listing the valid names.
+func ByName(name string) (Model, error) {
+	var names []string
+	for _, m := range All() {
+		if m.Name() == name {
+			return m, nil
+		}
+		names = append(names, m.Name())
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("model: unknown model %q (have %v)", name, names)
+}
+
+// SolveView decides whether a legal sequential arrangement of the given
+// operations exists that respects prec, returning one if so. Together with
+// SolveViews and order.LinearExtensions this is the toolkit for defining
+// new memory models in the paper's framework (its Section 7): pick the
+// operation set, enumerate a mutual-consistency structure, encode the
+// ordering requirement as a relation, and solve.
+func SolveView(s *history.System, ops []history.OpID, prec *order.Relation) (history.View, bool, error) {
+	return search.FindView(search.Problem{Sys: s, Ops: ops, Prec: prec})
+}
+
+// SolveViews solves the per-processor view problems for the δp = w
+// operation set (own operations plus all other processors' writes) under a
+// common precedence relation. It returns nil (and no error) when some
+// processor has no legal view.
+func SolveViews(s *history.System, prec *order.Relation) (map[history.Proc]history.View, error) {
+	return solveViews(s, prec)
+}
+
+// solveViews runs the per-processor view-existence subproblems shared by
+// every δp = w model: for each processor, find a legal arrangement of its
+// own operations plus all other processors' writes that respects prec.
+// It returns nil if any processor has no view.
+func solveViews(s *history.System, prec *order.Relation) (map[history.Proc]history.View, error) {
+	views := make(map[history.Proc]history.View, s.NumProcs())
+	for p := 0; p < s.NumProcs(); p++ {
+		proc := history.Proc(p)
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec})
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		views[proc] = v
+	}
+	return views, nil
+}
+
+// coherenceCandidates materializes, per location, every total order of the
+// location's writes that respects program order (same-processor writes to
+// one location are never reordered by any model in the paper). The
+// enumeration of mutual-consistency structures in TSO/PC/PCG/RC iterates
+// over the cartesian product of these candidate lists.
+func coherenceCandidates(s *history.System, po *order.Relation) (locs []history.Loc, candidates [][][]history.OpID) {
+	for _, loc := range s.Locs() {
+		writes := s.WritesTo(loc)
+		if len(writes) == 0 {
+			continue
+		}
+		var exts [][]history.OpID
+		collectExtensions(writes, po, &exts)
+		locs = append(locs, loc)
+		candidates = append(candidates, exts)
+	}
+	return locs, candidates
+}
+
+// collectExtensions appends every linear extension of po over the given
+// operations to *out.
+func collectExtensions(ops []history.OpID, po *order.Relation, out *[][]history.OpID) {
+	before := func(a, b int) bool { return po.Has(ops[a], ops[b]) }
+	perm.LinearExtensions(len(ops), before, func(ord []int) bool {
+		ext := make([]history.OpID, len(ord))
+		for i, k := range ord {
+			ext[i] = ops[k]
+		}
+		*out = append(*out, ext)
+		return true
+	})
+}
+
+// addChain adds the total-order edges of seq to rel.
+func addChain(rel *order.Relation, seq []history.OpID) {
+	for i := 0; i < len(seq); i++ {
+		for j := i + 1; j < len(seq); j++ {
+			rel.Add(seq[i], seq[j])
+		}
+	}
+}
+
+// requireUnambiguousReadsFrom fails fast for checkers whose orders need
+// reads-from resolution (causal, PC, RC): every read must have a unique
+// writer or read the initial value.
+func requireUnambiguousReadsFrom(name string, s *history.System) error {
+	if _, err := order.WritesBefore(s); err != nil {
+		return fmt.Errorf("model: %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package model
+
+import (
+	"repro/history"
+	"repro/internal/perm"
+	"repro/order"
+)
+
+// forEachCoherence enumerates every coherence order (one total order of
+// writes per location, each a linear extension of program order) and calls
+// fn with it. Enumeration stops when fn returns false or errors. It is the
+// shared outer loop of PC, PCG, CausalCoherent and RC.
+func forEachCoherence(s *history.System, po *order.Relation, fn func(*order.Coherence) (bool, error)) error {
+	locs, candidates := coherenceCandidates(s, po)
+	sizes := make([]int, len(candidates))
+	for i, c := range candidates {
+		sizes[i] = len(c)
+	}
+	var outerErr error
+	perm.Products(sizes, func(idx []int) bool {
+		m := make(map[history.Loc][]history.OpID, len(locs))
+		for i, loc := range locs {
+			m[loc] = candidates[i][idx[i]]
+		}
+		coh, err := order.NewCoherence(s, m)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		cont, err := fn(coh)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		return cont
+	})
+	return outerErr
+}
+
+// coherenceWitness renders a coherence order into the Witness field form.
+func coherenceWitness(coh *order.Coherence) map[history.Loc]history.View {
+	m := make(map[history.Loc]history.View, len(coh.Order))
+	for loc, seq := range coh.Order {
+		m[loc] = history.View(seq)
+	}
+	return m
+}
+
+// PC is processor consistency as defined operationally by Gharachorloo et
+// al. for the DASH architecture and formalized in the paper's Section 3.3:
+// δp = w; mutual consistency is coherence (a per-location total write order
+// shared by all views); views respect the semi-causality order
+// →sem = (→ppo ∪ →rwb ∪ →rrb)+, which weakens causality to what DASH's
+// "perform with respect to" conditions actually enforce.
+type PC struct{}
+
+// Name implements Model.
+func (PC) Name() string { return "PC" }
+
+// Allows implements Model.
+func (PC) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("PC", s); err != nil {
+		return rejected, err
+	}
+	if err := requireUnambiguousReadsFrom("PC", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	var witness *Witness
+	err := forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+		sem, err := order.SemiCausal(s, coh)
+		if err != nil {
+			return false, err
+		}
+		if sem.HasCycle() {
+			return true, nil // incompatible coherence order; try next
+		}
+		prec := sem.Clone()
+		prec.Union(coh.Relation(s))
+		views, err := solveViews(s, prec)
+		if err != nil {
+			return false, err
+		}
+		if views == nil {
+			return true, nil
+		}
+		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
+		return false, nil
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// PCG is Goodman's processor consistency (Goodman 1989, as formalized by
+// Ahamad, Bazzi, John, Kohli and Neiger 1992): PRAM plus coherence. Views
+// (δp = w) respect full program order — unlike DASH PC there is no
+// write→read bypass — and all views agree on a per-location write order,
+// but there is no semi-causality requirement. The paper notes (citing [2])
+// that PCG and DASH PC are incomparable; package relate demonstrates this
+// empirically.
+type PCG struct{}
+
+// Name implements Model.
+func (PCG) Name() string { return "PCG" }
+
+// Allows implements Model.
+func (PCG) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("PCG", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	var witness *Witness
+	err := forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+		prec := po.Clone()
+		prec.Union(coh.Relation(s))
+		views, err := solveViews(s, prec)
+		if err != nil {
+			return false, err
+		}
+		if views == nil {
+			return true, nil
+		}
+		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
+		return false, nil
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// CausalLabeledCoherent is the second new memory the paper's Section 7
+// sketches: "perhaps such coherence can only be required for labeled
+// operations" — causal memory whose mutual-consistency requirement is a
+// shared write order per location over the LABELED writes only; ordinary
+// writes to the same location may still be observed in different orders by
+// different processors. It sits strictly between Causal and CausalCoherent:
+// more histories than the latter (ordinary coherence dropped), fewer than
+// the former (labeled coherence kept).
+type CausalLabeledCoherent struct{}
+
+// Name implements Model.
+func (CausalLabeledCoherent) Name() string { return "Causal+LCoh" }
+
+// Allows implements Model.
+func (CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
+	const name = "Causal+LCoh"
+	if err := checkSize(name, s); err != nil {
+		return rejected, err
+	}
+	co, err := order.Causal(s)
+	if err != nil {
+		return rejected, err
+	}
+	if co.HasCycle() {
+		return rejected, nil
+	}
+	po := order.Program(s)
+	// Enumerate per-location orders over labeled writes only.
+	var locs []history.Loc
+	var candidates [][][]history.OpID
+	for _, loc := range s.Locs() {
+		var labeledWrites []history.OpID
+		for _, id := range s.WritesTo(loc) {
+			if s.Op(id).Labeled {
+				labeledWrites = append(labeledWrites, id)
+			}
+		}
+		if len(labeledWrites) == 0 {
+			continue
+		}
+		var exts [][]history.OpID
+		collectExtensions(labeledWrites, po, &exts)
+		locs = append(locs, loc)
+		candidates = append(candidates, exts)
+	}
+	sizes := make([]int, len(candidates))
+	for i, c := range candidates {
+		sizes[i] = len(c)
+	}
+	var witness *Witness
+	perm.Products(sizes, func(idx []int) bool {
+		prec := co.Clone()
+		coh := make(map[history.Loc]history.View, len(locs))
+		for i, loc := range locs {
+			seq := candidates[i][idx[i]]
+			prec.AddChain(seq)
+			coh[loc] = history.View(seq)
+		}
+		views, err2 := solveViews(s, prec)
+		if err2 != nil {
+			err = err2
+			return false
+		}
+		if views == nil {
+			return true
+		}
+		witness = &Witness{Views: views, Coherence: coh}
+		return false
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// CausalCoherent is the new memory sketched in the paper's Section 7:
+// causal memory with an added coherence mutual-consistency requirement.
+// Views respect causal order and agree on a per-location write order. It
+// is strictly stronger than causal memory and than PCG, and remains
+// incomparable with TSO.
+type CausalCoherent struct{}
+
+// Name implements Model.
+func (CausalCoherent) Name() string { return "Causal+Coh" }
+
+// Allows implements Model.
+func (CausalCoherent) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("Causal+Coh", s); err != nil {
+		return rejected, err
+	}
+	co, err := order.Causal(s)
+	if err != nil {
+		return rejected, err
+	}
+	if co.HasCycle() {
+		return rejected, nil
+	}
+	po := order.Program(s)
+	var witness *Witness
+	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+		prec := co.Clone()
+		prec.Union(coh.Relation(s))
+		views, err := solveViews(s, prec)
+		if err != nil {
+			return false, err
+		}
+		if views == nil {
+			return true, nil
+		}
+		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
+		return false, nil
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}

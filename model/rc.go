@@ -1,0 +1,290 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/history"
+	"repro/internal/search"
+	"repro/order"
+)
+
+// RCsc is release consistency with sequentially consistent synchronization
+// operations, as provided by the DASH architecture (Gharachorloo et al.
+// 1990; paper Section 3.4). Views have δp = w, mutual consistency is
+// coherence over all writes, local operations respect →ppo, ordinary
+// operations are bracketed by the labeled operations around them (an
+// ordinary operation follows the write its preceding acquire observed, and
+// precedes any later release by the same processor, in every view), and the
+// labeled operations admit a single legal sequentially consistent
+// serialization that every view embeds.
+type RCsc struct{}
+
+// Name implements Model.
+func (RCsc) Name() string { return "RCsc" }
+
+// Allows implements Model.
+func (RCsc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCsc", s, true) }
+
+// RCpc is release consistency with processor consistent synchronization
+// operations: identical to RCsc except the labeled operations need only
+// satisfy PC — each processor may arrange others' labeled writes in its own
+// semi-causally consistent order. The paper's Section 5 shows Lamport's
+// Bakery algorithm is correct on RCsc but not on RCpc; package explore
+// reproduces that separation.
+type RCpc struct{}
+
+// Name implements Model.
+func (RCpc) Name() string { return "RCpc" }
+
+// Allows implements Model.
+func (RCpc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCpc", s, false) }
+
+// rcAllows is the shared RC decision procedure.
+//
+// Note on the paper's second bracketing condition: the text reads "if o is
+// an ordinary operation of p that precedes a labeled write operation
+// (release) o_w of p, then o follows o_w in all histories", but the
+// sentence that follows ("these two conditions ensure that ordinary
+// operations are ordered, in all views, between the labeled operations
+// that bracket them") and the RC definition it formalizes ("an ordinary
+// operation completes before the following release operation is
+// performed") make clear this is a typo for "o precedes o_w"; we implement
+// the bracketing reading.
+func rcAllows(name string, s *history.System, labeledSC bool) (Verdict, error) {
+	if err := checkSize(name, s); err != nil {
+		return rejected, err
+	}
+	if err := requireUnambiguousReadsFrom(name, s); err != nil {
+		return rejected, err
+	}
+	if err := validateLabelSeparation(name, s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	ppo := order.PartialProgram(s)
+	bracket, err := bracketEdges(s)
+	if err != nil {
+		return rejected, fmt.Errorf("model: %s: %w", name, err)
+	}
+	base := ppo.Clone()
+	base.Union(bracket)
+
+	labeled := s.Labeled()
+	sub, toGlobal := labeledSubsystem(s)
+
+	var witness *Witness
+	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+		prec0 := base.Clone()
+		prec0.Union(coh.Relation(s))
+		if labeledSC {
+			w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
+			if err != nil {
+				return false, err
+			}
+			if w != nil {
+				w.Coherence = coherenceWitness(coh)
+				witness = w
+				return false, nil
+			}
+			return true, nil
+		}
+		// RCpc: impose the semi-causality order of the labeled
+		// subhistory, computed against this coherence order.
+		subCoh, err := restrictCoherence(s, sub, toGlobal, coh)
+		if err != nil {
+			return false, err
+		}
+		semSub, err := order.SemiCausal(sub, subCoh)
+		if err != nil {
+			return false, err
+		}
+		if semSub.HasCycle() {
+			return true, nil
+		}
+		prec := prec0.Clone()
+		for _, pr := range semSub.Pairs() {
+			prec.Add(toGlobal[pr[0]], toGlobal[pr[1]])
+		}
+		views, err := solveViews(s, prec)
+		if err != nil {
+			return false, err
+		}
+		if views == nil {
+			return true, nil
+		}
+		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
+		return false, nil
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// rcscLabeledSearch enumerates the legal sequentially consistent
+// serializations of the labeled operations (legality-pruned, so impossible
+// prefixes are cut early) that are compatible with the coherence order and,
+// for each, tries to solve all views. It returns a witness or nil.
+func rcscLabeledSearch(s *history.System, labeled []history.OpID, po *order.Relation, coh *order.Coherence, prec0 *order.Relation) (*Witness, error) {
+	var (
+		witness  *Witness
+		innerErr error
+	)
+	err := search.EnumerateViews(search.Problem{Sys: s, Ops: labeled, Prec: po}, func(t history.View) bool {
+		if !labeledOrderMatchesCoherence(s, t, coh) {
+			return true
+		}
+		prec := prec0.Clone()
+		addChain(prec, t)
+		views, err := solveViews(s, prec)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		if views == nil {
+			return true
+		}
+		witness = &Witness{Views: views, LabeledOrder: t}
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	return witness, innerErr
+}
+
+// labeledOrderMatchesCoherence reports whether the labeled serialization
+// orders same-location labeled writes exactly as the coherence order does.
+func labeledOrderMatchesCoherence(s *history.System, t history.View, coh *order.Coherence) bool {
+	for i := 0; i < len(t); i++ {
+		a := s.Op(t[i])
+		if a.Kind != history.Write {
+			continue
+		}
+		for j := i + 1; j < len(t); j++ {
+			b := s.Op(t[j])
+			if b.Kind == history.Write && b.Loc == a.Loc && coh.Before(t[j], t[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bracketEdges builds the RC bracketing relation:
+//
+//   - for each acquire o_r of p that observed write o_w, every ordinary
+//     operation of p after o_r in program order follows o_w;
+//   - every ordinary operation of p before a release o_w of p in program
+//     order precedes o_w.
+//
+// Edges constrain views only where both endpoints appear, which the view
+// solver handles by restriction.
+func bracketEdges(s *history.System) (*order.Relation, error) {
+	r := order.New(s.NumOps())
+	for p := 0; p < s.NumProcs(); p++ {
+		ops := s.ProcOps(history.Proc(p))
+		for i, id := range ops {
+			o := s.Op(id)
+			switch {
+			case o.IsAcquire():
+				w, ok, err := s.WriterOf(id)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue // acquired the initial value
+				}
+				for _, later := range ops[i+1:] {
+					if !s.Op(later).Labeled {
+						r.Add(w, later)
+					}
+				}
+			case o.IsRelease():
+				for _, earlier := range ops[:i] {
+					if !s.Op(earlier).Labeled {
+						r.Add(earlier, id)
+					}
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// validateLabelSeparation enforces the paper's Section 5 assumption for RC
+// histories: every location is accessed either only by labeled operations
+// (a synchronization variable) or only by ordinary ones (a data variable).
+// The legality of labeled projections is evaluated within the labeled
+// subhistory, which is only meaningful under this separation.
+func validateLabelSeparation(name string, s *history.System) error {
+	type usage struct{ labeled, ordinary bool }
+	use := make(map[history.Loc]*usage)
+	for _, id := range s.Ops() {
+		o := s.Op(id)
+		u := use[o.Loc]
+		if u == nil {
+			u = &usage{}
+			use[o.Loc] = u
+		}
+		if o.Labeled {
+			u.labeled = true
+		} else {
+			u.ordinary = true
+		}
+		if u.labeled && u.ordinary {
+			return fmt.Errorf("model: %s: location %s is accessed by both labeled and ordinary operations; RC checking requires synchronization/data separation", name, o.Loc)
+		}
+	}
+	return nil
+}
+
+// labeledSubsystem extracts the labeled subhistory H|ℓ as its own System
+// (processor count preserved) together with the mapping from subsystem
+// operation IDs back to the original history's IDs.
+func labeledSubsystem(s *history.System) (*history.System, []history.OpID) {
+	b := history.NewBuilder(s.NumProcs())
+	var toGlobal []history.OpID
+	for p := 0; p < s.NumProcs(); p++ {
+		proc := history.Proc(p)
+		for _, id := range s.ProcOps(proc) {
+			o := s.Op(id)
+			if !o.Labeled {
+				continue
+			}
+			if o.Kind == history.Read {
+				b.Acquire(proc, o.Loc, o.Value)
+			} else {
+				b.Release(proc, o.Loc, o.Value)
+			}
+			toGlobal = append(toGlobal, id)
+		}
+	}
+	return b.System(), toGlobal
+}
+
+// restrictCoherence projects a full-history coherence order onto the
+// labeled subsystem: for each location, the labeled writes in the order the
+// coherence order gives them, with IDs translated to subsystem IDs.
+func restrictCoherence(s, sub *history.System, toGlobal []history.OpID, coh *order.Coherence) (*order.Coherence, error) {
+	toSub := make(map[history.OpID]history.OpID, len(toGlobal))
+	for subID, globalID := range toGlobal {
+		toSub[globalID] = history.OpID(subID)
+	}
+	m := make(map[history.Loc][]history.OpID)
+	for loc, seq := range coh.Order {
+		var subSeq []history.OpID
+		for _, id := range seq {
+			if s.Op(id).Labeled {
+				subSeq = append(subSeq, toSub[id])
+			}
+		}
+		if len(subSeq) > 0 {
+			m[loc] = subSeq
+		}
+	}
+	return order.NewCoherence(sub, m)
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"repro/history"
+	"repro/internal/search"
+	"repro/order"
+)
+
+// SC is sequential consistency (Lamport 1979). In the framework's terms:
+// every processor's view contains all operations of all processors
+// (δp = a), all views are identical, and the common view respects program
+// order. Equivalently — and as implemented — the history is SC when one
+// legal serialization of all operations respects every processor's program
+// order.
+type SC struct{}
+
+// Name implements Model.
+func (SC) Name() string { return "SC" }
+
+// Allows implements Model.
+func (SC) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("SC", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.Ops(), Prec: po})
+	if err != nil {
+		return rejected, err
+	}
+	if !ok {
+		return rejected, nil
+	}
+	views := make(map[history.Proc]history.View, s.NumProcs())
+	for p := 0; p < s.NumProcs(); p++ {
+		views[history.Proc(p)] = v
+	}
+	return allowedVerdict(&Witness{Views: views}), nil
+}
+
+// PRAM is pipelined RAM (Lipton and Sandberg 1988). Views contain a
+// processor's own operations plus all writes of other processors (δp = w);
+// there is no mutual-consistency requirement; each view respects full
+// program order. Each processor's view problem is independent, which is
+// what makes PRAM the weakest memory in the paper's Figure 5.
+type PRAM struct{}
+
+// Name implements Model.
+func (PRAM) Name() string { return "PRAM" }
+
+// Allows implements Model.
+func (PRAM) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("PRAM", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	views, err := solveViews(s, po)
+	if err != nil {
+		return rejected, err
+	}
+	if views == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(&Witness{Views: views}), nil
+}
+
+// Causal is causal memory (Ahamad, Burns, Hutto and Neiger 1991). Like
+// PRAM it has δp = w and no mutual-consistency requirement, but views must
+// respect the causal order →co = (→po ∪ →wb)+ rather than just program
+// order. The checker requires unambiguous reads-from resolution (distinct
+// write values) to construct →wb.
+type Causal struct{}
+
+// Name implements Model.
+func (Causal) Name() string { return "Causal" }
+
+// Allows implements Model.
+func (Causal) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("Causal", s); err != nil {
+		return rejected, err
+	}
+	co, err := order.Causal(s)
+	if err != nil {
+		return rejected, err
+	}
+	if co.HasCycle() {
+		// A cycle in causal order (e.g. a read observing a write that
+		// causally follows it) admits no views at all.
+		return rejected, nil
+	}
+	views, err := solveViews(s, co)
+	if err != nil {
+		return rejected, err
+	}
+	if views == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(&Witness{Views: views}), nil
+}
+
+// Coherence is cache consistency: operations on each individual location
+// are serializable respecting program order, with no constraint across
+// locations. The paper uses coherence as the mutual-consistency ingredient
+// of PC and RC; as a standalone model it is weaker than PRAM on
+// multi-location histories but incomparable in general.
+type Coherence struct{}
+
+// Name implements Model.
+func (Coherence) Name() string { return "Coherence" }
+
+// Allows implements Model.
+func (Coherence) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("Coherence", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	sers := make(map[history.Loc]history.View)
+	for _, loc := range s.Locs() {
+		ops := s.OpsOn(loc)
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: ops, Prec: po})
+		if err != nil {
+			return rejected, err
+		}
+		if !ok {
+			return rejected, nil
+		}
+		sers[loc] = v
+	}
+	return allowedVerdict(&Witness{LocSerializations: sers}), nil
+}

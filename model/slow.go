@@ -1,0 +1,53 @@
+package model
+
+import (
+	"repro/history"
+	"repro/order"
+)
+
+// Slow is slow memory (Hutto and Ahamad 1990), from the same research
+// lineage as the paper's causal memory and a natural floor for its Figure
+// 5 lattice: the weakest memory here that still deserves the name. In the
+// framework's parameters: δp = w, no mutual consistency, and views must
+// respect only (a) the processor's own program order and (b) program order
+// between another processor's writes TO THE SAME LOCATION. Writes by one
+// processor to different locations may be observed in either order — the
+// guarantee PRAM adds and slow memory drops. Consequently PRAM ⊊ Slow
+// (message passing separates them: MP is slow-memory-legal).
+type Slow struct{}
+
+// Name implements Model.
+func (Slow) Name() string { return "Slow" }
+
+// Allows implements Model.
+func (Slow) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("Slow", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	views := make(map[history.Proc]history.View, s.NumProcs())
+	for p := 0; p < s.NumProcs(); p++ {
+		proc := history.Proc(p)
+		// Precedence: own ops in program order; others' writes ordered
+		// only within (processor, location) groups.
+		prec := order.New(s.NumOps())
+		for _, pr := range po.Pairs() {
+			a, b := s.Op(pr[0]), s.Op(pr[1])
+			switch {
+			case a.Proc == proc:
+				prec.Add(pr[0], pr[1])
+			case a.Loc == b.Loc:
+				prec.Add(pr[0], pr[1])
+			}
+		}
+		v, ok, err := SolveView(s, s.ViewOps(proc), prec)
+		if err != nil {
+			return rejected, err
+		}
+		if !ok {
+			return rejected, nil
+		}
+		views[proc] = v
+	}
+	return allowedVerdict(&Witness{Views: views}), nil
+}

@@ -1,0 +1,64 @@
+package model
+
+import (
+	"repro/history"
+	"repro/internal/perm"
+	"repro/order"
+)
+
+// TSO is total store ordering (Sindhu, Frailong and Cekleov 1991), the
+// SPARC memory model. In the framework's terms: δp = w; mutual consistency
+// requires all views to agree on the order of all writes (S_{p+w}|w is the
+// same sequence for every p); views respect the partial program order →ppo,
+// which permits a read to bypass an earlier write to a different location —
+// the observable effect of a FIFO store buffer.
+//
+// The checker enumerates candidate global write orders (linear extensions
+// of program order over the writes) and, for each, asks whether every
+// processor has a legal view embedding that write order.
+type TSO struct{}
+
+// Name implements Model.
+func (TSO) Name() string { return "TSO" }
+
+// Allows implements Model.
+func (TSO) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("TSO", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	ppo := order.PartialProgram(s)
+	writes := s.Writes()
+
+	var (
+		witness  *Witness
+		solveErr error
+	)
+	perm.LinearExtensions(len(writes), func(a, b int) bool {
+		return po.Has(writes[a], writes[b])
+	}, func(ord []int) bool {
+		wseq := make([]history.OpID, len(ord))
+		for i, k := range ord {
+			wseq[i] = writes[k]
+		}
+		prec := ppo.Clone()
+		addChain(prec, wseq)
+		views, err := solveViews(s, prec)
+		if err != nil {
+			solveErr = err
+			return false
+		}
+		if views == nil {
+			return true // this write order fails; try the next
+		}
+		witness = &Witness{Views: views, WriteOrder: wseq}
+		return false
+	})
+	if solveErr != nil {
+		return rejected, solveErr
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}

@@ -1,0 +1,170 @@
+package model
+
+import (
+	"repro/history"
+	"repro/order"
+)
+
+// TSOAxiomatic is the SPARC total store ordering of Sindhu, Frailong and
+// Cekleov [17], which the paper's Section 3.2 claims its view-based TSO
+// captures and Section 6 compares against. The axioms, over a memory order
+// on operations:
+//
+//   - Order: the stores are totally ordered, consistently with each
+//     processor's program order (StoreStore).
+//   - LoadOp: a load precedes, in memory order, every program-order-later
+//     operation of its processor.
+//   - Value: a load L of location x returns the value of the memory-order
+//     maximum of {stores to x at or before L in memory order} ∪ {stores to
+//     x issued by L's processor before L in program order} — the second
+//     set is store-buffer forwarding: a processor may read its own store
+//     before the store reaches memory.
+//   - Termination: every operation eventually performs (implicit here,
+//     as in the paper's framework: every operation is placed).
+//
+// There is deliberately no Store→Load order axiom — that is the TSO
+// relaxation — and, unlike the paper's view-based TSO, no same-location
+// write→read ordering either: forwarding lets a load complete before its
+// own processor's earlier store to the same location. The two models
+// therefore differ, and this checker makes the difference measurable: the
+// SB+rfi history is allowed here and rejected by the paper's TSO.
+//
+// In the containment order, paper-TSO ⊊ TSOAxiomatic ⊊ PRAM, and
+// TSOAxiomatic is INCOMPARABLE with the paper's PC: PC lacks a global
+// store order (Figure 2 is PC-only), but PC's ppo also forbids store
+// forwarding, which this model requires (litmus test TSOax-not-PC, found
+// by the exhaustive shape sweep). The paper's framework cannot express
+// forwarding in any of its models, because view legality makes a read
+// observe the most recent write *placed before it*.
+//
+// The checker enumerates store orders (linear extensions of per-processor
+// store order) and, for each, greedily assigns every load a position —
+// the number of stores memory-ordered before it — in program order per
+// processor; minimal feasible positions are optimal, so the greedy
+// assignment is complete.
+type TSOAxiomatic struct{}
+
+// Name implements Model.
+func (TSOAxiomatic) Name() string { return "TSO-ax" }
+
+// Allows implements Model.
+func (TSOAxiomatic) Allows(s *history.System) (Verdict, error) {
+	if err := checkSize("TSO-ax", s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	var witness *Witness
+	order.LinearExtensions(s.Writes(), po, func(wseq []history.OpID) bool {
+		views, ok := axiomaticAssign(s, wseq)
+		if !ok {
+			return true
+		}
+		witness = &Witness{Views: views, WriteOrder: wseq}
+		return false
+	})
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// axiomaticAssign tries to place every load against the store order wseq.
+// On success it returns, per processor, a view-like rendering of the
+// memory order (the store order with the processor's loads inserted at
+// their positions) — not a legal view in the paper's sense (forwarded
+// loads precede their stores), but a faithful witness of the memory order.
+func axiomaticAssign(s *history.System, wseq []history.OpID) (map[history.Proc]history.View, bool) {
+	idx := make(map[history.OpID]int, len(wseq))
+	for i, id := range wseq {
+		idx[id] = i
+	}
+	positions := make(map[history.OpID]int)
+	for p := 0; p < s.NumProcs(); p++ {
+		proc := history.Proc(p)
+		ops := s.ProcOps(proc)
+		prev := 0
+		for i, id := range ops {
+			o := s.Op(id)
+			if o.Kind != history.Read {
+				continue
+			}
+			// Upper bound: the load is memory-ordered before every
+			// program-order-later operation of its processor; for
+			// stores that bounds the prefix length.
+			ub := len(wseq)
+			for _, later := range ops[i+1:] {
+				if s.Op(later).Kind == history.Write {
+					if k := idx[later]; k < ub {
+						ub = k
+					}
+				}
+			}
+			pos, ok := minFeasible(s, wseq, ops[:i], o, prev, ub)
+			if !ok {
+				return nil, false
+			}
+			positions[id] = pos
+			prev = pos
+		}
+	}
+	// Render witnesses: per processor, stores with own loads inserted.
+	views := make(map[history.Proc]history.View, s.NumProcs())
+	for p := 0; p < s.NumProcs(); p++ {
+		proc := history.Proc(p)
+		var loads []history.OpID
+		for _, id := range s.ProcOps(proc) {
+			if s.Op(id).Kind == history.Read {
+				loads = append(loads, id)
+			}
+		}
+		var v history.View
+		li := 0
+		for w := 0; w <= len(wseq); w++ {
+			for li < len(loads) && positions[loads[li]] == w {
+				v = append(v, loads[li])
+				li++
+			}
+			if w < len(wseq) {
+				v = append(v, wseq[w])
+			}
+		}
+		views[proc] = v
+	}
+	return views, true
+}
+
+// minFeasible finds the smallest prefix length in [prev, ub] at which the
+// Value axiom yields the load's value. earlier lists the processor's
+// program-order-earlier operations (for forwarding).
+func minFeasible(s *history.System, wseq []history.OpID, earlier []history.OpID, load history.Op, prev, ub int) (int, bool) {
+	idx := -1 // index in wseq of the forwarding candidate, -1 if none
+	for _, e := range earlier {
+		o := s.Op(e)
+		if o.Kind == history.Write && o.Loc == load.Loc {
+			for k, w := range wseq {
+				if w == e && k > idx {
+					idx = k
+				}
+			}
+		}
+	}
+	for pos := prev; pos <= ub; pos++ {
+		// Last store to the location in the prefix wseq[:pos].
+		best := idx // forwarding candidate (own pending or drained store)
+		for k := 0; k < pos; k++ {
+			if s.Op(wseq[k]).Loc == load.Loc && k > best {
+				best = k
+			}
+		}
+		var val history.Value
+		if best >= 0 {
+			val = s.Op(wseq[best]).Value
+		} else {
+			val = history.Initial
+		}
+		if val == load.Value {
+			return pos, true
+		}
+	}
+	return 0, false
+}

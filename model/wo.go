@@ -1,0 +1,99 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/history"
+	"repro/order"
+)
+
+// WO is weak ordering (Dubois, Scheurich and Briggs 1988), the
+// synchronization-based precursor the paper's Section 3.4 names alongside
+// hybrid consistency. Our axiomatization in the paper's framework — the
+// paper itself does not formalize WO, so this is this repository's
+// rendering of "synchronizing accesses are strongly ordered and act as
+// fences":
+//
+//   - δp = w, mutual consistency is coherence, labeled operations admit a
+//     single legal sequentially consistent serialization (as in RCsc);
+//   - every labeled operation of a processor is a FULL fence: every
+//     ordinary operation before it in program order precedes it in all
+//     views, and every ordinary operation after it follows it — stronger
+//     than release consistency's one-sided bracketing, which lets an
+//     ordinary operation drift forward past a release or backward past an
+//     acquire it does not depend on;
+//   - local operations respect the partial program order, and the RC
+//     bracketing conditions hold a fortiori.
+//
+// By construction WO's constraint set contains RCsc's, so WO ⊆ RCsc as
+// sets of histories; the corpus test WO-release-fence witnesses
+// strictness (an ordinary read hoisted above an earlier release, legal
+// under RCsc, illegal under WO).
+type WO struct{}
+
+// Name implements Model.
+func (WO) Name() string { return "WO" }
+
+// Allows implements Model.
+func (WO) Allows(s *history.System) (Verdict, error) {
+	const name = "WO"
+	if err := checkSize(name, s); err != nil {
+		return rejected, err
+	}
+	if err := requireUnambiguousReadsFrom(name, s); err != nil {
+		return rejected, err
+	}
+	if err := validateLabelSeparation(name, s); err != nil {
+		return rejected, err
+	}
+	po := order.Program(s)
+	ppo := order.PartialProgram(s)
+	bracket, err := bracketEdges(s)
+	if err != nil {
+		return rejected, fmt.Errorf("model: %s: %w", name, err)
+	}
+	base := ppo.Clone()
+	base.Union(bracket)
+	base.Union(fenceEdges(s))
+
+	labeled := s.Labeled()
+	var witness *Witness
+	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+		prec0 := base.Clone()
+		prec0.Union(coh.Relation(s))
+		w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
+		if err != nil {
+			return false, err
+		}
+		if w != nil {
+			w.Coherence = coherenceWitness(coh)
+			witness = w
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return rejected, err
+	}
+	if witness == nil {
+		return rejected, nil
+	}
+	return allowedVerdict(witness), nil
+}
+
+// fenceEdges orders, per processor, every (ordinary, labeled) pair in
+// program order, in both directions: labeled operations are full fences.
+func fenceEdges(s *history.System) *order.Relation {
+	r := order.New(s.NumOps())
+	for p := 0; p < s.NumProcs(); p++ {
+		ops := s.ProcOps(history.Proc(p))
+		for i, a := range ops {
+			for _, b := range ops[i+1:] {
+				if s.Op(a).Labeled != s.Op(b).Labeled {
+					r.Add(a, b)
+				}
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,123 @@
+package order
+
+import (
+	"testing"
+
+	"repro/history"
+)
+
+func TestRelationAddHas(t *testing.T) {
+	r := New(70) // spans more than one word
+	pairs := [][2]history.OpID{{0, 1}, {3, 69}, {69, 0}, {65, 66}}
+	for _, p := range pairs {
+		r.Add(p[0], p[1])
+	}
+	for _, p := range pairs {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("Has(%d,%d) = false after Add", p[0], p[1])
+		}
+	}
+	if r.Has(1, 0) || r.Has(69, 69) {
+		t.Error("Has reports pairs never added")
+	}
+	if r.Len() != len(pairs) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(pairs))
+	}
+}
+
+func TestRelationEmpty(t *testing.T) {
+	r := New(0)
+	if r.Len() != 0 || r.HasCycle() {
+		t.Error("empty relation misbehaves")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	r := New(5)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	r.Add(2, 3)
+	r.TransitiveClosure()
+	for _, p := range [][2]history.OpID{{0, 2}, {0, 3}, {1, 3}} {
+		if !r.Has(p[0], p[1]) {
+			t.Errorf("closure missing (%d,%d)", p[0], p[1])
+		}
+	}
+	if r.Has(3, 0) || r.Has(0, 4) || r.Has(4, 0) {
+		t.Error("closure added spurious pairs")
+	}
+}
+
+func TestHasCycle(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(1, 2)
+	if r.HasCycle() {
+		t.Error("acyclic relation reported cyclic")
+	}
+	r.Add(2, 0)
+	if !r.HasCycle() {
+		t.Error("cycle 0→1→2→0 not detected")
+	}
+	// HasCycle must not mutate.
+	if r.Has(0, 2) {
+		t.Error("HasCycle closed the relation in place")
+	}
+}
+
+func TestUnionClone(t *testing.T) {
+	a := New(3)
+	a.Add(0, 1)
+	b := New(3)
+	b.Add(1, 2)
+	c := a.Clone()
+	c.Union(b)
+	if !c.Has(0, 1) || !c.Has(1, 2) {
+		t.Error("union incomplete")
+	}
+	if a.Has(1, 2) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestUnionSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on size mismatch")
+		}
+	}()
+	New(3).Union(New(4))
+}
+
+func TestPairsOrdered(t *testing.T) {
+	r := New(6)
+	r.Add(5, 0)
+	r.Add(0, 3)
+	r.Add(0, 1)
+	got := r.Pairs()
+	want := [][2]history.OpID{{0, 1}, {0, 3}, {5, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("Pairs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Pairs[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRespects(t *testing.T) {
+	r := New(4)
+	r.Add(0, 1)
+	r.Add(2, 3)
+	if !r.Respects(history.View{0, 1, 2, 3}) {
+		t.Error("consistent sequence rejected")
+	}
+	if r.Respects(history.View{1, 0}) {
+		t.Error("violating sequence accepted")
+	}
+	// Operations absent from the sequence impose no constraint.
+	if !r.Respects(history.View{3, 0, 1}) {
+		t.Error("sequence without op 2 should not be constrained by (2,3)")
+	}
+}

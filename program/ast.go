@@ -1,0 +1,208 @@
+// Package program provides a small guest-program language and interpreter
+// for running synchronization algorithms — Lamport's Bakery above all — on
+// the operational memories of package sim. Programs are per-processor
+// statement lists over integer locals and shared locations; shared accesses
+// may be labeled (synchronization) or ordinary, mirroring release
+// consistency's operation classes. The interpreter executes one shared
+// operation per step, exposing every interleaving decision to schedulers
+// and to the exhaustive explorer in package explore.
+package program
+
+import "fmt"
+
+// Expr is an integer expression over a thread's locals. Expressions are
+// side-effect free; all shared-memory access happens through Load/Store
+// statements.
+type Expr interface {
+	fmt.Stringer
+	// compile resolves local names to register indices and returns an
+	// evaluator.
+	compile(regs *regAlloc) (func([]int) int, error)
+}
+
+// Const is an integer literal.
+type Const int
+
+// Local references a thread-local variable. Locals are created on first
+// assignment or load and initialized to 0.
+type Local string
+
+// BinOp is the operator of a Bin expression.
+type BinOp uint8
+
+// Binary operators. Comparison and logical operators evaluate to 0 or 1;
+// And/Or do not short-circuit (operands are local and effect-free).
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Lt
+	Le
+	Eq
+	Ne
+	And
+	Or
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "=="
+	case Ne:
+		return "!="
+	case And:
+		return "&&"
+	case Or:
+		return "||"
+	default:
+		return fmt.Sprintf("BinOp(%d)", uint8(op))
+	}
+}
+
+// Bin applies a binary operator to two subexpressions.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Not logically negates its operand (0 → 1, nonzero → 0).
+type Not struct{ E Expr }
+
+func (c Const) String() string { return fmt.Sprintf("%d", int(c)) }
+func (l Local) String() string { return string(l) }
+func (b Bin) String() string   { return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R) }
+func (n Not) String() string   { return fmt.Sprintf("!%s", n.E) }
+
+func (c Const) compile(*regAlloc) (func([]int) int, error) {
+	v := int(c)
+	return func([]int) int { return v }, nil
+}
+
+func (l Local) compile(regs *regAlloc) (func([]int) int, error) {
+	idx := regs.index(string(l))
+	return func(r []int) int { return r[idx] }, nil
+}
+
+func (b Bin) compile(regs *regAlloc) (func([]int) int, error) {
+	lf, err := b.L.compile(regs)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := b.R.compile(regs)
+	if err != nil {
+		return nil, err
+	}
+	op := b.Op
+	if op > Or {
+		return nil, fmt.Errorf("program: unknown operator %v", op)
+	}
+	return func(r []int) int {
+		l, rr := lf(r), rf(r)
+		switch op {
+		case Add:
+			return l + rr
+		case Sub:
+			return l - rr
+		case Mul:
+			return l * rr
+		case Lt:
+			return b2i(l < rr)
+		case Le:
+			return b2i(l <= rr)
+		case Eq:
+			return b2i(l == rr)
+		case Ne:
+			return b2i(l != rr)
+		case And:
+			return b2i(l != 0 && rr != 0)
+		default: // Or
+			return b2i(l != 0 || rr != 0)
+		}
+	}, nil
+}
+
+func (n Not) compile(regs *regAlloc) (func([]int) int, error) {
+	f, err := n.E.compile(regs)
+	if err != nil {
+		return nil, err
+	}
+	return func(r []int) int { return b2i(f(r) == 0) }, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stmt is a program statement.
+type Stmt interface{ stmt() }
+
+// Assign sets a local to the value of an expression.
+type Assign struct {
+	Dst string
+	E   Expr
+}
+
+// Load reads a shared location into a local. Labeled marks the read as a
+// synchronization (acquire) operation. When Idx is non-nil the location is
+// the Idx-th element of the array named Loc — "Loc[Idx]" — with the index
+// evaluated over the thread's locals at execution time; this is how
+// n-processor algorithms scan arrays like the Bakery algorithm's number[]
+// without unrolling.
+type Load struct {
+	Dst     string
+	Loc     string
+	Idx     Expr // optional array index
+	Labeled bool
+}
+
+// Store writes the value of an expression to a shared location (or to the
+// Idx-th element of the array named Loc when Idx is non-nil). Labeled
+// marks the write as a synchronization (release) operation.
+type Store struct {
+	Loc     string
+	Idx     Expr // optional array index
+	E       Expr
+	Labeled bool
+}
+
+// If branches on a condition (nonzero = true).
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While loops while the condition is nonzero.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// CSEnter marks entry into the critical section; CSExit marks the exit.
+// The explorer's mutual-exclusion invariant counts threads between the two
+// markers.
+type CSEnter struct{}
+
+// CSExit marks the exit from the critical section.
+type CSExit struct{}
+
+func (Assign) stmt()  {}
+func (Load) stmt()    {}
+func (Store) stmt()   {}
+func (If) stmt()      {}
+func (While) stmt()   {}
+func (CSEnter) stmt() {}
+func (CSExit) stmt()  {}

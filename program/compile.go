@@ -1,0 +1,156 @@
+package program
+
+import "fmt"
+
+// The interpreter executes compiled flat code rather than walking the AST:
+// a thread's live state is then just (pc, registers, inCS), which makes
+// cloning and fingerprinting for state-space exploration trivial.
+
+type opcode uint8
+
+const (
+	opAssign opcode = iota
+	opLoad
+	opStore
+	opJmp // unconditional jump to target
+	opJz  // jump to target when cond == 0
+	opCSIn
+	opCSOut
+	opHalt
+)
+
+type instr struct {
+	op      opcode
+	dst     int             // register index (opAssign, opLoad)
+	loc     string          // shared location or array base (opLoad, opStore)
+	idx     func([]int) int // optional array index (opLoad, opStore); nil = scalar
+	labeled bool            // synchronization operation (opLoad, opStore)
+	eval    func([]int) int // operand (opAssign, opStore, opJz)
+	target  int             // jump target (opJmp, opJz)
+}
+
+// locOf resolves an instruction's location against the registers.
+func (ins *instr) locOf(regs []int) string {
+	if ins.idx == nil {
+		return ins.loc
+	}
+	return fmt.Sprintf("%s[%d]", ins.loc, ins.idx(regs))
+}
+
+// compileIdx compiles an optional array-index expression.
+func compileIdx(e Expr, regs *regAlloc) (func([]int) int, error) {
+	if e == nil {
+		return nil, nil
+	}
+	return e.compile(regs)
+}
+
+// regAlloc assigns dense register indices to local names.
+type regAlloc struct {
+	index_ map[string]int
+	names  []string
+}
+
+func (r *regAlloc) index(name string) int {
+	if i, ok := r.index_[name]; ok {
+		return i
+	}
+	i := len(r.names)
+	r.index_[name] = i
+	r.names = append(r.names, name)
+	return i
+}
+
+// compiled is one thread's immutable code.
+type compiled struct {
+	code []instr
+	regs *regAlloc
+}
+
+// compileProgram flattens a statement list into code ending in opHalt.
+func compileProgram(stmts []Stmt) (*compiled, error) {
+	c := &compiled{regs: &regAlloc{index_: make(map[string]int)}}
+	if err := c.block(stmts); err != nil {
+		return nil, err
+	}
+	c.code = append(c.code, instr{op: opHalt})
+	return c, nil
+}
+
+func (c *compiled) block(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiled) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case Assign:
+		f, err := s.E.compile(c.regs)
+		if err != nil {
+			return err
+		}
+		c.code = append(c.code, instr{op: opAssign, dst: c.regs.index(s.Dst), eval: f})
+	case Load:
+		idx, err := compileIdx(s.Idx, c.regs)
+		if err != nil {
+			return err
+		}
+		c.code = append(c.code, instr{op: opLoad, dst: c.regs.index(s.Dst), loc: s.Loc, idx: idx, labeled: s.Labeled})
+	case Store:
+		f, err := s.E.compile(c.regs)
+		if err != nil {
+			return err
+		}
+		idx, err := compileIdx(s.Idx, c.regs)
+		if err != nil {
+			return err
+		}
+		c.code = append(c.code, instr{op: opStore, loc: s.Loc, idx: idx, labeled: s.Labeled, eval: f})
+	case If:
+		f, err := s.Cond.compile(c.regs)
+		if err != nil {
+			return err
+		}
+		jz := len(c.code)
+		c.code = append(c.code, instr{op: opJz, eval: f})
+		if err := c.block(s.Then); err != nil {
+			return err
+		}
+		if len(s.Else) == 0 {
+			c.code[jz].target = len(c.code)
+			return nil
+		}
+		jmp := len(c.code)
+		c.code = append(c.code, instr{op: opJmp})
+		c.code[jz].target = len(c.code)
+		if err := c.block(s.Else); err != nil {
+			return err
+		}
+		c.code[jmp].target = len(c.code)
+	case While:
+		f, err := s.Cond.compile(c.regs)
+		if err != nil {
+			return err
+		}
+		top := len(c.code)
+		c.code = append(c.code, instr{op: opJz, eval: f})
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		c.code = append(c.code, instr{op: opJmp, target: top})
+		c.code[top].target = len(c.code)
+	case CSEnter:
+		c.code = append(c.code, instr{op: opCSIn})
+	case CSExit:
+		c.code = append(c.code, instr{op: opCSOut})
+	case nil:
+		return fmt.Errorf("program: nil statement")
+	default:
+		return fmt.Errorf("program: unknown statement type %T", s)
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/history"
+	"repro/sim"
+)
+
+// Machine runs one compiled program per processor against a sim.Memory.
+// A step (StepThread) executes exactly one shared-memory operation plus the
+// purely local computation around it, so schedulers control exactly the
+// interleaving of visible operations; internal memory actions (deliveries,
+// drains) are scheduled separately through Mem().
+type Machine struct {
+	mem     sim.Memory
+	progs   []*compiled // shared, immutable
+	threads []threadState
+}
+
+type threadState struct {
+	pc     int
+	regs   []int
+	inCS   bool
+	halted bool
+}
+
+// maxLocalSteps bounds consecutive local (non-shared) instructions per
+// step; exceeding it indicates a loop with no shared access, which can
+// never terminate or change interleaving.
+const maxLocalSteps = 10_000
+
+// NewMachine compiles one program per processor and binds them to the
+// memory. The memory must serve exactly len(progs) processors.
+func NewMachine(mem sim.Memory, progs [][]Stmt) (*Machine, error) {
+	if mem.NumProcs() != len(progs) {
+		return nil, fmt.Errorf("program: memory has %d processors, got %d programs", mem.NumProcs(), len(progs))
+	}
+	m := &Machine{mem: mem}
+	for i, p := range progs {
+		c, err := compileProgram(p)
+		if err != nil {
+			return nil, fmt.Errorf("program: processor %d: %w", i, err)
+		}
+		m.progs = append(m.progs, c)
+		m.threads = append(m.threads, threadState{regs: make([]int, len(c.regs.names))})
+	}
+	return m, nil
+}
+
+// Mem returns the machine's memory, for scheduling internal actions and
+// retrieving the recorded history.
+func (m *Machine) Mem() sim.Memory { return m.mem }
+
+// NumThreads returns the number of threads (= processors).
+func (m *Machine) NumThreads() int { return len(m.threads) }
+
+// Runnable returns the indices of threads that have not halted.
+func (m *Machine) Runnable() []int {
+	var out []int
+	for i := range m.threads {
+		if !m.threads[i].halted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Halted reports whether every thread has halted.
+func (m *Machine) Halted() bool { return len(m.Runnable()) == 0 }
+
+// InCS reports how many threads are currently inside their critical
+// sections — the mutual-exclusion invariant is InCS() <= 1.
+func (m *Machine) InCS() int {
+	n := 0
+	for i := range m.threads {
+		if m.threads[i].inCS {
+			n++
+		}
+	}
+	return n
+}
+
+// ThreadInCS reports whether thread i is inside its critical section.
+func (m *Machine) ThreadInCS(i int) bool { return m.threads[i].inCS }
+
+// StepThread advances thread i by one visible operation: it executes local
+// instructions until a visible operation — a shared load or store, or a
+// critical-section marker — has executed, then continues through any
+// further purely local instructions up to the next visible operation or
+// halt. Critical-section markers are visible so that a thread is
+// observable *inside* its critical section between steps; without this,
+// an empty critical section would enter and exit within one step and the
+// mutual-exclusion invariant could never see two threads inside. Calling
+// StepThread on a halted thread is an error; an unbounded local loop (no
+// visible operations) is also an error.
+func (m *Machine) StepThread(i int) error {
+	if i < 0 || i >= len(m.threads) {
+		return fmt.Errorf("program: thread %d out of range [0,%d)", i, len(m.threads))
+	}
+	t := &m.threads[i]
+	if t.halted {
+		return fmt.Errorf("program: thread %d already halted", i)
+	}
+	code := m.progs[i].code
+	didVisible := false
+	visible := func(op opcode) bool {
+		return op == opLoad || op == opStore || op == opCSIn || op == opCSOut
+	}
+	for steps := 0; ; steps++ {
+		if steps > maxLocalSteps {
+			return fmt.Errorf("program: thread %d: no shared access in %d instructions (local livelock)", i, maxLocalSteps)
+		}
+		ins := &code[t.pc]
+		// After the visible operation, stop before the next one.
+		if didVisible && visible(ins.op) {
+			return nil
+		}
+		switch ins.op {
+		case opAssign:
+			t.regs[ins.dst] = ins.eval(t.regs)
+			t.pc++
+		case opLoad:
+			v := m.mem.Read(history.Proc(i), history.Loc(ins.locOf(t.regs)), ins.labeled)
+			t.regs[ins.dst] = int(v)
+			t.pc++
+			didVisible = true
+		case opStore:
+			m.mem.Write(history.Proc(i), history.Loc(ins.locOf(t.regs)), history.Value(ins.eval(t.regs)), ins.labeled)
+			t.pc++
+			didVisible = true
+		case opJmp:
+			t.pc = ins.target
+		case opJz:
+			if ins.eval(t.regs) == 0 {
+				t.pc = ins.target
+			} else {
+				t.pc++
+			}
+		case opCSIn:
+			t.inCS = true
+			t.pc++
+			didVisible = true
+		case opCSOut:
+			t.inCS = false
+			t.pc++
+			didVisible = true
+		case opHalt:
+			t.halted = true
+			return nil
+		}
+	}
+}
+
+// Run drives the machine with a scheduler function until every thread
+// halts: at each step, choose(runnable, internal) must return either
+// (thread index, -1) to step a thread or (-1, internal index) to perform a
+// memory-internal action. Run is the simple driver for examples and
+// benchmarks; exhaustive exploration lives in package explore.
+func (m *Machine) Run(choose func(runnable []int, internal []string) (threadIdx, internalIdx int)) error {
+	for !m.Halted() {
+		ti, ii := choose(m.Runnable(), m.mem.Internal())
+		switch {
+		case ti >= 0:
+			if err := m.StepThread(ti); err != nil {
+				return err
+			}
+		case ii >= 0:
+			m.mem.Step(ii)
+		default:
+			return fmt.Errorf("program: scheduler made no choice")
+		}
+	}
+	return nil
+}
+
+// Registers returns thread i's locals by name. Registers are the
+// observable outcome of a run: they hold every value the thread read.
+func (m *Machine) Registers(i int) map[string]int {
+	out := make(map[string]int, len(m.threads[i].regs))
+	for name, idx := range m.progs[i].regs.index_ {
+		out[name] = m.threads[i].regs[idx]
+	}
+	return out
+}
+
+// Clone deep-copies the machine, including its memory (and the memory's
+// recorded history). Compiled code is shared.
+func (m *Machine) Clone() *Machine {
+	c := &Machine{mem: m.mem.Clone(), progs: m.progs, threads: make([]threadState, len(m.threads))}
+	for i, t := range m.threads {
+		c.threads[i] = threadState{
+			pc:     t.pc,
+			regs:   append([]int(nil), t.regs...),
+			inCS:   t.inCS,
+			halted: t.halted,
+		}
+	}
+	return c
+}
+
+// Fingerprint canonically encodes the machine's live state — thread pcs,
+// registers, critical-section flags and the memory's live state — for
+// visited-state detection. Recorded history is deliberately excluded.
+func (m *Machine) Fingerprint() string {
+	var sb strings.Builder
+	for i, t := range m.threads {
+		fmt.Fprintf(&sb, "t%d:%d/%v/%v/%v;", i, t.pc, t.regs, t.inCS, t.halted)
+	}
+	sb.WriteString(m.mem.Fingerprint())
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+package program
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/sim"
+)
+
+// genProgram wraps random two-thread programs for testing/quick. Programs
+// are loop-free (random loads, stores, assigns, ifs) so every schedule
+// terminates.
+type genProgram struct{ Progs [][]Stmt }
+
+// Generate implements quick.Generator.
+func (genProgram) Generate(r *rand.Rand, _ int) reflect.Value {
+	progs := make([][]Stmt, 2)
+	for t := range progs {
+		n := 2 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			progs[t] = append(progs[t], randomStmt(r, 2))
+		}
+	}
+	return reflect.ValueOf(genProgram{progs})
+}
+
+func randomStmt(r *rand.Rand, depth int) Stmt {
+	loc := fmt.Sprintf("l%d", r.Intn(3))
+	local := fmt.Sprintf("v%d", r.Intn(3))
+	switch k := r.Intn(10); {
+	case k < 3:
+		return Load{Dst: local, Loc: loc}
+	case k < 6:
+		return Store{Loc: loc, E: Const(r.Intn(4) + 1)}
+	case k < 8:
+		return Assign{Dst: local, E: Bin{Op: Add, L: Local(local), R: Const(1)}}
+	case depth > 0:
+		return If{
+			Cond: Bin{Op: Lt, L: Local(local), R: Const(2)},
+			Then: []Stmt{randomStmt(r, depth-1)},
+			Else: []Stmt{randomStmt(r, depth-1)},
+		}
+	default:
+		return Assign{Dst: local, E: Const(r.Intn(3))}
+	}
+}
+
+// TestQuickDeterministicReplay: running the same program under the same
+// schedule twice produces identical states at every step.
+func TestQuickDeterministicReplay(t *testing.T) {
+	prop := func(g genProgram, seed int64) bool {
+		run := func() (string, error) {
+			m, err := NewMachine(sim.NewPRAM(2), g.Progs)
+			if err != nil {
+				return "", err
+			}
+			rng := rand.New(rand.NewSource(seed))
+			for !m.Halted() {
+				runnable := m.Runnable()
+				internal := m.Mem().Internal()
+				if len(internal) > 0 && rng.Intn(3) == 0 {
+					m.Mem().Step(rng.Intn(len(internal)))
+					continue
+				}
+				if err := m.StepThread(runnable[rng.Intn(len(runnable))]); err != nil {
+					return "", err
+				}
+			}
+			return m.Fingerprint(), nil
+		}
+		a, err1 := run()
+		b, err2 := run()
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneLockstep: stepping a machine and its clone identically
+// keeps their fingerprints identical.
+func TestQuickCloneLockstep(t *testing.T) {
+	prop := func(g genProgram, seed int64) bool {
+		m, err := NewMachine(sim.NewCausal(2), g.Progs)
+		if err != nil {
+			return false
+		}
+		// Advance a little, clone, then drive both with one schedule.
+		if err := m.StepThread(0); err != nil {
+			return false
+		}
+		c := m.Clone()
+		rng1 := rand.New(rand.NewSource(seed))
+		rng2 := rand.New(rand.NewSource(seed))
+		step := func(mm *Machine, rng *rand.Rand) bool {
+			if mm.Halted() {
+				return true
+			}
+			runnable := mm.Runnable()
+			internal := mm.Mem().Internal()
+			if len(internal) > 0 && rng.Intn(3) == 0 {
+				mm.Mem().Step(rng.Intn(len(internal)))
+				return true
+			}
+			return mm.StepThread(runnable[rng.Intn(len(runnable))]) == nil
+		}
+		for i := 0; i < 10; i++ {
+			if !step(m, rng1) || !step(c, rng2) {
+				return false
+			}
+			if m.Fingerprint() != c.Fingerprint() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRecordedOpsMatchProgramShape: the recorded history contains
+// exactly the shared operations each thread executed, in program order per
+// processor.
+func TestQuickRecordedOpsMatchProgramShape(t *testing.T) {
+	prop := func(g genProgram) bool {
+		m, err := NewMachine(sim.NewSC(2), g.Progs)
+		if err != nil {
+			return false
+		}
+		// Round-robin to completion.
+		for !m.Halted() {
+			if err := m.StepThread(m.Runnable()[0]); err != nil {
+				return false
+			}
+		}
+		h := m.Mem().Recorder().System()
+		if h.NumProcs() != 2 {
+			return false
+		}
+		if err := h.ValidateDistinctWrites(); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,139 @@
+package relate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Hasse computes the transitive reduction of the empirical strict-
+// containment order on the matrix's models: an edge A → B means A is
+// strictly stronger than B (every history A allows, B allows; B allows
+// more) with no model strictly between them. Models whose mutual
+// separations are zero in both directions (empirically equal on the
+// corpus) are merged into one node.
+func (m *Matrix) Hasse() *Lattice {
+	// Group empirically-equal models.
+	parent := map[string]string{}
+	for _, a := range m.Models {
+		parent[a] = a
+	}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for i, a := range m.Models {
+		for _, b := range m.Models[i+1:] {
+			if m.Sep[a][b] == 0 && m.Sep[b][a] == 0 {
+				parent[find(b)] = find(a)
+			}
+		}
+	}
+	groups := map[string][]string{}
+	for _, a := range m.Models {
+		r := find(a)
+		groups[r] = append(groups[r], a)
+	}
+	var nodes []string
+	label := map[string]string{}
+	for r, members := range groups {
+		sort.Strings(members)
+		label[r] = strings.Join(members, "=")
+		nodes = append(nodes, r)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return label[nodes[i]] < label[nodes[j]] })
+
+	stricter := func(a, b string) bool { // a strictly stronger than b
+		return m.Sep[a][b] == 0 && m.Sep[b][a] > 0
+	}
+	l := &Lattice{Label: label}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a == b || !stricter(a, b) {
+				continue
+			}
+			// Transitive reduction: skip if some c sits between.
+			between := false
+			for _, c := range nodes {
+				if c != a && c != b && stricter(a, c) && stricter(c, b) {
+					between = true
+					break
+				}
+			}
+			if !between {
+				l.Edges = append(l.Edges, [2]string{a, b})
+			}
+		}
+	}
+	l.Nodes = nodes
+	sort.Slice(l.Edges, func(i, j int) bool {
+		if l.Edges[i][0] != l.Edges[j][0] {
+			return label[l.Edges[i][0]] < label[l.Edges[j][0]]
+		}
+		return label[l.Edges[i][1]] < label[l.Edges[j][1]]
+	})
+	return l
+}
+
+// Lattice is an empirical Hasse diagram over (groups of) models.
+type Lattice struct {
+	Nodes []string          // group representatives
+	Label map[string]string // representative → "A=B" member list
+	Edges [][2]string       // strict containment, transitively reduced
+}
+
+// String renders the lattice by levels, strongest first — the textual
+// regeneration of the paper's Figure 5 Venn diagram.
+func (l *Lattice) String() string {
+	// Longest-path layering: level(n) = 1 + max level of predecessors.
+	level := map[string]int{}
+	var depth func(n string) int
+	depth = func(n string) int {
+		if v, ok := level[n]; ok {
+			return v
+		}
+		level[n] = 0 // breaks cycles defensively; the order is acyclic
+		best := 0
+		for _, e := range l.Edges {
+			if e[1] == n {
+				if d := depth(e[0]) + 1; d > best {
+					best = d
+				}
+			}
+		}
+		level[n] = best
+		return best
+	}
+	maxLevel := 0
+	for _, n := range l.Nodes {
+		if d := depth(n); d > maxLevel {
+			maxLevel = d
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("strongest (fewest histories)\n")
+	for d := 0; d <= maxLevel; d++ {
+		var row []string
+		for _, n := range l.Nodes {
+			if level[n] == d {
+				row = append(row, l.Label[n])
+			}
+		}
+		if len(row) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %s\n", strings.Join(row, "   "))
+		if d < maxLevel {
+			sb.WriteString("    ⊂\n")
+		}
+	}
+	sb.WriteString("weakest (most histories)\n")
+	sb.WriteString("edges (strict containment, transitively reduced):\n")
+	for _, e := range l.Edges {
+		fmt.Fprintf(&sb, "  %s ⊂ %s\n", l.Label[e[0]], l.Label[e[1]])
+	}
+	return sb.String()
+}

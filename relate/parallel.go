@@ -1,0 +1,244 @@
+package relate
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/history"
+	"repro/model"
+)
+
+// The classification sweeps — thousands of histories, each decided under a
+// dozen models — are embarrassingly parallel: checkers are pure functions
+// of their inputs (every Model in package model is a stateless value type,
+// and each Allows call builds its own solver state). The parallel variants
+// below shard histories across a worker pool and aggregate; results are
+// identical to the sequential versions, deterministically.
+
+// classification is one history's verdict vector.
+type classification struct {
+	verdict map[string]bool // model name → allowed
+	ok      map[string]bool // model name → classifiable (no checker error)
+}
+
+// classify runs every model on one history.
+func classify(h *history.System, models []model.Model) classification {
+	c := classification{
+		verdict: make(map[string]bool, len(models)),
+		ok:      make(map[string]bool, len(models)),
+	}
+	for _, m := range models {
+		v, err := m.Allows(h)
+		if err != nil {
+			continue
+		}
+		c.verdict[m.Name()] = v.Allowed
+		c.ok[m.Name()] = true
+	}
+	return c
+}
+
+// BuildMatrixParallel is BuildMatrix with the per-history classification
+// fanned out over `workers` goroutines (0 = GOMAXPROCS). The resulting
+// matrix is identical to the sequential one.
+func BuildMatrixParallel(histories []*history.System, models []model.Model, workers int) *Matrix {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name()
+	}
+	mx := &Matrix{
+		Models:     names,
+		Classified: map[string]int{},
+		Allowed:    map[string]int{},
+		Sep:        map[string]map[string]int{},
+	}
+	for _, n := range names {
+		mx.Sep[n] = map[string]int{}
+	}
+
+	results := make([]classification, len(histories))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = classify(histories[i], models)
+			}
+		}()
+	}
+	for i := range histories {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, c := range results {
+		for _, a := range names {
+			if !c.ok[a] {
+				continue
+			}
+			mx.Classified[a]++
+			if c.verdict[a] {
+				mx.Allowed[a]++
+			}
+		}
+		for _, a := range names {
+			if !c.ok[a] || !c.verdict[a] {
+				continue
+			}
+			for _, b := range names {
+				if a != b && c.ok[b] && !c.verdict[b] {
+					mx.Sep[a][b]++
+				}
+			}
+		}
+	}
+	return mx
+}
+
+// DensityParallel is Density with a worker pool (workers = 0 means
+// GOMAXPROCS). Enumeration is sequential (it is cheap); classification is
+// fanned out.
+func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model) (map[string]int, int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	jobs := make(chan *history.System, workers*4)
+	type partial struct {
+		counts map[string]int
+		n      int
+		err    error
+	}
+	parts := make(chan partial, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			p := partial{counts: make(map[string]int, len(models))}
+			for h := range jobs {
+				p.n++
+				for _, m := range models {
+					v, err := m.Allows(h)
+					if err != nil {
+						if p.err == nil {
+							p.err = err
+						}
+						continue
+					}
+					if v.Allowed {
+						p.counts[m.Name()]++
+					}
+				}
+			}
+			parts <- p
+		}()
+	}
+	EnumerateHistories(procs, opsPerProc, locs, func(h *history.System) bool {
+		jobs <- h
+		return true
+	})
+	close(jobs)
+
+	counts := make(map[string]int, len(models))
+	total := 0
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		p := <-parts
+		total += p.n
+		for k, v := range p.counts {
+			counts[k] += v
+		}
+		if firstErr == nil && p.err != nil {
+			firstErr = p.err
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	return counts, total, nil
+}
+
+// CheckLatticeExhaustiveParallel verifies every PaperLattice containment
+// over the complete shape using a worker pool, collecting at most one
+// counterexample per violated containment.
+func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (violations []string, total int, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	byName := map[string]model.Model{}
+	needed := map[string]bool{}
+	lattice := PaperLattice()
+	for _, m := range model.All() {
+		byName[m.Name()] = m
+	}
+	for _, c := range lattice {
+		needed[c.Strong] = true
+		needed[c.Weak] = true
+	}
+	var models []model.Model
+	for name := range needed {
+		if m, ok := byName[name]; ok {
+			models = append(models, m)
+		}
+	}
+
+	jobs := make(chan *history.System, workers*4)
+	type partial struct {
+		violations map[string]string // "Strong⊆Weak" → counterexample
+		n          int
+		err        error
+	}
+	parts := make(chan partial, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			p := partial{violations: map[string]string{}}
+			for h := range jobs {
+				p.n++
+				c := classify(h, models)
+				for _, edge := range lattice {
+					key := edge.Strong + "⊆" + edge.Weak
+					if _, done := p.violations[key]; done {
+						continue
+					}
+					if c.ok[edge.Strong] && c.verdict[edge.Strong] &&
+						c.ok[edge.Weak] && !c.verdict[edge.Weak] {
+						p.violations[key] = h.String()
+					}
+				}
+			}
+			parts <- p
+		}()
+	}
+	EnumerateHistories(procs, opsPerProc, locs, func(h *history.System) bool {
+		jobs <- h
+		return true
+	})
+	close(jobs)
+
+	merged := map[string]string{}
+	for w := 0; w < workers; w++ {
+		p := <-parts
+		total += p.n
+		for k, v := range p.violations {
+			if _, dup := merged[k]; !dup {
+				merged[k] = v
+			}
+		}
+		if err == nil && p.err != nil {
+			err = p.err
+		}
+	}
+	if err != nil {
+		return nil, total, err
+	}
+	for _, edge := range lattice {
+		key := edge.Strong + "⊆" + edge.Weak
+		if ex, bad := merged[key]; bad {
+			violations = append(violations, key+" violated by "+ex)
+		}
+	}
+	return violations, total, nil
+}

@@ -1,0 +1,77 @@
+package relate
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/model"
+)
+
+func TestBuildMatrixParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	hs := CorpusHistories()
+	for i := 0; i < 40; i++ {
+		hs = append(hs, RandomHistory(rng, GenConfig{}))
+	}
+	seq := BuildMatrix(hs, model.All())
+	for _, workers := range []int{1, 2, 4} {
+		par := BuildMatrixParallel(hs, model.All(), workers)
+		if !reflect.DeepEqual(seq.Allowed, par.Allowed) {
+			t.Errorf("workers=%d: Allowed differs: %v vs %v", workers, seq.Allowed, par.Allowed)
+		}
+		if !reflect.DeepEqual(seq.Sep, par.Sep) {
+			t.Errorf("workers=%d: Sep differs", workers)
+		}
+		if !reflect.DeepEqual(seq.Classified, par.Classified) {
+			t.Errorf("workers=%d: Classified differs", workers)
+		}
+	}
+}
+
+func TestDensityParallelMatchesSequential(t *testing.T) {
+	seqCounts, seqTotal, err := Density(2, 2, 2, model.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCounts, parTotal, err := DensityParallel(2, 2, 2, 4, model.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTotal != parTotal {
+		t.Errorf("totals differ: %d vs %d", seqTotal, parTotal)
+	}
+	if !reflect.DeepEqual(seqCounts, parCounts) {
+		t.Errorf("densities differ:\nseq: %v\npar: %v", seqCounts, parCounts)
+	}
+}
+
+func TestCheckLatticeExhaustiveParallelClean(t *testing.T) {
+	violations, total, err := CheckLatticeExhaustiveParallel(2, 2, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 792 {
+		t.Errorf("total = %d, want 792", total)
+	}
+	for _, v := range violations {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestDensityParallelDefaultWorkers(t *testing.T) {
+	// workers = 0 must resolve to GOMAXPROCS and still be correct.
+	counts, total, err := DensityParallel(1, 2, 1, 0, []model.Model{model.SC{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Errorf("total = %d, want 6", total)
+	}
+	// Of the six 1x2x1 histories, SC rejects r(l0)1 w(l0)1 (reading a
+	// value before any write) and w(l0)1 r(l0)0 (missing the processor's
+	// own write): 4 remain.
+	if counts["SC"] != 4 {
+		t.Errorf("SC density = %d, want 4", counts["SC"])
+	}
+}

@@ -1,0 +1,233 @@
+package relate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/history"
+	"repro/litmus"
+	"repro/model"
+)
+
+func corpusMatrix(t *testing.T, extraRandom, perSim int) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1993))
+	hs := CorpusHistories()
+	hs = append(hs, SimHistories(rng, perSim)...)
+	for i := 0; i < extraRandom; i++ {
+		hs = append(hs, RandomHistory(rng, GenConfig{}))
+		if i%3 == 0 {
+			hs = append(hs, RandomLabeledHistory(rng, GenConfig{}))
+		}
+	}
+	return BuildMatrix(hs, model.All())
+}
+
+// TestFigure5Lattice is the reproduction of the paper's Figure 5: over the
+// corpus, every containment of the lattice holds (zero separations) and
+// every strictness and incomparability claim is witnessed.
+func TestFigure5Lattice(t *testing.T) {
+	extra, perSim := 150, 4
+	if testing.Short() {
+		extra, perSim = 30, 1
+	}
+	mx := corpusMatrix(t, extra, perSim)
+	violations, missing := mx.CheckLattice()
+	for _, v := range violations {
+		t.Errorf("lattice violation: %s", v)
+	}
+	for _, w := range missing {
+		t.Errorf("missing witness: %s", w)
+	}
+	t.Logf("matrix over %d SC-classified histories:\n%s", mx.Classified["SC"], mx)
+}
+
+func TestRandomHistoryWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		h := RandomHistory(rng, GenConfig{Procs: 2, Ops: 10, Locs: 3, MaxWrites: 6})
+		if h.NumProcs() != 2 {
+			t.Fatalf("procs = %d", h.NumProcs())
+		}
+		if h.NumOps() != 10 {
+			t.Fatalf("ops = %d", h.NumOps())
+		}
+		if err := h.ValidateDistinctWrites(); err != nil {
+			t.Fatalf("random history: %v", err)
+		}
+		// Reads must resolve unambiguously (distinct writes guarantee it).
+		for _, id := range h.Ops() {
+			if h.Op(id).Kind == history.Read {
+				if _, _, err := h.WriterOf(id); err != nil {
+					t.Fatalf("ambiguous read in random history: %v", err)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixSeparationsMatchPairwise(t *testing.T) {
+	// Hand-build a matrix over the paper figures only and check a few
+	// known entries: Fig1 separates TSO from SC; Fig2 separates PC from
+	// TSO and from Causal; Fig3 separates Causal (and PRAM) from PC.
+	mx := BuildMatrix(CorpusHistories(), model.All())
+	if !mx.StrictlyStronger("SC", "TSO") {
+		t.Errorf("SC ⊂ TSO not confirmed: sep[SC][TSO]=%d sep[TSO][SC]=%d",
+			mx.Sep["SC"]["TSO"], mx.Sep["TSO"]["SC"])
+	}
+	if !mx.StrictlyStronger("TSO", "PC") {
+		t.Errorf("TSO ⊂ PC not confirmed")
+	}
+	if !mx.StrictlyStronger("TSO", "Causal") {
+		t.Errorf("TSO ⊂ Causal not confirmed")
+	}
+	if !mx.Incomparable("PC", "Causal") {
+		t.Errorf("PC/Causal incomparability not witnessed: %d / %d",
+			mx.Sep["PC"]["Causal"], mx.Sep["Causal"]["PC"])
+	}
+}
+
+func TestMatrixStringRenders(t *testing.T) {
+	mx := BuildMatrix(CorpusHistories()[:3], []model.Model{model.SC{}, model.PRAM{}})
+	s := mx.String()
+	if s == "" || len(s) < 20 {
+		t.Errorf("matrix rendering too small: %q", s)
+	}
+}
+
+// TestTSOSubsetPC mechanizes the paper's Section 4 proof that every TSO
+// history is a PC history, over simulator-generated TSO histories.
+func TestTSOSubsetPC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	runs := 60
+	if testing.Short() {
+		runs = 10
+	}
+	for i := 0; i < runs; i++ {
+		hs := SimHistories(rng, 1)
+		for _, h := range hs {
+			tso, err := model.TSO{}.Allows(h)
+			if err != nil || !tso.Allowed {
+				continue
+			}
+			pc, err := model.PC{}.Allows(h)
+			if err != nil {
+				t.Fatalf("PC error on TSO history: %v", err)
+			}
+			if !pc.Allowed {
+				t.Fatalf("TSO history rejected by PC:\n%s", h)
+			}
+		}
+		if i >= 3 {
+			break // SimHistories already generates 8 memories per call
+		}
+	}
+}
+
+// TestPCGvsPCIncomparable verifies the incomparability the paper cites
+// from Ahamad et al. [2] on the corpus's pinned witnesses: ISA2 is in
+// PCG \ PC (semi-causality chains through another processor's read) and
+// PC-not-PCG is in PC \ PCG (the write→read bypass). A randomized search
+// additionally re-finds PC \ PCG witnesses, showing the pinned example is
+// not a fluke of one hand-built history.
+func TestPCGvsPCIncomparable(t *testing.T) {
+	check := func(name string, wantPC, wantPCG bool) *history.System {
+		t.Helper()
+		tc, err := litmus.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := model.PC{}.Allows(tc.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcg, err := model.PCG{}.Allows(tc.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pc.Allowed != wantPC || pcg.Allowed != wantPCG {
+			t.Errorf("%s: PC=%v PCG=%v, want PC=%v PCG=%v",
+				name, pc.Allowed, pcg.Allowed, wantPC, wantPCG)
+		}
+		return tc.History
+	}
+	check("ISA2", false, true)       // PCG \ PC
+	check("PC-not-PCG", true, false) // PC \ PCG
+
+	rng := rand.New(rand.NewSource(1992))
+	n := 2000
+	if testing.Short() {
+		n = 300
+	}
+	found := false
+	for i := 0; i < n && !found; i++ {
+		h := RandomHistory(rng, GenConfig{Procs: 3, Ops: 8, Locs: 3, MaxWrites: 4})
+		pc, err1 := model.PC{}.Allows(h)
+		pcg, err2 := model.PCG{}.Allows(h)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		found = pc.Allowed && !pcg.Allowed
+	}
+	if !found {
+		t.Error("randomized search found no PC \\ PCG witness")
+	}
+}
+
+// TestHasseRecoversFigure5 builds the empirical Hasse diagram and checks
+// the paper's Figure 5 edges appear (possibly through merged equal nodes).
+func TestHasseRecoversFigure5(t *testing.T) {
+	mx := corpusMatrix(t, 150, 3)
+	l := mx.Hasse()
+	find := func(name string) string {
+		for _, n := range l.Nodes {
+			for _, member := range splitLabel(l.Label[n]) {
+				if member == name {
+					return n
+				}
+			}
+		}
+		t.Fatalf("model %s missing from lattice", name)
+		return ""
+	}
+	reach := map[[2]string]bool{}
+	for _, e := range l.Edges {
+		reach[e] = true
+	}
+	// Transitive reachability.
+	changed := true
+	for changed {
+		changed = false
+		for a := range reach {
+			for b := range reach {
+				if a[1] == b[0] && !reach[[2]string{a[0], b[1]}] {
+					reach[[2]string{a[0], b[1]}] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, c := range PaperLattice() {
+		sa, wb := find(c.Strong), find(c.Weak)
+		if sa == wb {
+			t.Errorf("%s and %s merged as empirically equal; lattice edge lost", c.Strong, c.Weak)
+			continue
+		}
+		if !reach[[2]string{sa, wb}] {
+			t.Errorf("no path %s → %s in the empirical Hasse diagram", c.Strong, c.Weak)
+		}
+	}
+	if s := l.String(); len(s) < 50 {
+		t.Errorf("lattice rendering too small: %q", s)
+	}
+	t.Logf("empirical Figure 5:\n%s", l)
+}
+
+func splitLabel(label string) []string {
+	var out []string
+	for _, part := range strings.Split(label, "=") {
+		out = append(out, part)
+	}
+	return out
+}

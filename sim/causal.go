@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/history"
+)
+
+// CausalMemory is a replicated memory whose update delivery respects causal
+// order, implemented with vector clocks in the style of causal broadcast:
+// a write increments the writer's clock entry and is broadcast with the
+// writer's clock; a replica may apply an update only when it has applied
+// every causally earlier update (the standard vector-clock delivery
+// condition). Reads are local. The histories it generates satisfy causal
+// memory's requirement that views respect →co = (→po ∪ →wb)+.
+type CausalMemory struct {
+	nprocs  int
+	stores  []map[history.Loc]cell
+	clocks  [][]int       // clocks[p][q] = number of q's writes applied at p
+	pending [][]causalMsg // per receiver, arbitrary order
+	rec     *Recorder
+}
+
+type causalMsg struct {
+	sender history.Proc
+	vc     []int
+	loc    history.Loc
+	cell   cell
+}
+
+// NewCausal returns a causal memory for nprocs processors.
+func NewCausal(nprocs int) *CausalMemory {
+	m := &CausalMemory{
+		nprocs:  nprocs,
+		stores:  make([]map[history.Loc]cell, nprocs),
+		clocks:  make([][]int, nprocs),
+		pending: make([][]causalMsg, nprocs),
+	}
+	for p := range m.stores {
+		m.stores[p] = make(map[history.Loc]cell)
+		m.clocks[p] = make([]int, nprocs)
+	}
+	m.rec = NewRecorder(nprocs)
+	return m
+}
+
+// Name implements Memory.
+func (m *CausalMemory) Name() string { return "Causal" }
+
+// NumProcs implements Memory.
+func (m *CausalMemory) NumProcs() int { return m.nprocs }
+
+// Read implements Memory: local replica.
+func (m *CausalMemory) Read(p history.Proc, loc history.Loc, labeled bool) history.Value {
+	c := m.stores[p][loc]
+	m.rec.Read(p, loc, c.tag, labeled)
+	return c.val
+}
+
+// Write implements Memory: bump own clock, apply locally, broadcast with
+// the post-increment clock.
+func (m *CausalMemory) Write(p history.Proc, loc history.Loc, v history.Value, labeled bool) {
+	tag := m.rec.Write(p, loc, labeled)
+	m.clocks[p][p]++
+	c := cell{val: v, tag: tag}
+	m.stores[p][loc] = c
+	vc := append([]int(nil), m.clocks[p]...)
+	for q := 0; q < m.nprocs; q++ {
+		if q != int(p) {
+			m.pending[q] = append(m.pending[q], causalMsg{sender: p, vc: vc, loc: loc, cell: c})
+		}
+	}
+}
+
+// deliverable reports whether receiver r may apply msg now: it must be the
+// next write of the sender, and every third-party write the sender had seen
+// must already be applied at r.
+func (m *CausalMemory) deliverable(r int, msg causalMsg) bool {
+	for q := 0; q < m.nprocs; q++ {
+		if q == int(msg.sender) {
+			if m.clocks[r][q]+1 != msg.vc[q] {
+				return false
+			}
+		} else if m.clocks[r][q] < msg.vc[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// Internal implements Memory: one action per currently deliverable pending
+// update.
+func (m *CausalMemory) Internal() []string {
+	var out []string
+	for r := range m.pending {
+		for _, msg := range m.pending[r] {
+			if m.deliverable(r, msg) {
+				out = append(out, fmt.Sprintf("deliver p%d→p%d %s", msg.sender, r, msg.loc))
+			}
+		}
+	}
+	return out
+}
+
+// Step implements Memory.
+func (m *CausalMemory) Step(i int) {
+	for r := range m.pending {
+		for k, msg := range m.pending[r] {
+			if !m.deliverable(r, msg) {
+				continue
+			}
+			if i == 0 {
+				m.stores[r][msg.loc] = msg.cell
+				m.clocks[r][msg.sender]++
+				m.pending[r] = append(m.pending[r][:k:k], m.pending[r][k+1:]...)
+				return
+			}
+			i--
+		}
+	}
+	panic("sim: causal Step index out of range")
+}
+
+// Clone implements Memory.
+func (m *CausalMemory) Clone() Memory {
+	c := &CausalMemory{
+		nprocs:  m.nprocs,
+		stores:  make([]map[history.Loc]cell, m.nprocs),
+		clocks:  make([][]int, m.nprocs),
+		pending: make([][]causalMsg, m.nprocs),
+		rec:     m.rec.Clone(),
+	}
+	for p := range m.stores {
+		c.stores[p] = cloneStore(m.stores[p])
+		c.clocks[p] = append([]int(nil), m.clocks[p]...)
+		c.pending[p] = append([]causalMsg(nil), m.pending[p]...)
+	}
+	return c
+}
+
+// Fingerprint implements Memory. Cell tags are canonicalized through the
+// shared fingerprinter; vector clocks stay raw — their arithmetic (the
+// +1-adjacency of the delivery condition) is semantic, so causal memory's
+// state space genuinely grows with unbounded writes and write-looping
+// programs need bounded exploration on it.
+func (m *CausalMemory) Fingerprint() string {
+	f := newFingerprinter()
+	for p, store := range m.stores {
+		f.raw("|s%d:%v:", p, m.clocks[p])
+		f.cells(store)
+	}
+	for r := range m.pending {
+		if len(m.pending[r]) == 0 {
+			continue
+		}
+		msgs := append([]causalMsg(nil), m.pending[r]...)
+		sort.Slice(msgs, func(i, j int) bool {
+			a, b := msgs[i], msgs[j]
+			if a.sender != b.sender {
+				return a.sender < b.sender
+			}
+			return fmt.Sprint(a.vc) < fmt.Sprint(b.vc)
+		})
+		f.raw("|q%d:", r)
+		for _, msg := range msgs {
+			f.raw("%d/%v/%s/", msg.sender, msg.vc, msg.loc)
+			f.cell(msg.loc, msg.cell)
+		}
+	}
+	return f.String()
+}
+
+// Recorder implements Memory.
+func (m *CausalMemory) Recorder() *Recorder { return m.rec }

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"repro/history"
+)
+
+// SCMemory is a single-ported sequentially consistent memory: one copy of
+// every location, operations applied atomically in invocation order. It
+// has no internal nondeterminism; the instruction interleaving chosen by
+// the scheduler is the serialization.
+type SCMemory struct {
+	nprocs int
+	store  map[history.Loc]cell
+	rec    *Recorder
+}
+
+// NewSC returns a sequentially consistent memory for nprocs processors.
+func NewSC(nprocs int) *SCMemory {
+	return &SCMemory{
+		nprocs: nprocs,
+		store:  make(map[history.Loc]cell),
+		rec:    NewRecorder(nprocs),
+	}
+}
+
+// Name implements Memory.
+func (m *SCMemory) Name() string { return "SC" }
+
+// NumProcs implements Memory.
+func (m *SCMemory) NumProcs() int { return m.nprocs }
+
+// Read implements Memory.
+func (m *SCMemory) Read(p history.Proc, loc history.Loc, labeled bool) history.Value {
+	c := m.store[loc]
+	m.rec.Read(p, loc, c.tag, labeled)
+	return c.val
+}
+
+// Write implements Memory.
+func (m *SCMemory) Write(p history.Proc, loc history.Loc, v history.Value, labeled bool) {
+	tag := m.rec.Write(p, loc, labeled)
+	m.store[loc] = cell{val: v, tag: tag}
+}
+
+// Internal implements Memory; SC memory has no internal actions.
+func (m *SCMemory) Internal() []string { return nil }
+
+// Step implements Memory.
+func (m *SCMemory) Step(int) { panic("sim: SC memory has no internal actions") }
+
+// Clone implements Memory.
+func (m *SCMemory) Clone() Memory {
+	return &SCMemory{nprocs: m.nprocs, store: cloneStore(m.store), rec: m.rec.Clone()}
+}
+
+// Fingerprint implements Memory.
+func (m *SCMemory) Fingerprint() string {
+	f := newFingerprinter()
+	f.cells(m.store)
+	return f.String()
+}
+
+// Recorder implements Memory.
+func (m *SCMemory) Recorder() *Recorder { return m.rec }

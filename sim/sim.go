@@ -1,0 +1,246 @@
+// Package sim provides operational simulators for the memory models the
+// paper characterizes: a single-ported sequentially consistent memory, the
+// TSO store-buffer machine of Section 3.2 (forwarding and non-forwarding
+// variants), the replicated asynchronous memory of PRAM (Section 3.5), a
+// vector-clock causal memory, Goodman-style coherent PRAM, a DASH-like
+// release-consistent memory with either sequentially consistent or
+// processor consistent synchronization operations (Section 3.4), and slow
+// memory (per-location per-writer channels).
+//
+// A simulator plays the role the hardware plays in the paper: it generates
+// system execution histories. All nondeterminism beyond the instruction
+// interleaving — message deliveries, buffer drains — is exposed as
+// enumerable internal actions so that schedulers (random) and explorers
+// (exhaustive) can drive it deterministically.
+//
+// # Tagged recording
+//
+// Programs read and write semantic values (a Bakery ticket number, a flag),
+// which may repeat or be zero; the paper's reads-from-sensitive orders
+// (writes-before, causal, semi-causal) need every write to a location to be
+// distinguishable. Recorded histories therefore use write tags: each write
+// is recorded with a fresh nonzero value, and each read is recorded with
+// the tag of the write whose value it observed (0 for the initial value).
+// Tagging is a per-location value renaming, under which a recorded history
+// is allowed by a model exactly when the actual execution is; it is what
+// lets every simulator run be cross-validated against the package model
+// checkers.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/history"
+)
+
+// Memory is an operational shared-memory simulator. Read and Write execute
+// a processor's next operation synchronously (the operation "issues" and
+// the local effect happens immediately); Internal lists the currently
+// enabled internal transitions (deliveries, drains), and Step performs one.
+// Clone must deep-copy all state including the recorder; Fingerprint must
+// canonically encode the live state (excluding the recorder) so explorers
+// can detect revisited states.
+type Memory interface {
+	// Name identifies the simulated memory model, matching the
+	// corresponding checker's name in package model where one exists.
+	Name() string
+	// NumProcs returns the number of processors the memory serves.
+	NumProcs() int
+	// Read executes a read by processor p and returns the semantic
+	// value. labeled marks a synchronization (acquire) read.
+	Read(p history.Proc, loc history.Loc, labeled bool) history.Value
+	// Write executes a write by processor p. labeled marks a
+	// synchronization (release) write.
+	Write(p history.Proc, loc history.Loc, v history.Value, labeled bool)
+	// Internal describes the enabled internal actions. The slice is
+	// fresh; indices are valid until the next state change.
+	Internal() []string
+	// Step performs the i-th enabled internal action.
+	Step(i int)
+	// Clone returns a deep copy.
+	Clone() Memory
+	// Fingerprint canonically encodes live state (not the recorder).
+	Fingerprint() string
+	// Recorder returns the tagged-history recorder.
+	Recorder() *Recorder
+}
+
+// cell is a replicated memory cell: a semantic value plus the tag of the
+// write that produced it (0 = initial) and, where coherence matters, the
+// global per-location version of that write.
+type cell struct {
+	val     history.Value
+	tag     history.Value
+	version int
+}
+
+// update is an in-flight write propagating between replicas.
+type update struct {
+	loc     history.Loc
+	cell    cell
+	labeled bool
+}
+
+// Recorder accumulates the tagged system execution history of a run. Tags
+// are drawn from disjoint per-processor ranges (processor p's k-th write is
+// tagged p*tagStride + k), so a write's tag depends only on the issuing
+// processor's own progress, never on the global interleaving — states that
+// differ only in interleaving history fingerprint identically, which keeps
+// exhaustive exploration from fragmenting.
+type Recorder struct {
+	b       *history.Builder
+	nextSeq []history.Value
+}
+
+// tagStride separates per-processor tag ranges; a single processor may
+// issue at most tagStride-1 writes in one run.
+const tagStride = 1 << 20
+
+// NewRecorder returns a Recorder for nprocs processors.
+func NewRecorder(nprocs int) *Recorder {
+	return &Recorder{b: history.NewBuilder(nprocs), nextSeq: make([]history.Value, nprocs)}
+}
+
+// Write records a write and returns its fresh tag.
+func (r *Recorder) Write(p history.Proc, loc history.Loc, labeled bool) history.Value {
+	r.nextSeq[p]++
+	tag := history.Value(int(p)*tagStride) + r.nextSeq[p]
+	if labeled {
+		r.b.Release(p, loc, tag)
+	} else {
+		r.b.Write(p, loc, tag)
+	}
+	return tag
+}
+
+// Read records a read that observed the write with the given tag (0 for
+// the initial value).
+func (r *Recorder) Read(p history.Proc, loc history.Loc, tag history.Value, labeled bool) {
+	if labeled {
+		r.b.Acquire(p, loc, tag)
+	} else {
+		r.b.Read(p, loc, tag)
+	}
+}
+
+// System returns the recorded history so far.
+func (r *Recorder) System() *history.System { return r.b.System() }
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int { return r.b.NumRecorded() }
+
+// Clone deep-copies the recorder.
+func (r *Recorder) Clone() *Recorder {
+	return &Recorder{b: r.b.Clone(), nextSeq: append([]history.Value(nil), r.nextSeq...)}
+}
+
+// fingerprinter builds a canonical state encoding for visited-state
+// detection. Raw tags and versions grow monotonically with every write —
+// a program that writes in a retry loop would make semantically identical
+// states fingerprint differently and blow up exhaustive exploration — so
+// they are canonicalized per state:
+//
+//   - tags are renamed by first appearance (only tag EQUALITY matters:
+//     tags decide which write a read records, never future behaviour);
+//   - versions are replaced by their per-location rank (only the ORDER of
+//     versions within one location matters: a replica applies an update
+//     iff its version exceeds the held one, and any future write receives
+//     a version above all existing ones).
+//
+// Two states with equal canonical fingerprints are bisimilar for invariant
+// reachability.
+type fingerprinter struct {
+	sb       strings.Builder
+	tags     map[history.Value]int
+	versions map[history.Loc][]int // collected raw versions per location
+	tokens   []fpToken
+}
+
+type fpToken struct {
+	raw  string        // literal text, or ""
+	tag  history.Value // cell token: tag to canonicalize
+	val  history.Value // cell token: semantic value (kept raw)
+	loc  history.Loc   // cell token: location (for version ranking)
+	ver  int           // cell token: raw version
+	cell bool          // whether this is a cell token
+}
+
+func newFingerprinter() *fingerprinter {
+	return &fingerprinter{
+		tags:     make(map[history.Value]int),
+		versions: make(map[history.Loc][]int),
+	}
+}
+
+// raw appends literal text.
+func (f *fingerprinter) raw(format string, args ...any) {
+	f.tokens = append(f.tokens, fpToken{raw: fmt.Sprintf(format, args...)})
+}
+
+// cell appends a canonicalizable cell.
+func (f *fingerprinter) cell(loc history.Loc, c cell) {
+	f.tokens = append(f.tokens, fpToken{cell: true, tag: c.tag, val: c.val, loc: loc, ver: c.version})
+	f.versions[loc] = append(f.versions[loc], c.version)
+}
+
+// cells appends a replica's cells in location order.
+func (f *fingerprinter) cells(store map[history.Loc]cell) {
+	locs := make([]string, 0, len(store))
+	for l := range store {
+		locs = append(locs, string(l))
+	}
+	sort.Strings(locs)
+	for _, l := range locs {
+		loc := history.Loc(l)
+		f.raw("%s=", l)
+		f.cell(loc, store[loc])
+	}
+}
+
+// queue appends an update queue in order.
+func (f *fingerprinter) queue(q []update) {
+	for _, u := range q {
+		f.raw("%s:%v:", u.loc, u.labeled)
+		f.cell(u.loc, u.cell)
+	}
+}
+
+// String renders the canonical fingerprint.
+func (f *fingerprinter) String() string {
+	rank := make(map[history.Loc]map[int]int, len(f.versions))
+	for loc, vs := range f.versions {
+		sorted := append([]int(nil), vs...)
+		sort.Ints(sorted)
+		m := make(map[int]int, len(sorted))
+		for _, v := range sorted {
+			if _, ok := m[v]; !ok {
+				m[v] = len(m)
+			}
+		}
+		rank[loc] = m
+	}
+	for _, t := range f.tokens {
+		if !t.cell {
+			f.sb.WriteString(t.raw)
+			continue
+		}
+		tagID, ok := f.tags[t.tag]
+		if !ok {
+			tagID = len(f.tags)
+			f.tags[t.tag] = tagID
+		}
+		fmt.Fprintf(&f.sb, "%d/t%d/v%d;", t.val, tagID, rank[t.loc][t.ver])
+	}
+	return f.sb.String()
+}
+
+// cloneStore deep-copies a replica.
+func cloneStore(store map[history.Loc]cell) map[history.Loc]cell {
+	out := make(map[history.Loc]cell, len(store))
+	for k, v := range store {
+		out[k] = v
+	}
+	return out
+}
