@@ -9,6 +9,7 @@ package repro_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/algorithms"
@@ -92,50 +93,67 @@ func BenchmarkFig5Matrix(b *testing.B) {
 	}
 }
 
+// benchWorkerCounts returns the pool sizes the parallel benchmarks compare:
+// the sequential oracle and one worker per CPU (when they differ).
+func benchWorkerCounts() []int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return []int{1, runtime.GOMAXPROCS(0)}
+	}
+	return []int{1}
+}
+
 // Figure 6 / Section 5: the Bakery experiment. RCsc — exhaustive proof of
-// mutual exclusion over the operational state space.
+// mutual exclusion over the operational state space, at each pool size.
 func BenchmarkBakeryRCsc(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		m, err := program.NewMachine(sim.NewRCsc(2), algorithms.Bakery(2, 1, true))
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := explore.Exhaustive(m, explore.Options{})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if !res.Sound() {
-			b.Fatalf("RCsc bakery unsound: %d violations", len(res.Violations))
-		}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := program.NewMachine(sim.NewRCsc(2), algorithms.Bakery(2, 1, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := explore.Exhaustive(m, explore.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Sound() {
+					b.Fatalf("RCsc bakery unsound: %d violations", len(res.Violations))
+				}
+			}
+		})
 	}
 }
 
 // Figure 6 / Section 5: RCpc — time to find the mutual-exclusion violation
-// and certify it with both checkers.
+// and certify it with both checkers, at each pool size.
 func BenchmarkBakeryRCpc(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		m, err := program.NewMachine(sim.NewRCpc(2), algorithms.Bakery(2, 1, true))
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := explore.Exhaustive(m, explore.Options{StopAtFirst: true})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(res.Violations) == 0 {
-			b.Fatal("no RCpc violation found")
-		}
-		h := res.Violations[0].History
-		rcpc, err := model.RCpc{}.Allows(h)
-		if err != nil || !rcpc.Allowed {
-			b.Fatalf("violating history not RCpc: %v", err)
-		}
-		rcsc, err := model.RCsc{}.Allows(h)
-		if err != nil || rcsc.Allowed {
-			b.Fatalf("violating history accepted by RCsc (err=%v)", err)
-		}
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := program.NewMachine(sim.NewRCpc(2), algorithms.Bakery(2, 1, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := explore.Exhaustive(m, explore.Options{StopAtFirst: true, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Violations) == 0 {
+					b.Fatal("no RCpc violation found")
+				}
+				h := res.Violations[0].History
+				rcpc, err := model.RCpc{Workers: w}.Allows(h)
+				if err != nil || !rcpc.Allowed {
+					b.Fatalf("violating history not RCpc: %v", err)
+				}
+				rcsc, err := model.RCsc{Workers: w}.Allows(h)
+				if err != nil || rcsc.Allowed {
+					b.Fatalf("violating history accepted by RCsc (err=%v)", err)
+				}
+			}
+		})
 	}
 }
 
@@ -341,21 +359,24 @@ func BenchmarkDRFTheorem(b *testing.B) {
 }
 
 // BenchmarkCoherenceEnumeration shows PC's checking cost versus writes per
-// location (coherence candidates grow factorially with concurrent writers).
+// location (coherence candidates grow factorially with concurrent writers),
+// at each pool size.
 func BenchmarkCoherenceEnumeration(b *testing.B) {
-	for _, writers := range []int{2, 3, 4} {
+	for _, writers := range []int{2, 3, 4, 5} {
 		bld := history.NewBuilder(writers + 1)
 		for w := 0; w < writers; w++ {
 			bld.Write(history.Proc(w), "x", history.Value(w+1))
 		}
 		bld.Read(history.Proc(writers), "x", history.Value(writers))
 		s := bld.System()
-		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if v, err := (model.PC{}).Allows(s); err != nil || !v.Allowed {
-					b.Fatalf("PC verdict: %+v %v", v, err)
+		for _, w := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("writers=%d/workers=%d", writers, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if v, err := (model.PC{Workers: w}).Allows(s); err != nil || !v.Allowed {
+						b.Fatalf("PC verdict: %+v %v", v, err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }

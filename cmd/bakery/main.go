@@ -12,6 +12,7 @@
 //	bakery [-memory rcsc|rcpc|sc|tso|tso-fwd|pram|pcg|causal] [-n 2]
 //	       [-mode exhaustive|stochastic] [-runs 1000] [-seed 1]
 //	       [-algorithm bakery|peterson|dekker|fast|dijkstra|szymanski] [-check]
+//	       [-workers N]
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "stochastic seed")
 	algo := flag.String("algorithm", "bakery", "bakery, peterson, dekker, fast, dijkstra or szymanski")
 	check := flag.Bool("check", true, "validate a violating history against the RCsc/RCpc checkers")
+	workers := flag.Int("workers", 0, "explorer/checker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	labeled := strings.HasPrefix(*memory, "rc")
@@ -54,7 +56,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := explore.Exhaustive(m, explore.Options{StopAtFirst: true})
+		res, err := explore.Exhaustive(m, explore.Options{StopAtFirst: true, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -91,6 +93,7 @@ func main() {
 		return
 	}
 	for _, m := range []model.Model{model.RCpc{}, model.RCsc{}} {
+		m = model.WithWorkers(m, *workers)
 		v, err := m.Allows(violation.History)
 		if err != nil {
 			fmt.Printf("%s checker: error: %v\n", m.Name(), err)

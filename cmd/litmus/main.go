@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	litmus [-test NAME] [-models SC,TSO,...]
+//	litmus [-test NAME] [-models SC,TSO,...] [-workers N]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	models := flag.String("models", "", "comma-separated model names (default: all)")
 	export := flag.String("export", "", "write the corpus as .litmus files into this directory and exit")
 	dir := flag.String("dir", "", "also run every .litmus file from this directory")
+	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *export != "" {
@@ -42,6 +43,9 @@ func main() {
 			}
 			ms = append(ms, m)
 		}
+	}
+	for i, m := range ms {
+		ms[i] = model.WithWorkers(m, *workers)
 	}
 
 	tests := litmus.Corpus()

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	memcheck [-models SC,TSO,...] [-witness] [history | -f file]
+//	memcheck [-models SC,TSO,...] [-witness] [-workers N] [history | -f file]
 //
 // The history uses the paper's notation, one processor per line or
 // '|'-separated on one line:
@@ -28,6 +28,7 @@ func main() {
 	models := flag.String("models", "", "comma-separated model names (default: all)")
 	file := flag.String("f", "", "read the history from this file instead of the argument")
 	witness := flag.Bool("witness", false, "print certifying views for allowed verdicts")
+	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	text, err := inputText(*file, flag.Args())
@@ -41,6 +42,7 @@ func main() {
 	fmt.Printf("history (%d processors, %d operations):\n%s\n", sys.NumProcs(), sys.NumOps(), sys)
 
 	for _, m := range selectModels(*models) {
+		m = model.WithWorkers(m, *workers)
 		v, err := m.Allows(sys)
 		if err != nil {
 			fmt.Printf("%-11s error: %v\n", m.Name(), err)

@@ -21,6 +21,12 @@
 //     state-space explorer reproducing the Section 5 RCsc/RCpc split;
 //   - package relate — the empirical Figure 5 containment lattice.
 //
+// The checkers, the explorer and the classification sweeps run on a shared
+// work-splitting pool (internal/pool) with first-witness cancellation; a
+// uniform Workers knob (0 = one per CPU, 1 = the sequential oracle) sizes
+// it, and differential tests pin parallel ≡ sequential verdicts. See the
+// "Parallel checking" section of README.md.
+//
 // The benchmarks in this directory regenerate each of the paper's figures;
 // see EXPERIMENTS.md for the paper-versus-measured record.
 package repro

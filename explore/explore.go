@@ -10,6 +10,14 @@
 // with two processors in the critical section; under RCpc the explorer
 // finds one and returns the schedule and the recorded history — a history
 // the model.RCpc checker accepts and the model.RCsc checker rejects.
+//
+// Exhaustive explores in parallel by default (Options.Workers): frontier
+// states are expanded concurrently level by level and the results merged
+// sequentially in frontier order, so violations, traces and counts are
+// deterministic at every worker count, and complete explorations report
+// exactly the sequential search's counts. Workers=1 selects the original
+// depth-first search, kept as the oracle the differential tests compare
+// against.
 package explore
 
 import (
@@ -18,6 +26,7 @@ import (
 	"math/rand"
 
 	"repro/history"
+	"repro/internal/pool"
 	"repro/program"
 )
 
@@ -74,6 +83,13 @@ type Options struct {
 	// livelock). The paper's Section 5 notes Bakery is "free from
 	// deadlocks"; this makes the claim checkable.
 	TrackProgress bool
+	// Workers sizes Exhaustive's expansion pool: 0 (the zero value) uses
+	// one worker per CPU, 1 selects the sequential depth-first search, and
+	// larger values set the pool size explicitly. Results are
+	// deterministic at every setting, and on complete explorations the
+	// counts (States, Transitions, TerminalStates) are identical to the
+	// sequential search's; Stochastic ignores it.
+	Workers int
 }
 
 // Result summarizes an exploration.
@@ -129,6 +145,9 @@ func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
 	inv := opts.Invariant
 	if inv == nil {
 		inv = MutualExclusion
+	}
+	if w := pool.Size(opts.Workers); w > 1 {
+		return exhaustiveParallel(m0, opts, inv, w)
 	}
 
 	var res Result

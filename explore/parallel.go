@@ -1,0 +1,214 @@
+package explore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/pool"
+	"repro/program"
+)
+
+// This file holds the frontier-parallel breadth-first search behind
+// Exhaustive. The search proceeds level by level: every state on the
+// current frontier is expanded concurrently (invariant check, terminal
+// check, child generation — the expensive machine cloning and stepping),
+// then the results are merged sequentially in frontier order. All shared
+// bookkeeping — state/transition counts, violation reporting, progress
+// edges, frontier-set membership — happens in the merge, so the result is
+// bit-for-bit deterministic no matter how the workers are scheduled, and on
+// complete explorations the counts equal the sequential depth-first
+// search's (the visited-state set of a dedup-at-push search is independent
+// of search order). The seen-set is striped across mutexes so expansion
+// workers can pre-filter children against previous levels concurrently.
+
+// childEdge is one generated transition: the stepped clone, the choice that
+// produced it, and its fingerprint.
+type childEdge struct {
+	m    *program.Machine
+	step string
+	fp   string
+}
+
+// expansion is what one worker produces for one frontier node.
+type expansion struct {
+	fp        string // the node's own fingerprint (TrackProgress only)
+	violation *Violation
+	terminal  bool
+	err       error
+	children  []childEdge
+	// dropped counts children pre-filtered against earlier levels; they
+	// are still transitions and the merge counts them as such.
+	dropped int
+}
+
+func exhaustiveParallel(m0 *program.Machine, opts Options, inv Invariant, workers int) (Result, error) {
+	var res Result
+	res.Complete = true
+	if opts.TrackProgress {
+		res.edges = map[string][]string{}
+	}
+	seen := newStripedSet()
+	seen.Add(m0.Fingerprint())
+	frontier := []node{{m: m0.Clone()}}
+
+	for len(frontier) > 0 {
+		// Expansion phase: workers fill exps[i] from frontier[i]; the
+		// seen-set is only read (it is frozen between merges), so the
+		// pre-filter is deterministic.
+		exps := make([]expansion, len(frontier))
+		pool.Indexed(workers, len(frontier), func(i int) {
+			exps[i] = expand(frontier[i], opts, inv, seen)
+		})
+
+		// Merge phase: sequential, in frontier order.
+		var next []node
+		for i := range frontier {
+			n, exp := frontier[i], &exps[i]
+			res.States++
+			if exp.err != nil {
+				return res, exp.err
+			}
+			if exp.violation != nil {
+				res.Violations = append(res.Violations, *exp.violation)
+				if opts.StopAtFirst {
+					res.Complete = false
+					return res, nil
+				}
+				continue // do not explore past a violation
+			}
+			if exp.terminal {
+				res.TerminalStates++
+				if opts.TrackProgress {
+					res.terminals = append(res.terminals, exp.fp)
+				}
+				if opts.OnTerminal != nil && !opts.OnTerminal(n.m) {
+					res.Complete = false
+					return res, nil
+				}
+				continue
+			}
+			if n.depth >= opts.MaxDepth {
+				res.Complete = false
+				continue
+			}
+			if res.States >= opts.MaxStates {
+				res.Complete = false
+				continue
+			}
+			res.Transitions += exp.dropped
+			for _, c := range exp.children {
+				res.Transitions++
+				if opts.TrackProgress {
+					res.edges[exp.fp] = append(res.edges[exp.fp], c.fp)
+				}
+				if !seen.Add(c.fp) {
+					continue
+				}
+				trace := make([]string, len(n.trace), len(n.trace)+1)
+				copy(trace, n.trace)
+				next = append(next, node{m: c.m, trace: append(trace, c.step), depth: n.depth + 1})
+			}
+		}
+		frontier = next
+	}
+	if opts.TrackProgress && res.Complete {
+		res.StuckStates = countStuck(res.edges, res.terminals)
+	}
+	return res, nil
+}
+
+// expand evaluates one frontier node: invariant, terminal check, and child
+// generation. Children whose fingerprints the seen-set already contains are
+// dropped unless TrackProgress needs the edge; the authoritative dedup (and
+// all counting) happens in the merge.
+func expand(n node, opts Options, inv Invariant, seen *stripedSet) expansion {
+	var exp expansion
+	if opts.TrackProgress {
+		exp.fp = n.m.Fingerprint()
+	}
+	if err := inv(n.m); err != nil {
+		exp.violation = &Violation{
+			Err:     err,
+			Trace:   n.trace,
+			History: n.m.Mem().Recorder().System(),
+			State:   n.m,
+		}
+		return exp
+	}
+	if n.m.Halted() && len(n.m.Mem().Internal()) == 0 {
+		exp.terminal = true
+		return exp
+	}
+	if n.depth >= opts.MaxDepth {
+		return exp
+	}
+
+	add := func(child *program.Machine, step string) {
+		fp := child.Fingerprint()
+		if !opts.TrackProgress && seen.Has(fp) {
+			exp.dropped++ // already reached at an earlier level
+			return
+		}
+		exp.children = append(exp.children, childEdge{m: child, step: step, fp: fp})
+	}
+	for _, ti := range n.m.Runnable() {
+		child := n.m.Clone()
+		if err := child.StepThread(ti); err != nil {
+			exp.err = fmt.Errorf("explore: step thread %d: %w", ti, err)
+			return exp
+		}
+		add(child, fmt.Sprintf("thread %d", ti))
+	}
+	for ii, desc := range n.m.Mem().Internal() {
+		child := n.m.Clone()
+		child.Mem().Step(ii)
+		add(child, fmt.Sprintf("internal %d (%s)", ii, desc))
+	}
+	return exp
+}
+
+// stripedSet is a string set sharded across independently locked maps, so
+// many workers can probe membership without contending on one mutex.
+type stripedSet struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[string]bool
+	}
+}
+
+func newStripedSet() *stripedSet {
+	s := &stripedSet{}
+	for i := range s.shards {
+		s.shards[i].m = map[string]bool{}
+	}
+	return s
+}
+
+func (s *stripedSet) shard(key string) *struct {
+	mu sync.Mutex
+	m  map[string]bool
+} {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Has reports membership.
+func (s *stripedSet) Has(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	ok := sh.m[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Add inserts key, reporting whether it was new.
+func (s *stripedSet) Add(key string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	fresh := !sh.m[key]
+	sh.m[key] = true
+	sh.mu.Unlock()
+	return fresh
+}

@@ -1,0 +1,215 @@
+package perm
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// shardsPerWorker is how many work shards the prefix splitter aims to hand
+// each worker. More shards give finer-grained load balancing — shard costs
+// are wildly uneven, since legality pruning can kill one prefix instantly
+// and leave another with millions of completions — at a slightly higher
+// splitting cost.
+const shardsPerWorker = 8
+
+// LinearExtensionsParallel enumerates the same linear extensions as
+// LinearExtensions, sharded across a worker pool by prefix splitting: the
+// space is divided into the subtrees below every valid placement prefix of
+// a chosen depth, and workers complete prefixes independently.
+//
+// yield may be invoked from multiple goroutines concurrently (each worker
+// reuses its own slice; copy if retained). When any yield returns false, or
+// ctx is cancelled, every worker stops promptly — this is the first-witness
+// cancellation the model checkers rely on. The return value is true only
+// when the whole space was exhausted; an early stop (yield or cancellation)
+// returns false.
+//
+// Worker counts follow the pool convention: workers <= 0 means GOMAXPROCS,
+// and 1 runs the sequential enumerator on the calling goroutine (still
+// honoring ctx between yields).
+func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a, b int) bool, yield func(order []int) bool) bool {
+	if n > 64 {
+		panic("perm: LinearExtensionsParallel limited to 64 items")
+	}
+	workers = pool.Size(workers)
+	if workers == 1 || n <= 2 {
+		exhausted := true
+		LinearExtensions(n, before, func(order []int) bool {
+			if ctx.Err() != nil || !yield(order) {
+				exhausted = false
+				return false
+			}
+			return true
+		})
+		return exhausted
+	}
+
+	preds := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && before(j, i) {
+				preds[i] |= 1 << uint(j)
+			}
+		}
+	}
+	depth := splitDepth(n, preds, workers*shardsPerWorker)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var stopped atomic.Bool
+	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
+	defer stop()
+
+	shards := pool.Feed(cctx, workers, func(emit func([]int) bool) {
+		prefixes(n, preds, depth, func(prefix []int) bool {
+			return emit(append([]int(nil), prefix...))
+		})
+	})
+	pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+		order := make([]int, len(prefix), n)
+		copy(order, prefix)
+		var placed uint64
+		for _, i := range prefix {
+			placed |= 1 << uint(i)
+		}
+		var rec func(placed uint64) bool
+		rec = func(placed uint64) bool {
+			if stopped.Load() {
+				return false
+			}
+			if len(order) == n {
+				return yield(order)
+			}
+			for i := 0; i < n; i++ {
+				bit := uint64(1) << uint(i)
+				if placed&bit != 0 || preds[i]&^placed != 0 {
+					continue
+				}
+				order = append(order, i)
+				ok := rec(placed | bit)
+				order = order[:len(order)-1]
+				if !ok {
+					return false
+				}
+			}
+			return true
+		}
+		if !rec(placed) {
+			stopped.Store(true)
+			cancel()
+		}
+	})
+	return !stopped.Load() && ctx.Err() == nil
+}
+
+// splitDepth picks the shortest prefix depth whose shard count reaches
+// target (or the item count, for tiny spaces).
+func splitDepth(n int, preds []uint64, target int) int {
+	depth := 0
+	for depth < n {
+		count := 0
+		prefixes(n, preds, depth, func([]int) bool {
+			count++
+			return count < target
+		})
+		if count >= target {
+			return depth
+		}
+		depth++
+	}
+	return depth
+}
+
+// prefixes enumerates every valid placement prefix of exactly the given
+// depth (an extension of the empty prefix choosing `depth` items whose
+// predecessors are all placed). The slice is reused; copy if retained.
+func prefixes(n int, preds []uint64, depth int, yield func(prefix []int) bool) {
+	order := make([]int, 0, depth)
+	var rec func(placed uint64) bool
+	rec = func(placed uint64) bool {
+		if len(order) == depth {
+			return yield(order)
+		}
+		for i := 0; i < n; i++ {
+			bit := uint64(1) << uint(i)
+			if placed&bit != 0 || preds[i]&^placed != 0 {
+				continue
+			}
+			order = append(order, i)
+			ok := rec(placed | bit)
+			order = order[:len(order)-1]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// ProductsParallel enumerates the same index vectors as Products, sharded
+// across a worker pool by fixing the first dimensions: the splitter takes
+// the shortest dimension prefix whose combination count reaches the shard
+// target, and workers enumerate the remaining dimensions under each fixed
+// prefix. Concurrency, cancellation and return-value semantics match
+// LinearExtensionsParallel.
+func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(idx []int) bool) bool {
+	workers = pool.Size(workers)
+	if workers == 1 || len(sizes) == 0 {
+		exhausted := true
+		Products(sizes, func(idx []int) bool {
+			if ctx.Err() != nil || !yield(idx) {
+				exhausted = false
+				return false
+			}
+			return true
+		})
+		return exhausted
+	}
+
+	target := workers * shardsPerWorker
+	split, combos := 0, 1
+	for split < len(sizes) && combos < target {
+		combos *= sizes[split]
+		split++
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var stopped atomic.Bool
+	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
+	defer stop()
+
+	shards := pool.Feed(cctx, workers, func(emit func([]int) bool) {
+		Products(sizes[:split], func(prefix []int) bool {
+			return emit(append([]int(nil), prefix...))
+		})
+	})
+	pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+		idx := make([]int, len(sizes))
+		copy(idx, prefix)
+		var rec func(d int) bool
+		rec = func(d int) bool {
+			if stopped.Load() {
+				return false
+			}
+			if d == len(sizes) {
+				return yield(idx)
+			}
+			for i := 0; i < sizes[d]; i++ {
+				idx[d] = i
+				if !rec(d + 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if !rec(split) {
+			stopped.Store(true)
+			cancel()
+		}
+	})
+	return !stopped.Load() && ctx.Err() == nil
+}

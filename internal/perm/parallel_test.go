@@ -1,0 +1,174 @@
+package perm
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectParallel gathers every extension the parallel enumerator yields,
+// as strings for order-insensitive comparison.
+func collectParallel(t *testing.T, workers, n int, before func(a, b int) bool) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var got []string
+	ok := LinearExtensionsParallel(context.Background(), workers, n, before, func(order []int) bool {
+		mu.Lock()
+		got = append(got, key(order))
+		mu.Unlock()
+		return true
+	})
+	if !ok {
+		t.Fatal("exhaustive parallel enumeration reported an early stop")
+	}
+	sort.Strings(got)
+	return got
+}
+
+func key(order []int) string {
+	b := make([]byte, len(order))
+	for i, v := range order {
+		b[i] = byte('a' + v)
+	}
+	return string(b)
+}
+
+// TestParallelMatchesSequential compares the parallel enumerator's output
+// set against the sequential oracle over random DAGs.
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(7)
+		edges := make(map[[2]int]bool)
+		for k := 0; k < rng.Intn(2*n+1); k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a < b { // a<b keeps the constraint graph acyclic
+				edges[[2]int{a, b}] = true
+			}
+		}
+		before := func(a, b int) bool { return edges[[2]int{a, b}] }
+
+		var want []string
+		LinearExtensions(n, before, func(order []int) bool {
+			want = append(want, key(order))
+			return true
+		})
+		sort.Strings(want)
+
+		for _, workers := range []int{2, 4} {
+			got := collectParallel(t, workers, n, before)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d workers=%d: %d extensions, want %d", trial, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d workers=%d: extension sets differ at %d: %q vs %q",
+						trial, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCycleYieldsNothing: a cyclic constraint admits no extensions,
+// sequentially or in parallel.
+func TestParallelCycleYieldsNothing(t *testing.T) {
+	before := func(a, b int) bool { return (a+1)%4 == b } // 4-cycle
+	got := collectParallel(t, 3, 4, before)
+	if len(got) != 0 {
+		t.Errorf("cyclic constraint yielded %d extensions", len(got))
+	}
+}
+
+// TestParallelEarlyStop: a yield returning false stops the whole pool and
+// the enumerator reports the early stop.
+func TestParallelEarlyStop(t *testing.T) {
+	var yields atomic.Int64
+	ok := LinearExtensionsParallel(context.Background(), 4, 8, func(a, b int) bool { return false },
+		func([]int) bool { return yields.Add(1) < 3 })
+	if ok {
+		t.Error("early-stopped enumeration reported exhaustion")
+	}
+	// 8! = 40320 total; the pool must have stopped far short of that.
+	if n := yields.Load(); n >= 40320 {
+		t.Errorf("pool enumerated all %d extensions after a stop request", n)
+	}
+}
+
+// TestParallelCancellationIsPrompt starts an enumeration whose space
+// (12! ≈ 4.8e8 orders) would take far longer than the test timeout to
+// exhaust, cancels it, and requires a prompt return — the checkers' "stop
+// every shard the moment a witness appears" behavior, driven externally.
+func TestParallelCancellationIsPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan bool, 1)
+	go func() {
+		done <- LinearExtensionsParallel(ctx, 4, 12, func(a, b int) bool { return false },
+			func([]int) bool {
+				once.Do(func() { close(started) })
+				return true
+			})
+	}()
+	<-started // the pool is demonstrably mid-enumeration
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("cancelled enumeration reported exhaustion")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("enumeration did not return within 10s of cancellation")
+	}
+}
+
+// TestProductsParallelMatchesSequential compares index-vector sets.
+func TestProductsParallelMatchesSequential(t *testing.T) {
+	for _, sizes := range [][]int{{}, {1}, {3}, {2, 3}, {4, 1, 3}, {2, 2, 2, 2}, {5, 0, 2}} {
+		var want []string
+		Products(sizes, func(idx []int) bool {
+			want = append(want, key(idx))
+			return true
+		})
+		sort.Strings(want)
+
+		var mu sync.Mutex
+		var got []string
+		ok := ProductsParallel(context.Background(), 3, sizes, func(idx []int) bool {
+			mu.Lock()
+			got = append(got, key(idx))
+			mu.Unlock()
+			return true
+		})
+		if !ok {
+			t.Fatalf("sizes %v: exhaustive product enumeration reported an early stop", sizes)
+		}
+		sort.Strings(got)
+		if len(got) != len(want) {
+			t.Fatalf("sizes %v: %d vectors, want %d", sizes, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sizes %v: vector sets differ: %q vs %q", sizes, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestProductsParallelEarlyStop mirrors TestParallelEarlyStop for products.
+func TestProductsParallelEarlyStop(t *testing.T) {
+	var yields atomic.Int64
+	ok := ProductsParallel(context.Background(), 4, []int{6, 6, 6, 6, 6},
+		func([]int) bool { return yields.Add(1) < 5 })
+	if ok {
+		t.Error("early-stopped enumeration reported exhaustion")
+	}
+	if n := yields.Load(); n >= 6*6*6*6*6 {
+		t.Errorf("pool enumerated all %d vectors after a stop request", n)
+	}
+}

@@ -57,6 +57,15 @@ func CountLinearExtensions(n int, before func(a, b int) bool) int {
 	return count
 }
 
+// CountLinearExtensionsUpTo counts linear extensions but stops at limit —
+// a cheap "is this space big enough to shard?" probe that never pays for
+// an exact count of a factorial-sized space.
+func CountLinearExtensionsUpTo(n int, before func(a, b int) bool, limit int) int {
+	count := 0
+	LinearExtensions(n, before, func([]int) bool { count++; return count < limit })
+	return count
+}
+
 // Products enumerates the cartesian product of choice counts: for sizes
 // [s0, s1, …], yield receives every index vector [i0, i1, …] with
 // 0 ≤ ik < sk. The slice is reused; copy if retained. Stops early when

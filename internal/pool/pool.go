@@ -1,0 +1,109 @@
+// Package pool is the repository's one worker-pool implementation. Three
+// subsystems consume it: the parallel enumeration engine in internal/perm
+// (candidate write orders and coherence orders for the model checkers), the
+// frontier-parallel state-space explorer in package explore, and the
+// classification sweeps in package relate. Keeping the spawn/wait/cancel
+// plumbing here keeps those consumers to pure work definitions.
+//
+// Every knob in the repository follows one convention, resolved by Size:
+// a worker count of 0 (the zero value) means runtime.GOMAXPROCS(0) — one
+// worker per schedulable CPU, the "default on" setting — while 1 selects
+// the consumer's sequential oracle path and larger values size the pool
+// explicitly.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size resolves a worker-count knob to a concrete pool size: values <= 0
+// select runtime.GOMAXPROCS(0); positive values are used as given.
+func Size(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Go runs fn(0), …, fn(workers-1) concurrently and returns when all calls
+// have returned.
+func Go(workers int, fn func(worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(w)
+		}()
+	}
+	wg.Wait()
+}
+
+// Indexed calls fn(i) for every i in [0, n), distributing indices across at
+// most `workers` goroutines via an atomic cursor, and returns when every
+// index has been processed. With one worker (or one index) it degenerates
+// to a plain loop on the calling goroutine.
+func Indexed(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	Go(workers, func(int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	})
+}
+
+// Drain consumes jobs across `workers` goroutines, calling fn for each item
+// until the channel is closed or ctx is cancelled. It returns when every
+// worker has exited; items in flight when ctx is cancelled still complete
+// (cancellation is checked between items, not preemptively).
+func Drain[T any](ctx context.Context, workers int, jobs <-chan T, fn func(worker int, item T)) {
+	Go(workers, func(w int) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case item, ok := <-jobs:
+				if !ok {
+					return
+				}
+				fn(w, item)
+			}
+		}
+	})
+}
+
+// Feed runs gen on its own goroutine and returns the channel it feeds. The
+// emit callback blocks until a consumer accepts the item or ctx is
+// cancelled, returning false in the latter case so the producer can stop
+// enumerating; the channel is closed when gen returns.
+func Feed[T any](ctx context.Context, buffer int, gen func(emit func(T) bool)) <-chan T {
+	ch := make(chan T, buffer)
+	go func() {
+		defer close(ch)
+		gen(func(item T) bool {
+			select {
+			case ch <- item:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return ch
+}

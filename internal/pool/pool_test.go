@@ -1,0 +1,89 @@
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSize(t *testing.T) {
+	if got := Size(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Size(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Size(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Size(7); got != 7 {
+		t.Errorf("Size(7) = %d", got)
+	}
+}
+
+func TestGoRunsEveryWorker(t *testing.T) {
+	var seen [5]atomic.Bool
+	Go(5, func(w int) { seen[w].Store(true) })
+	for w := range seen {
+		if !seen[w].Load() {
+			t.Errorf("worker %d never ran", w)
+		}
+	}
+}
+
+func TestIndexedCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Indexed(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d processed %d times", workers, i, got)
+			}
+		}
+	}
+	Indexed(4, 0, func(int) { t.Error("fn called for n=0") })
+}
+
+func TestDrainConsumesAll(t *testing.T) {
+	jobs := make(chan int, 100)
+	for i := 0; i < 100; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var sum atomic.Int64
+	Drain(context.Background(), 4, jobs, func(_, item int) { sum.Add(int64(item)) })
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+func TestDrainStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make(chan int) // unbuffered, never closed
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		Drain(ctx, 3, jobs, func(_, _ int) {})
+		close(done)
+	}()
+	<-done // must return despite the open channel
+}
+
+func TestFeedProducerStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	produced := 0
+	ch := Feed(ctx, 0, func(emit func(int) bool) {
+		for i := 0; ; i++ {
+			if !emit(i) {
+				return
+			}
+			produced++
+		}
+	})
+	<-ch
+	cancel()
+	for range ch { // drain until the producer closes the channel
+	}
+	if produced == 0 {
+		t.Error("producer emitted nothing before cancellation")
+	}
+}

@@ -22,6 +22,20 @@
 // view-existence subproblems with a memoized search; they are intended for
 // litmus-scale histories — tens of operations — which they decide in
 // micro- to milliseconds.
+//
+// # Parallel checking
+//
+// The enumerating checkers (TSO, TSO-ax, PC, PCG, RCsc, RCpc, WO,
+// Causal+Coh, Causal+LCoh) shard their candidate spaces across a worker
+// pool (internal/perm, internal/pool): the space of linear extensions or
+// coherence products is split by prefix into independent subtrees, workers
+// test candidates concurrently, and the first shard to find a witness
+// cancels the rest via context. Each model's Workers field sizes the pool —
+// 0 (the zero value) uses one worker per CPU, 1 selects the sequential
+// oracle path, larger values set the size explicitly — and WithWorkers sets
+// the knob generically. Verdicts are identical at every setting; the
+// witness found may differ between runs, but every witness independently
+// verifies (VerifyWitness).
 package model
 
 import (

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"context"
+	"sync"
+
+	"repro/history"
+	"repro/internal/perm"
+	"repro/internal/pool"
+	"repro/order"
+)
+
+// This file is the model layer of the parallel enumeration engine. Every
+// checker that enumerates mutual-consistency structures — write orders
+// (TSO, TSO-ax), coherence orders (PC, PCG, RC, WO, Causal+Coh) or labeled
+// coherence orders (Causal+LCoh) — funnels its candidate space through one
+// of the search helpers below. With workers == 1 the helpers run the
+// original sequential loops (the oracle the differential tests compare
+// against); otherwise the candidate space is sharded across a worker pool
+// (internal/perm, internal/pool) and the first shard to produce a witness
+// or an error cancels every other shard via context.
+//
+// The helpers are verdict-deterministic: parallel and sequential runs agree
+// on whether a witness exists, though WHICH witness is found may depend on
+// scheduling — any witness independently verifies (VerifyWitness), so the
+// verdict, not the certificate, is the contract.
+
+// smallSpace is the candidate-count floor below which the search helpers
+// skip the pool: sharding a dozen candidates costs more than testing them.
+const smallSpace = 16
+
+// capture is the first-witness (or first-error) slot a parallel search's
+// shards race to fill.
+type capture struct {
+	mu      sync.Mutex
+	witness *Witness
+	err     error
+}
+
+// set records the outcome if none is recorded yet and reports whether this
+// call won the race.
+func (c *capture) set(w *Witness, err error) {
+	c.mu.Lock()
+	if c.witness == nil && c.err == nil {
+		c.witness, c.err = w, err
+	}
+	c.mu.Unlock()
+}
+
+func (c *capture) result() (*Witness, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.witness, nil
+}
+
+// searchLinearExtensions applies test to every linear extension of `before`
+// over n items until one returns a witness or an error. test receives a
+// reused index slice and must copy anything it retains; in parallel runs it
+// is called from multiple goroutines and must be safe for concurrent use
+// (every checker's test builds candidate-local state, so this holds by
+// construction).
+func searchLinearExtensions(workers, n int, before func(a, b int) bool, test func(ord []int) (*Witness, error)) (*Witness, error) {
+	if pool.Size(workers) == 1 || perm.CountLinearExtensionsUpTo(n, before, smallSpace) < smallSpace {
+		var (
+			witness *Witness
+			err     error
+		)
+		perm.LinearExtensions(n, before, func(ord []int) bool {
+			witness, err = test(ord)
+			return witness == nil && err == nil
+		})
+		return witness, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var c capture
+	perm.LinearExtensionsParallel(ctx, workers, n, before, func(ord []int) bool {
+		w, err := test(ord)
+		if w != nil || err != nil {
+			c.set(w, err)
+			return false
+		}
+		return true
+	})
+	return c.result()
+}
+
+// searchProducts applies test to every index vector of the cartesian
+// product of sizes until one returns a witness or an error, with the same
+// reuse and concurrency contract as searchLinearExtensions.
+func searchProducts(workers int, sizes []int, test func(idx []int) (*Witness, error)) (*Witness, error) {
+	total := 1
+	for _, s := range sizes {
+		if total *= s; total >= smallSpace {
+			break
+		}
+	}
+	if pool.Size(workers) == 1 || total < smallSpace {
+		var (
+			witness *Witness
+			err     error
+		)
+		perm.Products(sizes, func(idx []int) bool {
+			witness, err = test(idx)
+			return witness == nil && err == nil
+		})
+		return witness, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var c capture
+	perm.ProductsParallel(ctx, workers, sizes, func(idx []int) bool {
+		w, err := test(idx)
+		if w != nil || err != nil {
+			c.set(w, err)
+			return false
+		}
+		return true
+	})
+	return c.result()
+}
+
+// searchCoherence enumerates every coherence order (one total order of
+// writes per location, each a linear extension of program order) and
+// applies test to each until one yields a witness. It is the shared outer
+// loop of PC, PCG, Causal+Coh, WO and the RC models, parallelized across
+// the product of per-location candidate lists.
+func searchCoherence(workers int, s *history.System, po *order.Relation, test func(coh *order.Coherence) (*Witness, error)) (*Witness, error) {
+	locs, candidates := coherenceCandidates(s, po)
+	sizes := make([]int, len(candidates))
+	for i, c := range candidates {
+		sizes[i] = len(c)
+	}
+	return searchProducts(workers, sizes, func(idx []int) (*Witness, error) {
+		m := make(map[history.Loc][]history.OpID, len(locs))
+		for i, loc := range locs {
+			m[loc] = candidates[i][idx[i]]
+		}
+		coh, err := order.NewCoherence(s, m)
+		if err != nil {
+			return nil, err
+		}
+		return test(coh)
+	})
+}
+
+// WithWorkers returns a copy of m with its worker-count knob set, for the
+// models that enumerate mutual-consistency structures; models with nothing
+// to parallelize (SC, PRAM, Causal, Coherence, Slow — a fixed handful of
+// view problems each) are returned unchanged. The knob follows the pool
+// convention: 0 = one worker per CPU (the default), 1 = the sequential
+// oracle path, larger = an explicit pool size.
+func WithWorkers(m Model, workers int) Model {
+	switch t := m.(type) {
+	case TSO:
+		t.Workers = workers
+		return t
+	case TSOAxiomatic:
+		t.Workers = workers
+		return t
+	case PC:
+		t.Workers = workers
+		return t
+	case PCG:
+		t.Workers = workers
+		return t
+	case RCsc:
+		t.Workers = workers
+		return t
+	case RCpc:
+		t.Workers = workers
+		return t
+	case WO:
+		t.Workers = workers
+		return t
+	case CausalCoherent:
+		t.Workers = workers
+		return t
+	case CausalLabeledCoherent:
+		t.Workers = workers
+		return t
+	}
+	return m
+}

@@ -2,40 +2,8 @@ package model
 
 import (
 	"repro/history"
-	"repro/internal/perm"
 	"repro/order"
 )
-
-// forEachCoherence enumerates every coherence order (one total order of
-// writes per location, each a linear extension of program order) and calls
-// fn with it. Enumeration stops when fn returns false or errors. It is the
-// shared outer loop of PC, PCG, CausalCoherent and RC.
-func forEachCoherence(s *history.System, po *order.Relation, fn func(*order.Coherence) (bool, error)) error {
-	locs, candidates := coherenceCandidates(s, po)
-	sizes := make([]int, len(candidates))
-	for i, c := range candidates {
-		sizes[i] = len(c)
-	}
-	var outerErr error
-	perm.Products(sizes, func(idx []int) bool {
-		m := make(map[history.Loc][]history.OpID, len(locs))
-		for i, loc := range locs {
-			m[loc] = candidates[i][idx[i]]
-		}
-		coh, err := order.NewCoherence(s, m)
-		if err != nil {
-			outerErr = err
-			return false
-		}
-		cont, err := fn(coh)
-		if err != nil {
-			outerErr = err
-			return false
-		}
-		return cont
-	})
-	return outerErr
-}
 
 // coherenceWitness renders a coherence order into the Witness field form.
 func coherenceWitness(coh *order.Coherence) map[history.Loc]history.View {
@@ -52,13 +20,17 @@ func coherenceWitness(coh *order.Coherence) map[history.Loc]history.View {
 // shared by all views); views respect the semi-causality order
 // →sem = (→ppo ∪ →rwb ∪ →rrb)+, which weakens causality to what DASH's
 // "perform with respect to" conditions actually enforce.
-type PC struct{}
+type PC struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (PC) Name() string { return "PC" }
 
 // Allows implements Model.
-func (PC) Allows(s *history.System) (Verdict, error) {
+func (m PC) Allows(s *history.System) (Verdict, error) {
 	if err := checkSize("PC", s); err != nil {
 		return rejected, err
 	}
@@ -66,26 +38,21 @@ func (PC) Allows(s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	var witness *Witness
-	err := forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
 		sem, err := order.SemiCausal(s, coh)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		if sem.HasCycle() {
-			return true, nil // incompatible coherence order; try next
+			return nil, nil // incompatible coherence order; try next
 		}
 		prec := sem.Clone()
 		prec.Union(coh.Relation(s))
 		views, err := solveViews(s, prec)
-		if err != nil {
-			return false, err
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true, nil
-		}
-		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
-		return false, nil
+		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
 	if err != nil {
 		return rejected, err
@@ -103,30 +70,29 @@ func (PC) Allows(s *history.System) (Verdict, error) {
 // but there is no semi-causality requirement. The paper notes (citing [2])
 // that PCG and DASH PC are incomparable; package relate demonstrates this
 // empirically.
-type PCG struct{}
+type PCG struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (PCG) Name() string { return "PCG" }
 
 // Allows implements Model.
-func (PCG) Allows(s *history.System) (Verdict, error) {
+func (m PCG) Allows(s *history.System) (Verdict, error) {
 	if err := checkSize("PCG", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
-	var witness *Witness
-	err := forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec := po.Clone()
 		prec.Union(coh.Relation(s))
 		views, err := solveViews(s, prec)
-		if err != nil {
-			return false, err
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true, nil
-		}
-		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
-		return false, nil
+		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
 	if err != nil {
 		return rejected, err
@@ -145,13 +111,17 @@ func (PCG) Allows(s *history.System) (Verdict, error) {
 // different processors. It sits strictly between Causal and CausalCoherent:
 // more histories than the latter (ordinary coherence dropped), fewer than
 // the former (labeled coherence kept).
-type CausalLabeledCoherent struct{}
+type CausalLabeledCoherent struct {
+	// Workers sizes the labeled-coherence enumeration pool; see
+	// TSO.Workers for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (CausalLabeledCoherent) Name() string { return "Causal+LCoh" }
 
 // Allows implements Model.
-func (CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
+func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 	const name = "Causal+LCoh"
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
@@ -186,8 +156,7 @@ func (CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 	for i, c := range candidates {
 		sizes[i] = len(c)
 	}
-	var witness *Witness
-	perm.Products(sizes, func(idx []int) bool {
+	witness, err := searchProducts(m.Workers, sizes, func(idx []int) (*Witness, error) {
 		prec := co.Clone()
 		coh := make(map[history.Loc]history.View, len(locs))
 		for i, loc := range locs {
@@ -195,16 +164,11 @@ func (CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 			prec.AddChain(seq)
 			coh[loc] = history.View(seq)
 		}
-		views, err2 := solveViews(s, prec)
-		if err2 != nil {
-			err = err2
-			return false
+		views, err := solveViews(s, prec)
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true
-		}
-		witness = &Witness{Views: views, Coherence: coh}
-		return false
+		return &Witness{Views: views, Coherence: coh}, nil
 	})
 	if err != nil {
 		return rejected, err
@@ -220,13 +184,17 @@ func (CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 // Views respect causal order and agree on a per-location write order. It
 // is strictly stronger than causal memory and than PCG, and remains
 // incomparable with TSO.
-type CausalCoherent struct{}
+type CausalCoherent struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (CausalCoherent) Name() string { return "Causal+Coh" }
 
 // Allows implements Model.
-func (CausalCoherent) Allows(s *history.System) (Verdict, error) {
+func (m CausalCoherent) Allows(s *history.System) (Verdict, error) {
 	if err := checkSize("Causal+Coh", s); err != nil {
 		return rejected, err
 	}
@@ -238,19 +206,14 @@ func (CausalCoherent) Allows(s *history.System) (Verdict, error) {
 		return rejected, nil
 	}
 	po := order.Program(s)
-	var witness *Witness
-	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec := co.Clone()
 		prec.Union(coh.Relation(s))
 		views, err := solveViews(s, prec)
-		if err != nil {
-			return false, err
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true, nil
-		}
-		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
-		return false, nil
+		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
 	if err != nil {
 		return rejected, err

@@ -136,6 +136,43 @@ func TestQuickSCImpliesIdenticalViews(t *testing.T) {
 	}
 }
 
+// TestQuickParallelEquivalence: on random histories, every enumerating
+// checker's parallel path (Workers=3) reaches the same verdict as its
+// sequential oracle (Workers=1), and parallel witnesses verify. This is the
+// quick-check half of the differential suite (the corpus half lives in
+// litmus/parallel_test.go).
+func TestQuickParallelEquivalence(t *testing.T) {
+	models := []Model{TSO{}, TSOAxiomatic{}, PC{}, PCG{}, RCsc{}, RCpc{}}
+	prop := func(g genHistory) bool {
+		for _, m := range models {
+			sv, serr := WithWorkers(m, 1).Allows(g.Sys)
+			pv, perr := WithWorkers(m, 3).Allows(g.Sys)
+			if (serr == nil) != (perr == nil) {
+				t.Logf("%s: sequential err=%v, parallel err=%v\n%s", m.Name(), serr, perr, g.Sys)
+				return false
+			}
+			if serr != nil {
+				continue
+			}
+			if sv.Allowed != pv.Allowed {
+				t.Logf("%s: sequential allowed=%v, parallel allowed=%v\n%s",
+					m.Name(), sv.Allowed, pv.Allowed, g.Sys)
+				return false
+			}
+			if pv.Allowed {
+				if err := VerifyWitness(m, g.Sys, pv.Witness); err != nil {
+					t.Logf("%s: parallel witness fails verification: %v\n%s", m.Name(), err, g.Sys)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickDeterminism: checkers are deterministic — two calls agree.
 func TestQuickDeterminism(t *testing.T) {
 	prop := func(g genHistory) bool {

@@ -17,13 +17,17 @@ import (
 // precedes any later release by the same processor, in every view), and the
 // labeled operations admit a single legal sequentially consistent
 // serialization that every view embeds.
-type RCsc struct{}
+type RCsc struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (RCsc) Name() string { return "RCsc" }
 
 // Allows implements Model.
-func (RCsc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCsc", s, true) }
+func (m RCsc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCsc", s, true, m.Workers) }
 
 // RCpc is release consistency with processor consistent synchronization
 // operations: identical to RCsc except the labeled operations need only
@@ -31,13 +35,19 @@ func (RCsc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCsc",
 // semi-causally consistent order. The paper's Section 5 shows Lamport's
 // Bakery algorithm is correct on RCsc but not on RCpc; package explore
 // reproduces that separation.
-type RCpc struct{}
+type RCpc struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (RCpc) Name() string { return "RCpc" }
 
 // Allows implements Model.
-func (RCpc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCpc", s, false) }
+func (m RCpc) Allows(s *history.System) (Verdict, error) {
+	return rcAllows("RCpc", s, false, m.Workers)
+}
 
 // rcAllows is the shared RC decision procedure.
 //
@@ -50,7 +60,7 @@ func (RCpc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCpc",
 // operation completes before the following release operation is
 // performed") make clear this is a typo for "o precedes o_w"; we implement
 // the bracketing reading.
-func rcAllows(name string, s *history.System, labeledSC bool) (Verdict, error) {
+func rcAllows(name string, s *history.System, labeledSC bool, workers int) (Verdict, error) {
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
 	}
@@ -72,48 +82,39 @@ func rcAllows(name string, s *history.System, labeledSC bool) (Verdict, error) {
 	labeled := s.Labeled()
 	sub, toGlobal := labeledSubsystem(s)
 
-	var witness *Witness
-	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+	witness, err := searchCoherence(workers, s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec0 := base.Clone()
 		prec0.Union(coh.Relation(s))
 		if labeledSC {
 			w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
-			if err != nil {
-				return false, err
+			if err != nil || w == nil {
+				return nil, err
 			}
-			if w != nil {
-				w.Coherence = coherenceWitness(coh)
-				witness = w
-				return false, nil
-			}
-			return true, nil
+			w.Coherence = coherenceWitness(coh)
+			return w, nil
 		}
 		// RCpc: impose the semi-causality order of the labeled
 		// subhistory, computed against this coherence order.
 		subCoh, err := restrictCoherence(s, sub, toGlobal, coh)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		semSub, err := order.SemiCausal(sub, subCoh)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		if semSub.HasCycle() {
-			return true, nil
+			return nil, nil
 		}
 		prec := prec0.Clone()
 		for _, pr := range semSub.Pairs() {
 			prec.Add(toGlobal[pr[0]], toGlobal[pr[1]])
 		}
 		views, err := solveViews(s, prec)
-		if err != nil {
-			return false, err
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true, nil
-		}
-		witness = &Witness{Views: views, Coherence: coherenceWitness(coh)}
-		return false, nil
+		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
 	if err != nil {
 		return rejected, err

@@ -2,7 +2,6 @@ package model
 
 import (
 	"repro/history"
-	"repro/internal/perm"
 	"repro/order"
 )
 
@@ -15,14 +14,22 @@ import (
 //
 // The checker enumerates candidate global write orders (linear extensions
 // of program order over the writes) and, for each, asks whether every
-// processor has a legal view embedding that write order.
-type TSO struct{}
+// processor has a legal view embedding that write order. The enumeration is
+// sharded across a worker pool with first-witness cancellation; see the
+// package comment and Workers.
+type TSO struct {
+	// Workers sizes the write-order enumeration pool: 0 (the default)
+	// uses one worker per CPU, 1 forces the sequential oracle path, and
+	// larger values set the pool size explicitly. Verdicts are identical
+	// at every setting.
+	Workers int
+}
 
 // Name implements Model.
 func (TSO) Name() string { return "TSO" }
 
 // Allows implements Model.
-func (TSO) Allows(s *history.System) (Verdict, error) {
+func (m TSO) Allows(s *history.System) (Verdict, error) {
 	if err := checkSize("TSO", s); err != nil {
 		return rejected, err
 	}
@@ -30,13 +37,9 @@ func (TSO) Allows(s *history.System) (Verdict, error) {
 	ppo := order.PartialProgram(s)
 	writes := s.Writes()
 
-	var (
-		witness  *Witness
-		solveErr error
-	)
-	perm.LinearExtensions(len(writes), func(a, b int) bool {
+	witness, err := searchLinearExtensions(m.Workers, len(writes), func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
-	}, func(ord []int) bool {
+	}, func(ord []int) (*Witness, error) {
 		wseq := make([]history.OpID, len(ord))
 		for i, k := range ord {
 			wseq[i] = writes[k]
@@ -44,18 +47,13 @@ func (TSO) Allows(s *history.System) (Verdict, error) {
 		prec := ppo.Clone()
 		addChain(prec, wseq)
 		views, err := solveViews(s, prec)
-		if err != nil {
-			solveErr = err
-			return false
+		if err != nil || views == nil {
+			return nil, err
 		}
-		if views == nil {
-			return true // this write order fails; try the next
-		}
-		witness = &Witness{Views: views, WriteOrder: wseq}
-		return false
+		return &Witness{Views: views, WriteOrder: wseq}, nil
 	})
-	if solveErr != nil {
-		return rejected, solveErr
+	if err != nil {
+		return rejected, err
 	}
 	if witness == nil {
 		return rejected, nil

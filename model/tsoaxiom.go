@@ -42,26 +42,38 @@ import (
 // the number of stores memory-ordered before it — in program order per
 // processor; minimal feasible positions are optimal, so the greedy
 // assignment is complete.
-type TSOAxiomatic struct{}
+type TSOAxiomatic struct {
+	// Workers sizes the store-order enumeration pool; see TSO.Workers for
+	// the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (TSOAxiomatic) Name() string { return "TSO-ax" }
 
 // Allows implements Model.
-func (TSOAxiomatic) Allows(s *history.System) (Verdict, error) {
+func (m TSOAxiomatic) Allows(s *history.System) (Verdict, error) {
 	if err := checkSize("TSO-ax", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
-	var witness *Witness
-	order.LinearExtensions(s.Writes(), po, func(wseq []history.OpID) bool {
+	writes := s.Writes()
+	witness, err := searchLinearExtensions(m.Workers, len(writes), func(a, b int) bool {
+		return po.Has(writes[a], writes[b])
+	}, func(ord []int) (*Witness, error) {
+		wseq := make([]history.OpID, len(ord))
+		for i, k := range ord {
+			wseq[i] = writes[k]
+		}
 		views, ok := axiomaticAssign(s, wseq)
 		if !ok {
-			return true
+			return nil, nil
 		}
-		witness = &Witness{Views: views, WriteOrder: wseq}
-		return false
+		return &Witness{Views: views, WriteOrder: wseq}, nil
 	})
+	if err != nil {
+		return rejected, err
+	}
 	if witness == nil {
 		return rejected, nil
 	}

@@ -29,13 +29,17 @@ import (
 // sets of histories; the corpus test WO-release-fence witnesses
 // strictness (an ordinary read hoisted above an earlier release, legal
 // under RCsc, illegal under WO).
-type WO struct{}
+type WO struct {
+	// Workers sizes the coherence-order enumeration pool; see TSO.Workers
+	// for the convention.
+	Workers int
+}
 
 // Name implements Model.
 func (WO) Name() string { return "WO" }
 
 // Allows implements Model.
-func (WO) Allows(s *history.System) (Verdict, error) {
+func (m WO) Allows(s *history.System) (Verdict, error) {
 	const name = "WO"
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
@@ -57,20 +61,15 @@ func (WO) Allows(s *history.System) (Verdict, error) {
 	base.Union(fenceEdges(s))
 
 	labeled := s.Labeled()
-	var witness *Witness
-	err = forEachCoherence(s, po, func(coh *order.Coherence) (bool, error) {
+	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec0 := base.Clone()
 		prec0.Union(coh.Relation(s))
 		w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
-		if err != nil {
-			return false, err
+		if err != nil || w == nil {
+			return nil, err
 		}
-		if w != nil {
-			w.Coherence = coherenceWitness(coh)
-			witness = w
-			return false, nil
-		}
-		return true, nil
+		w.Coherence = coherenceWitness(coh)
+		return w, nil
 	})
 	if err != nil {
 		return rejected, err

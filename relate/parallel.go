@@ -1,10 +1,10 @@
 package relate
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"repro/history"
+	"repro/internal/pool"
 	"repro/model"
 )
 
@@ -12,8 +12,9 @@ import (
 // dozen models — are embarrassingly parallel: checkers are pure functions
 // of their inputs (every Model in package model is a stateless value type,
 // and each Allows call builds its own solver state). The parallel variants
-// below shard histories across a worker pool and aggregate; results are
-// identical to the sequential versions, deterministically.
+// below shard histories across the shared worker pool (internal/pool — the
+// same pool the model checkers and the explorer use) and aggregate;
+// results are identical to the sequential versions, deterministically.
 
 // classification is one history's verdict vector.
 type classification struct {
@@ -40,11 +41,9 @@ func classify(h *history.System, models []model.Model) classification {
 
 // BuildMatrixParallel is BuildMatrix with the per-history classification
 // fanned out over `workers` goroutines (0 = GOMAXPROCS). The resulting
-// matrix is identical to the sequential one.
+// matrix is identical to the sequential one: classifications land in a
+// per-history slot and are folded in order.
 func BuildMatrixParallel(histories []*history.System, models []model.Model, workers int) *Matrix {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	names := make([]string, len(models))
 	for i, m := range models {
 		names[i] = m.Name()
@@ -60,22 +59,9 @@ func BuildMatrixParallel(histories []*history.System, models []model.Model, work
 	}
 
 	results := make([]classification, len(histories))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = classify(histories[i], models)
-			}
-		}()
-	}
-	for i := range histories {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	pool.Indexed(pool.Size(workers), len(histories), func(i int) {
+		results[i] = classify(histories[i], models)
+	})
 
 	for _, c := range results {
 		for _, a := range names {
@@ -103,50 +89,42 @@ func BuildMatrixParallel(histories []*history.System, models []model.Model, work
 
 // DensityParallel is Density with a worker pool (workers = 0 means
 // GOMAXPROCS). Enumeration is sequential (it is cheap); classification is
-// fanned out.
+// fanned out, with per-worker partial counts merged at the end.
 func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model) (map[string]int, int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	jobs := make(chan *history.System, workers*4)
+	w := pool.Size(workers)
 	type partial struct {
 		counts map[string]int
 		n      int
 		err    error
 	}
-	parts := make(chan partial, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			p := partial{counts: make(map[string]int, len(models))}
-			for h := range jobs {
-				p.n++
-				for _, m := range models {
-					v, err := m.Allows(h)
-					if err != nil {
-						if p.err == nil {
-							p.err = err
-						}
-						continue
-					}
-					if v.Allowed {
-						p.counts[m.Name()]++
-					}
-				}
-			}
-			parts <- p
-		}()
-	}
-	EnumerateHistories(procs, opsPerProc, locs, func(h *history.System) bool {
-		jobs <- h
-		return true
+	parts := make([]partial, w)
+	jobs := pool.Feed(context.Background(), w*4, func(emit func(*history.System) bool) {
+		EnumerateHistories(procs, opsPerProc, locs, emit)
 	})
-	close(jobs)
+	pool.Drain(context.Background(), w, jobs, func(worker int, h *history.System) {
+		p := &parts[worker]
+		if p.counts == nil {
+			p.counts = make(map[string]int, len(models))
+		}
+		p.n++
+		for _, m := range models {
+			v, err := m.Allows(h)
+			if err != nil {
+				if p.err == nil {
+					p.err = err
+				}
+				continue
+			}
+			if v.Allowed {
+				p.counts[m.Name()]++
+			}
+		}
+	})
 
 	counts := make(map[string]int, len(models))
 	total := 0
 	var firstErr error
-	for w := 0; w < workers; w++ {
-		p := <-parts
+	for _, p := range parts {
 		total += p.n
 		for k, v := range p.counts {
 			counts[k] += v
@@ -165,9 +143,6 @@ func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model)
 // over the complete shape using a worker pool, collecting at most one
 // counterexample per violated containment.
 func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (violations []string, total int, err error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	byName := map[string]model.Model{}
 	needed := map[string]bool{}
 	lattice := PaperLattice()
@@ -185,54 +160,42 @@ func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (viola
 		}
 	}
 
-	jobs := make(chan *history.System, workers*4)
+	w := pool.Size(workers)
 	type partial struct {
 		violations map[string]string // "Strong⊆Weak" → counterexample
 		n          int
-		err        error
 	}
-	parts := make(chan partial, workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			p := partial{violations: map[string]string{}}
-			for h := range jobs {
-				p.n++
-				c := classify(h, models)
-				for _, edge := range lattice {
-					key := edge.Strong + "⊆" + edge.Weak
-					if _, done := p.violations[key]; done {
-						continue
-					}
-					if c.ok[edge.Strong] && c.verdict[edge.Strong] &&
-						c.ok[edge.Weak] && !c.verdict[edge.Weak] {
-						p.violations[key] = h.String()
-					}
-				}
-			}
-			parts <- p
-		}()
-	}
-	EnumerateHistories(procs, opsPerProc, locs, func(h *history.System) bool {
-		jobs <- h
-		return true
+	parts := make([]partial, w)
+	jobs := pool.Feed(context.Background(), w*4, func(emit func(*history.System) bool) {
+		EnumerateHistories(procs, opsPerProc, locs, emit)
 	})
-	close(jobs)
+	pool.Drain(context.Background(), w, jobs, func(worker int, h *history.System) {
+		p := &parts[worker]
+		if p.violations == nil {
+			p.violations = map[string]string{}
+		}
+		p.n++
+		c := classify(h, models)
+		for _, edge := range lattice {
+			key := edge.Strong + "⊆" + edge.Weak
+			if _, done := p.violations[key]; done {
+				continue
+			}
+			if c.ok[edge.Strong] && c.verdict[edge.Strong] &&
+				c.ok[edge.Weak] && !c.verdict[edge.Weak] {
+				p.violations[key] = h.String()
+			}
+		}
+	})
 
 	merged := map[string]string{}
-	for w := 0; w < workers; w++ {
-		p := <-parts
+	for _, p := range parts {
 		total += p.n
 		for k, v := range p.violations {
 			if _, dup := merged[k]; !dup {
 				merged[k] = v
 			}
 		}
-		if err == nil && p.err != nil {
-			err = p.err
-		}
-	}
-	if err != nil {
-		return nil, total, err
 	}
 	for _, edge := range lattice {
 		key := edge.Strong + "⊆" + edge.Weak
