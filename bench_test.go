@@ -7,10 +7,12 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/algorithms"
 	"repro/drf"
@@ -355,6 +357,52 @@ func BenchmarkDRFTheorem(b *testing.B) {
 		if err != nil || !cmp.Equal {
 			b.Fatalf("equal=%v err=%v", cmp.Equal, err)
 		}
+	}
+}
+
+// BenchmarkBudgetOverhead measures the cost of metered checking: the same
+// corpus-scale decisions open-loop (Allows, nil meter) and under a generous
+// budget plus deadline (AllowsCtx) that never trips. The delta is the price
+// of the accounting itself — the acceptance bar is ≤5%.
+func BenchmarkBudgetOverhead(b *testing.B) {
+	cases := []struct {
+		test, model string
+		want        bool
+	}{
+		{"Fig1-SB", "TSO", true},
+		{"Fig2-WRC", "PC", true},
+		{"Bakery-violation", "RCsc", false},
+	}
+	for _, c := range cases {
+		tc, err := litmus.ByName(c.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := model.ByName(c.model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(c.test+"/"+c.model+"/open-loop", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := m.Allows(tc.History)
+				if err != nil || v.Allowed != c.want {
+					b.Fatalf("verdict %+v err %v", v, err)
+				}
+			}
+		})
+		b.Run(c.test+"/"+c.model+"/budgeted", func(b *testing.B) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+			defer cancel()
+			ctx = model.WithBudget(ctx, model.DefaultBudget())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := model.AllowsCtx(ctx, m, tc.History)
+				if err != nil || !v.Decided() || v.Allowed != c.want {
+					b.Fatalf("verdict %+v err %v", v, err)
+				}
+			}
+		})
 	}
 }
 

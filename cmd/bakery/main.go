@@ -12,10 +12,15 @@
 //	bakery [-memory rcsc|rcpc|sc|tso|tso-fwd|pram|pcg|causal] [-n 2]
 //	       [-mode exhaustive|stochastic] [-runs 1000] [-seed 1]
 //	       [-algorithm bakery|peterson|dekker|fast|dijkstra|szymanski] [-check]
-//	       [-workers N]
+//	       [-workers N] [-timeout D] [-budget N]
+//
+// -timeout bounds the exploration (and the confirmation checks) by wall
+// clock; a truncated exploration reports why it stopped. -budget bounds the
+// confirmation checkers' work.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +42,19 @@ func main() {
 	algo := flag.String("algorithm", "bakery", "bakery, peterson, dekker, fast, dijkstra or szymanski")
 	check := flag.Bool("check", true, "validate a violating history against the RCsc/RCpc checkers")
 	workers := flag.Int("workers", 0, "explorer/checker pool size (0 = one per CPU, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the exploration and checks (0 = none)")
+	budgetN := flag.Int64("budget", 0, "work budget per confirmation check (0 = none)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budgetN > 0 {
+		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
+	}
 
 	labeled := strings.HasPrefix(*memory, "rc")
 	mkMem := memoryFactory(*memory)
@@ -56,7 +73,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		res, err := explore.Exhaustive(m, explore.Options{StopAtFirst: true, Workers: *workers})
+		res, err := explore.ExhaustiveCtx(ctx, m, explore.Options{StopAtFirst: true, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -66,7 +83,7 @@ func main() {
 			if res.Complete {
 				fmt.Println("RESULT: mutual exclusion HOLDS in every reachable state (exhaustive proof)")
 			} else {
-				fmt.Println("RESULT: no violation found, but exploration was truncated")
+				fmt.Printf("RESULT: no violation found, but exploration was truncated (%s)\n", res.Incomplete)
 			}
 			return
 		}
@@ -94,9 +111,14 @@ func main() {
 	}
 	for _, m := range []model.Model{model.RCpc{}, model.RCsc{}} {
 		m = model.WithWorkers(m, *workers)
-		v, err := m.Allows(violation.History)
+		v, err := model.AllowsCtx(ctx, m, violation.History)
 		if err != nil {
 			fmt.Printf("%s checker: error: %v\n", m.Name(), err)
+			continue
+		}
+		if !v.Decided() {
+			fmt.Printf("%s checker: UNKNOWN (%s) after %d candidates, %d nodes\n",
+				m.Name(), v.Unknown, v.Progress.Candidates, v.Progress.Nodes)
 			continue
 		}
 		fmt.Printf("%s checker: allowed=%v\n", m.Name(), v.Allowed)

@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	litmus [-test NAME] [-models SC,TSO,...] [-workers N]
+//	litmus [-test NAME] [-models SC,TSO,...] [-workers N] [-timeout D] [-budget N]
+//
+// With -timeout or -budget, a check cut short renders as "unknown" and is
+// tallied separately; only genuine verdict mismatches affect the exit code.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +30,8 @@ func main() {
 	export := flag.String("export", "", "write the corpus as .litmus files into this directory and exit")
 	dir := flag.String("dir", "", "also run every .litmus file from this directory")
 	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
+	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
 	flag.Parse()
 
 	if *export != "" {
@@ -64,22 +70,41 @@ func main() {
 		tests = append(tests, extra...)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budgetN > 0 {
+		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
+	}
+
 	fmt.Printf("%-22s", "test")
 	for _, m := range ms {
 		fmt.Printf("%12s", m.Name())
 	}
 	fmt.Println()
 
-	mismatches := 0
+	mismatches, unknowns := 0, 0
 	for _, t := range tests {
-		results, err := litmus.Run(t, ms)
+		results, err := litmus.RunCtx(ctx, t, ms)
 		if err != nil {
 			fmt.Printf("%-22s error: %v\n", t.Name, err)
 			continue
 		}
 		fmt.Printf("%-22s", t.Name)
 		for _, r := range results {
-			cell := map[bool]string{true: "allow", false: "forbid"}[r.Allowed]
+			var cell string
+			switch {
+			case r.Unknown != model.NotUnknown:
+				cell = "unknown"
+				unknowns++
+			case r.Allowed:
+				cell = "allow"
+			default:
+				cell = "forbid"
+			}
 			if !r.Match() {
 				cell += "!"
 				mismatches++
@@ -89,11 +114,14 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Println()
+	if unknowns > 0 {
+		fmt.Printf("%d checks cut short by the budget or deadline (shown 'unknown')\n", unknowns)
+	}
 	if mismatches > 0 {
 		fmt.Printf("%d verdicts disagree with corpus expectations (marked '!')\n", mismatches)
 		os.Exit(1)
 	}
-	fmt.Println("all verdicts match the corpus expectations")
+	fmt.Println("all decided verdicts match the corpus expectations")
 }
 
 // exportCorpus writes every corpus test as NAME.litmus into dir.

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	memcheck [-models SC,TSO,...] [-witness] [-workers N] [history | -f file]
+//	memcheck [-models SC,TSO,...] [-witness] [-workers N]
+//	         [-timeout D] [-budget N] [history | -f file]
+//
+// Membership checking is NP-hard, so -timeout and -budget bound each
+// check; a check cut short prints UNKNOWN with its reason and progress
+// instead of a verdict.
 //
 // The history uses the paper's notation, one processor per line or
 // '|'-separated on one line:
@@ -14,11 +19,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/history"
 	"repro/model"
@@ -29,6 +36,8 @@ func main() {
 	file := flag.String("f", "", "read the history from this file instead of the argument")
 	witness := flag.Bool("witness", false, "print certifying views for allowed verdicts")
 	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per check (0 = none)")
+	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
 	flag.Parse()
 
 	text, err := inputText(*file, flag.Args())
@@ -41,11 +50,18 @@ func main() {
 	}
 	fmt.Printf("history (%d processors, %d operations):\n%s\n", sys.NumProcs(), sys.NumOps(), sys)
 
+	ctx, cancel := boundedContext(context.Background(), *timeout, *budgetN)
+	defer cancel()
 	for _, m := range selectModels(*models) {
 		m = model.WithWorkers(m, *workers)
-		v, err := m.Allows(sys)
+		v, err := model.AllowsCtx(ctx, m, sys)
 		if err != nil {
 			fmt.Printf("%-11s error: %v\n", m.Name(), err)
+			continue
+		}
+		if !v.Decided() {
+			fmt.Printf("%-11s UNKNOWN (%s) after %d candidates, %d nodes\n",
+				m.Name(), v.Unknown, v.Progress.Candidates, v.Progress.Nodes)
 			continue
 		}
 		if !v.Allowed {
@@ -57,6 +73,19 @@ func main() {
 			printWitness(sys, v.Witness)
 		}
 	}
+}
+
+// boundedContext applies the -timeout and -budget flags: the timeout covers
+// the whole model sweep; the budget bounds each individual check.
+func boundedContext(ctx context.Context, timeout time.Duration, budget int64) (context.Context, context.CancelFunc) {
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	if budget > 0 {
+		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: budget, MaxNodes: budget})
+	}
+	return ctx, cancel
 }
 
 func inputText(file string, args []string) (string, error) {

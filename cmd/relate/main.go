@@ -6,10 +6,14 @@
 //
 // Usage:
 //
-//	relate [-random N] [-sims N] [-seed S]
+//	relate [-random N] [-sims N] [-seed S] [-timeout D] [-budget N]
+//
+// With -timeout or -budget, checks cut short land in the matrix's Unknown
+// column (never counted as rejections) and a summary line reports them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,10 +29,22 @@ func main() {
 	seed := flag.Int64("seed", 1993, "random seed")
 	shape := flag.String("shape", "", "exhaustive mode: verify the lattice over ALL histories of shape P,K,L (processors, ops each, locations), e.g. 2,2,2")
 	workers := flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
+	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *budgetN > 0 {
+		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
+	}
+
 	if *shape != "" {
-		runExhaustive(*shape, *workers)
+		runExhaustive(ctx, *shape, *workers)
 		return
 	}
 
@@ -44,11 +60,24 @@ func main() {
 	fmt.Printf("classifying %d histories (corpus + simulator runs + random) under %d models...\n\n",
 		len(hs), len(model.All()))
 
-	mx := relate.BuildMatrixParallel(hs, model.All(), *workers)
+	mx, err := relate.BuildMatrixCtx(ctx, hs, model.All(), *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relate:", err)
+		os.Exit(1)
+	}
 	fmt.Println("separation matrix — entry (row, col) counts histories allowed by `row` but")
 	fmt.Println("rejected by `col`; a zero supports row ⊆ col:")
 	fmt.Println()
 	fmt.Println(mx)
+	if n := totalUnknown(mx); n > 0 {
+		fmt.Printf("%d checks cut short by the budget or deadline (excluded from the matrix):\n", n)
+		for _, name := range mx.Models {
+			if mx.Unknown[name] > 0 {
+				fmt.Printf("  %-11s %d\n", name, mx.Unknown[name])
+			}
+		}
+		fmt.Println()
+	}
 
 	violations, missing := mx.CheckLattice()
 	fmt.Println("paper Figure 5 lattice check:")
@@ -87,16 +116,25 @@ func main() {
 	fmt.Println(mx.Hasse())
 }
 
+// totalUnknown sums the matrix's Unknown column.
+func totalUnknown(mx *relate.Matrix) int {
+	n := 0
+	for _, name := range mx.Models {
+		n += mx.Unknown[name]
+	}
+	return n
+}
+
 // runExhaustive verifies the lattice over every history of a complete
 // shape and prints the per-model density table.
-func runExhaustive(shape string, workers int) {
+func runExhaustive(ctx context.Context, shape string, workers int) {
 	var p, k, l int
 	if _, err := fmt.Sscanf(shape, "%d,%d,%d", &p, &k, &l); err != nil {
 		fmt.Fprintf(os.Stderr, "relate: bad -shape %q: %v\n", shape, err)
 		os.Exit(1)
 	}
 	fmt.Printf("exhaustively classifying every history of shape procs=%d ops/proc=%d locs=%d...\n", p, k, l)
-	counts, total, err := relate.DensityParallel(p, k, l, workers, model.All())
+	counts, unknown, total, err := relate.DensityCtx(ctx, p, k, l, workers, model.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relate:", err)
 		os.Exit(1)
@@ -104,9 +142,13 @@ func runExhaustive(shape string, workers int) {
 	fmt.Printf("\n%d histories in the shape; allowed per model (density):\n", total)
 	for _, m := range model.All() {
 		n := counts[m.Name()]
-		fmt.Printf("  %-11s %6d  (%.1f%%)\n", m.Name(), n, 100*float64(n)/float64(total))
+		fmt.Printf("  %-11s %6d  (%.1f%%)", m.Name(), n, 100*float64(n)/float64(total))
+		if u := unknown[m.Name()]; u > 0 {
+			fmt.Printf("  [%d unknown]", u)
+		}
+		fmt.Println()
 	}
-	violations, _, err := relate.CheckLatticeExhaustiveParallel(p, k, l, workers)
+	violations, _, err := relate.CheckLatticeExhaustiveCtx(ctx, p, k, l, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relate:", err)
 		os.Exit(1)

@@ -27,6 +27,16 @@
 // it, and differential tests pin parallel ≡ sequential verdicts. See the
 // "Parallel checking" section of README.md.
 //
+// Because membership checking is NP-hard, every check is also available in
+// a budgeted, cancellable form: model.AllowsCtx observes the context's
+// deadline and cancellation plus a model.WithBudget work budget, and
+// returns a three-valued verdict — allowed, forbidden, or Unknown with a
+// typed reason and progress counters — instead of running unbounded.
+// explore.ExhaustiveCtx and the relate Ctx sweeps report truncation
+// reasons and Unknown tallies the same way, worker panics are contained
+// as structured *pool.PanicError values, and the CLIs expose -timeout and
+// -budget. See the "Bounded checking" section of README.md.
+//
 // The benchmarks in this directory regenerate each of the paper's figures;
 // see EXPERIMENTS.md for the paper-versus-measured record.
 package repro

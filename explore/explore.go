@@ -21,6 +21,8 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"math/rand"
@@ -59,9 +61,14 @@ type Violation struct {
 
 // Options bounds exploration.
 type Options struct {
-	// MaxStates caps visited states (0 = 1<<20).
+	// MaxStates caps visited states (0 = 1<<20). Hitting the cap truncates
+	// the exploration: the search drains states already on its worklist but
+	// expands no new ones, Complete is false and Incomplete reports
+	// IncompleteMaxStates — distinguishable from a deadline or
+	// cancellation truncation.
 	MaxStates int
-	// MaxDepth caps schedule length (0 = 10_000).
+	// MaxDepth caps schedule length (0 = 10_000). States at the cap are
+	// not expanded; a truncation this causes reports IncompleteMaxDepth.
 	MaxDepth int
 	// Invariant is checked at every state (nil = MutualExclusion).
 	Invariant Invariant
@@ -92,6 +99,49 @@ type Options struct {
 	Workers int
 }
 
+// IncompleteReason classifies why an exploration did not exhaust the state
+// space. The zero value IncompleteNone accompanies a complete exploration.
+type IncompleteReason uint8
+
+const (
+	// IncompleteNone: the exploration was complete.
+	IncompleteNone IncompleteReason = iota
+	// IncompleteMaxStates: the Options.MaxStates cap was reached.
+	IncompleteMaxStates
+	// IncompleteMaxDepth: some schedule reached Options.MaxDepth.
+	IncompleteMaxDepth
+	// IncompleteFirstViolation: StopAtFirst ended the search at the first
+	// violation.
+	IncompleteFirstViolation
+	// IncompleteCallbackStop: an OnTerminal callback returned false.
+	IncompleteCallbackStop
+	// IncompleteDeadline: the context's deadline passed.
+	IncompleteDeadline
+	// IncompleteCanceled: the context was cancelled.
+	IncompleteCanceled
+)
+
+// String renders the reason for CLI output.
+func (r IncompleteReason) String() string {
+	switch r {
+	case IncompleteNone:
+		return "complete"
+	case IncompleteMaxStates:
+		return "max states reached"
+	case IncompleteMaxDepth:
+		return "max depth reached"
+	case IncompleteFirstViolation:
+		return "stopped at first violation"
+	case IncompleteCallbackStop:
+		return "stopped by callback"
+	case IncompleteDeadline:
+		return "deadline exceeded"
+	case IncompleteCanceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("IncompleteReason(%d)", uint8(r))
+}
+
 // Result summarizes an exploration.
 type Result struct {
 	// States is the number of distinct states visited.
@@ -103,6 +153,9 @@ type Result struct {
 	// Complete reports whether the state space was exhausted within the
 	// bounds; if false, absence of violations is not a proof.
 	Complete bool
+	// Incomplete records the FIRST reason the exploration fell short of
+	// exhausting the state space (IncompleteNone when Complete).
+	Incomplete IncompleteReason
 	// TerminalStates counts states where all threads halted.
 	TerminalStates int
 	// StuckStates counts states from which no terminal state is
@@ -126,6 +179,22 @@ func (r Result) DeadlockFree() bool {
 // and a complete exploration.
 func (r Result) Sound() bool { return len(r.Violations) == 0 && r.Complete }
 
+// truncate marks the result incomplete, keeping the first reason.
+func (r *Result) truncate(reason IncompleteReason) {
+	r.Complete = false
+	if r.Incomplete == IncompleteNone {
+		r.Incomplete = reason
+	}
+}
+
+// ctxReason maps a context error to the matching truncation reason.
+func ctxReason(err error) IncompleteReason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return IncompleteDeadline
+	}
+	return IncompleteCanceled
+}
+
 type node struct {
 	m     *program.Machine
 	trace []string
@@ -136,6 +205,16 @@ type node struct {
 // memory-internal actions) from its current state, deduplicating states by
 // fingerprint. The machine passed in is not modified.
 func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
+	return ExhaustiveCtx(context.Background(), m0, opts)
+}
+
+// ExhaustiveCtx is Exhaustive under a context: cancellation or a deadline
+// truncates the exploration, returning the partial Result (Complete false,
+// Incomplete reporting IncompleteCanceled or IncompleteDeadline) with a
+// nil error — a truncated exploration is a weaker answer, not a failure.
+// The context is checked per popped state (sequential) or per expansion
+// (parallel), so truncation lands within one state's expansion cost.
+func ExhaustiveCtx(ctx context.Context, m0 *program.Machine, opts Options) (Result, error) {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 1 << 20
 	}
@@ -147,7 +226,7 @@ func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
 		inv = MutualExclusion
 	}
 	if w := pool.Size(opts.Workers); w > 1 {
-		return exhaustiveParallel(m0, opts, inv, w)
+		return exhaustiveParallel(ctx, m0, opts, inv, w)
 	}
 
 	var res Result
@@ -160,6 +239,10 @@ func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
 	visited[m0.Fingerprint()] = true
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			res.truncate(ctxReason(err))
+			return res, nil
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		res.States++
@@ -176,7 +259,7 @@ func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
 				State:   n.m,
 			})
 			if opts.StopAtFirst {
-				res.Complete = false
+				res.truncate(IncompleteFirstViolation)
 				return res, nil
 			}
 			continue // do not explore past a violation
@@ -187,17 +270,17 @@ func Exhaustive(m0 *program.Machine, opts Options) (Result, error) {
 				res.terminals = append(res.terminals, nFP)
 			}
 			if opts.OnTerminal != nil && !opts.OnTerminal(n.m) {
-				res.Complete = false
+				res.truncate(IncompleteCallbackStop)
 				return res, nil
 			}
 			continue
 		}
 		if n.depth >= opts.MaxDepth {
-			res.Complete = false
+			res.truncate(IncompleteMaxDepth)
 			continue
 		}
 		if res.States >= opts.MaxStates {
-			res.Complete = false
+			res.truncate(IncompleteMaxStates)
 			continue
 		}
 

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -42,7 +43,7 @@ type expansion struct {
 	dropped int
 }
 
-func exhaustiveParallel(m0 *program.Machine, opts Options, inv Invariant, workers int) (Result, error) {
+func exhaustiveParallel(ctx context.Context, m0 *program.Machine, opts Options, inv Invariant, workers int) (Result, error) {
 	var res Result
 	res.Complete = true
 	if opts.TrackProgress {
@@ -55,11 +56,23 @@ func exhaustiveParallel(m0 *program.Machine, opts Options, inv Invariant, worker
 	for len(frontier) > 0 {
 		// Expansion phase: workers fill exps[i] from frontier[i]; the
 		// seen-set is only read (it is frozen between merges), so the
-		// pre-filter is deterministic.
+		// pre-filter is deterministic. A cancelled context short-circuits
+		// remaining expansions (the whole level is then discarded, so the
+		// empty expansions never reach the merge); a worker panic is
+		// contained by the pool and surfaces as a *pool.PanicError.
 		exps := make([]expansion, len(frontier))
-		pool.Indexed(workers, len(frontier), func(i int) {
+		if err := pool.Indexed(workers, len(frontier), func(i int) {
+			if ctx.Err() != nil {
+				return
+			}
 			exps[i] = expand(frontier[i], opts, inv, seen)
-		})
+		}); err != nil {
+			return res, err
+		}
+		if err := ctx.Err(); err != nil {
+			res.truncate(ctxReason(err))
+			return res, nil
+		}
 
 		// Merge phase: sequential, in frontier order.
 		var next []node
@@ -72,7 +85,7 @@ func exhaustiveParallel(m0 *program.Machine, opts Options, inv Invariant, worker
 			if exp.violation != nil {
 				res.Violations = append(res.Violations, *exp.violation)
 				if opts.StopAtFirst {
-					res.Complete = false
+					res.truncate(IncompleteFirstViolation)
 					return res, nil
 				}
 				continue // do not explore past a violation
@@ -83,17 +96,17 @@ func exhaustiveParallel(m0 *program.Machine, opts Options, inv Invariant, worker
 					res.terminals = append(res.terminals, exp.fp)
 				}
 				if opts.OnTerminal != nil && !opts.OnTerminal(n.m) {
-					res.Complete = false
+					res.truncate(IncompleteCallbackStop)
 					return res, nil
 				}
 				continue
 			}
 			if n.depth >= opts.MaxDepth {
-				res.Complete = false
+				res.truncate(IncompleteMaxDepth)
 				continue
 			}
 			if res.States >= opts.MaxStates {
-				res.Complete = false
+				res.truncate(IncompleteMaxStates)
 				continue
 			}
 			res.Transitions += exp.dropped

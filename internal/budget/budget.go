@@ -1,0 +1,209 @@
+// Package budget is the cooperative resource-control core shared by every
+// long-running computation in the repository. Deciding membership in the
+// paper's models is NP-hard (the checkers enumerate linear extensions and
+// coherence products), so a production check needs admission control: a
+// deadline, a cap on candidates tested, a cap on search nodes expanded —
+// and a way to stop promptly when any of them trips or the caller's
+// context is cancelled.
+//
+// A Meter is the per-call enforcement state: one is created for each
+// model check (or sweep cell), its atomic counters are shared by every
+// pool worker participating in that check, and the hot loops consult it
+// at an amortized cadence (every Stride nodes, every candidate) so that
+// accounting stays under a few percent of the open-loop cost. When a
+// limit trips, the meter latches a Reason and every subsequent poll
+// returns a *StopError carrying the reason and the progress counters —
+// which the model layer turns into an Unknown verdict rather than an
+// error or a hang.
+package budget
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Reason classifies why a computation was cut short.
+type Reason uint8
+
+const (
+	// None means the computation was not cut short.
+	None Reason = iota
+	// Deadline means the budget's deadline (or the context's) passed.
+	Deadline
+	// Exhausted means a work limit (MaxCandidates or MaxNodes) tripped.
+	Exhausted
+	// Canceled means the caller's context was cancelled.
+	Canceled
+)
+
+// String renders the reason for error messages and verdict displays.
+func (r Reason) String() string {
+	switch r {
+	case None:
+		return "none"
+	case Deadline:
+		return "deadline exceeded"
+	case Exhausted:
+		return "budget exhausted"
+	case Canceled:
+		return "canceled"
+	}
+	return fmt.Sprintf("Reason(%d)", uint8(r))
+}
+
+// StopError reports that a computation stopped before deciding its
+// question, with the work done up to that point. It flows up the ordinary
+// error paths of the search and enumeration layers; the model layer
+// converts it into an Unknown verdict at the public boundary.
+type StopError struct {
+	Reason     Reason
+	Candidates int64 // mutual-consistency candidates tested before the stop
+	Nodes      int64 // search nodes expanded before the stop
+}
+
+// Error implements error.
+func (e *StopError) Error() string {
+	return fmt.Sprintf("budget: stopped (%s) after %d candidates, %d nodes", e.Reason, e.Candidates, e.Nodes)
+}
+
+// Stride is the node-count granularity at which solvers poll the meter:
+// a solver accumulates Stride nodes locally before one shared AddNodes
+// call, bounding both the accounting overhead (one atomic op per Stride
+// nodes) and the stop latency (at most Stride nodes of slack per worker).
+const Stride = 256
+
+// candidateStride is how often AddCandidate performs the (clock-reading)
+// deadline check; limits are still enforced on every candidate.
+const candidateStride = 64
+
+// Meter enforces one computation's budget cooperatively. All methods are
+// safe for concurrent use by the workers of one check, and all methods
+// are nil-receiver-safe (a nil meter never stops anything), so layers can
+// thread an optional meter without branching.
+type Meter struct {
+	ctx        context.Context
+	deadline   time.Time // zero = none
+	maxCand    int64     // 0 = unlimited
+	maxNodes   int64     // 0 = unlimited
+	candidates atomic.Int64
+	nodes      atomic.Int64
+	stopped    atomic.Uint32 // a latched Reason; 0 while running
+}
+
+// New builds a meter over ctx with the given limits. A zero limit is
+// unlimited; the deadline is the earlier of the argument and ctx's own
+// deadline. ctx's cancellation is observed at the same cadence as the
+// deadline.
+func New(ctx context.Context, maxCandidates, maxNodes int64, deadline time.Time) *Meter {
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	return &Meter{ctx: ctx, deadline: deadline, maxCand: maxCandidates, maxNodes: maxNodes}
+}
+
+// AddNodes records n expanded search nodes and polls the node limit. The
+// (clock-reading) deadline and context checks run only when the total
+// crosses a Stride boundary, so short solver flushes — one per candidate —
+// do not each pay a time.Now(); the candidate axis (AddCandidate) covers
+// deadline detection for candidate-heavy, node-light enumerations. It
+// returns nil while the computation may continue and a *StopError once the
+// meter has latched a stop.
+func (m *Meter) AddNodes(n int64) error {
+	if m == nil {
+		return nil
+	}
+	total := m.nodes.Add(n)
+	if m.maxNodes > 0 && total > m.maxNodes {
+		m.stop(Exhausted)
+	} else if total/Stride != (total-n)/Stride {
+		m.checkTime()
+	}
+	return m.Err()
+}
+
+// AddCandidate records one tested mutual-consistency candidate. The
+// candidate limit is exact; the deadline and context are polled every
+// candidateStride candidates (cheap candidates would otherwise pay a
+// clock read each).
+func (m *Meter) AddCandidate() error {
+	if m == nil {
+		return nil
+	}
+	total := m.candidates.Add(1)
+	if m.maxCand > 0 && total > m.maxCand {
+		m.stop(Exhausted)
+	} else if total%candidateStride == 0 {
+		m.checkTime()
+	}
+	return m.Err()
+}
+
+// Poll re-checks the deadline and context immediately and returns the
+// meter's stop state. Use it as the final authority when an enumeration
+// ended early for a reason the counters alone cannot explain.
+func (m *Meter) Poll() error {
+	if m == nil {
+		return nil
+	}
+	m.checkTime()
+	return m.Err()
+}
+
+// Err returns the latched stop as a *StopError, or nil while running.
+func (m *Meter) Err() error {
+	if m == nil {
+		return nil
+	}
+	if r := Reason(m.stopped.Load()); r != None {
+		return &StopError{Reason: r, Candidates: m.candidates.Load(), Nodes: m.nodes.Load()}
+	}
+	return nil
+}
+
+// Reason returns the latched stop reason (None while running).
+func (m *Meter) Reason() Reason {
+	if m == nil {
+		return None
+	}
+	return Reason(m.stopped.Load())
+}
+
+// Candidates returns the candidates tested so far.
+func (m *Meter) Candidates() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.candidates.Load()
+}
+
+// Nodes returns the search nodes expanded so far.
+func (m *Meter) Nodes() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.nodes.Load()
+}
+
+// checkTime latches Deadline or Canceled if either condition holds.
+func (m *Meter) checkTime() {
+	if m.stopped.Load() != 0 {
+		return
+	}
+	if !m.deadline.IsZero() && !time.Now().Before(m.deadline) {
+		m.stop(Deadline)
+		return
+	}
+	if err := m.ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			m.stop(Deadline)
+		} else {
+			m.stop(Canceled)
+		}
+	}
+}
+
+// stop latches the first reason; later reasons lose the race.
+func (m *Meter) stop(r Reason) { m.stopped.CompareAndSwap(0, uint32(r)) }

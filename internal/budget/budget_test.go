@@ -1,0 +1,110 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNodeLimit(t *testing.T) {
+	m := New(context.Background(), 0, 1000, time.Time{})
+	if err := m.AddNodes(1000); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+	err := m.AddNodes(1)
+	var stop *StopError
+	if !errors.As(err, &stop) {
+		t.Fatalf("over the limit: %v, want *StopError", err)
+	}
+	if stop.Reason != Exhausted {
+		t.Errorf("Reason = %v, want Exhausted", stop.Reason)
+	}
+	if stop.Nodes != 1001 {
+		t.Errorf("Nodes = %d, want 1001", stop.Nodes)
+	}
+	// The stop is latched: every later call keeps failing.
+	if m.AddCandidate() == nil || m.Poll() == nil || m.Err() == nil {
+		t.Error("stop did not latch")
+	}
+}
+
+func TestCandidateLimitIsExact(t *testing.T) {
+	m := New(context.Background(), 3, 0, time.Time{})
+	for i := 0; i < 3; i++ {
+		if err := m.AddCandidate(); err != nil {
+			t.Fatalf("candidate %d: %v", i+1, err)
+		}
+	}
+	var stop *StopError
+	if err := m.AddCandidate(); !errors.As(err, &stop) || stop.Reason != Exhausted {
+		t.Fatalf("candidate 4: %v, want Exhausted *StopError", err)
+	}
+	if m.Candidates() != 4 {
+		t.Errorf("Candidates = %d, want 4", m.Candidates())
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	m := New(context.Background(), 0, 0, time.Now().Add(-time.Second))
+	var stop *StopError
+	if err := m.Poll(); !errors.As(err, &stop) || stop.Reason != Deadline {
+		t.Fatalf("Poll past deadline: %v, want Deadline", err)
+	}
+}
+
+func TestContextDeadlineWins(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// No explicit deadline: the meter must adopt the context's.
+	m := New(ctx, 0, 0, time.Time{})
+	time.Sleep(5 * time.Millisecond)
+	var stop *StopError
+	if err := m.Poll(); !errors.As(err, &stop) || stop.Reason != Deadline {
+		t.Fatalf("Poll past ctx deadline: %v, want Deadline", err)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := New(ctx, 0, 0, time.Time{})
+	if err := m.Poll(); err != nil {
+		t.Fatalf("before cancel: %v", err)
+	}
+	cancel()
+	var stop *StopError
+	if err := m.Poll(); !errors.As(err, &stop) || stop.Reason != Canceled {
+		t.Fatalf("after cancel: %v, want Canceled", err)
+	}
+}
+
+func TestFirstReasonWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := New(ctx, 0, 10, time.Time{})
+	m.AddNodes(100) // latches Exhausted
+	cancel()
+	if r := m.Reason(); r != Exhausted {
+		t.Errorf("Reason = %v, want the first latched reason (Exhausted)", r)
+	}
+}
+
+func TestNilMeterIsOpenLoop(t *testing.T) {
+	var m *Meter
+	if m.AddNodes(1e9) != nil || m.AddCandidate() != nil || m.Poll() != nil || m.Err() != nil {
+		t.Error("nil meter stopped something")
+	}
+	if m.Reason() != None || m.Candidates() != 0 || m.Nodes() != 0 {
+		t.Error("nil meter reported progress")
+	}
+}
+
+func TestReasonStrings(t *testing.T) {
+	for r, want := range map[Reason]string{
+		None: "none", Deadline: "deadline exceeded", Exhausted: "budget exhausted", Canceled: "canceled",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}

@@ -22,20 +22,25 @@ const shardsPerWorker = 8
 // yield may be invoked from multiple goroutines concurrently (each worker
 // reuses its own slice; copy if retained). When any yield returns false, or
 // ctx is cancelled, every worker stops promptly — this is the first-witness
-// cancellation the model checkers rely on. The return value is true only
-// when the whole space was exhausted; an early stop (yield or cancellation)
-// returns false.
+// cancellation the model checkers rely on. exhausted is true only when the
+// whole space was enumerated; an early stop (yield, cancellation, or a
+// worker fault) reports false.
+//
+// A panic on a worker is contained by the pool: the sibling shards are
+// cancelled and the panic is returned as a structured error (a
+// *pool.PanicError naming the worker and the prefix shard) instead of
+// killing the process.
 //
 // Worker counts follow the pool convention: workers <= 0 means GOMAXPROCS,
 // and 1 runs the sequential enumerator on the calling goroutine (still
 // honoring ctx between yields).
-func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a, b int) bool, yield func(order []int) bool) bool {
+func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a, b int) bool, yield func(order []int) bool) (exhausted bool, err error) {
 	if n > 64 {
 		panic("perm: LinearExtensionsParallel limited to 64 items")
 	}
 	workers = pool.Size(workers)
 	if workers == 1 || n <= 2 {
-		exhausted := true
+		exhausted = true
 		LinearExtensions(n, before, func(order []int) bool {
 			if ctx.Err() != nil || !yield(order) {
 				exhausted = false
@@ -43,7 +48,7 @@ func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a
 			}
 			return true
 		})
-		return exhausted
+		return exhausted, nil
 	}
 
 	preds := make([]uint64, n)
@@ -62,12 +67,12 @@ func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a
 	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
 	defer stop()
 
-	shards := pool.Feed(cctx, workers, func(emit func([]int) bool) {
+	shards, feedErr := pool.Feed(cctx, workers, func(emit func([]int) bool) {
 		prefixes(n, preds, depth, func(prefix []int) bool {
 			return emit(append([]int(nil), prefix...))
 		})
 	})
-	pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+	drainErr := pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
 		order := make([]int, len(prefix), n)
 		copy(order, prefix)
 		var placed uint64
@@ -101,7 +106,25 @@ func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a
 			cancel()
 		}
 	})
-	return !stopped.Load() && ctx.Err() == nil
+	// Read the early-stop flag before shutdownProducer cancels cctx (which
+	// would itself trip the AfterFunc and fake an early stop).
+	earlyStop := stopped.Load()
+	err = shutdownProducer(cancel, shards, feedErr, drainErr)
+	return err == nil && !earlyStop && ctx.Err() == nil, err
+}
+
+// shutdownProducer winds down a Feed/Drain pair after Drain has returned:
+// it cancels the producer, drains the channel until the producer closes it
+// (so no goroutine outlives the call), and returns the first fault — a
+// drain-worker panic before a producer one.
+func shutdownProducer[T any](cancel context.CancelFunc, shards <-chan T, feedErr func() error, drainErr error) error {
+	cancel()
+	for range shards {
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	return feedErr()
 }
 
 // splitDepth picks the shortest prefix depth whose shard count reaches
@@ -153,12 +176,12 @@ func prefixes(n int, preds []uint64, depth int, yield func(prefix []int) bool) {
 // across a worker pool by fixing the first dimensions: the splitter takes
 // the shortest dimension prefix whose combination count reaches the shard
 // target, and workers enumerate the remaining dimensions under each fixed
-// prefix. Concurrency, cancellation and return-value semantics match
-// LinearExtensionsParallel.
-func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(idx []int) bool) bool {
+// prefix. Concurrency, cancellation, fault-containment and return-value
+// semantics match LinearExtensionsParallel.
+func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(idx []int) bool) (exhausted bool, err error) {
 	workers = pool.Size(workers)
 	if workers == 1 || len(sizes) == 0 {
-		exhausted := true
+		exhausted = true
 		Products(sizes, func(idx []int) bool {
 			if ctx.Err() != nil || !yield(idx) {
 				exhausted = false
@@ -166,7 +189,7 @@ func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(
 			}
 			return true
 		})
-		return exhausted
+		return exhausted, nil
 	}
 
 	target := workers * shardsPerWorker
@@ -182,12 +205,12 @@ func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(
 	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
 	defer stop()
 
-	shards := pool.Feed(cctx, workers, func(emit func([]int) bool) {
+	shards, feedErr := pool.Feed(cctx, workers, func(emit func([]int) bool) {
 		Products(sizes[:split], func(prefix []int) bool {
 			return emit(append([]int(nil), prefix...))
 		})
 	})
-	pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+	drainErr := pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
 		idx := make([]int, len(sizes))
 		copy(idx, prefix)
 		var rec func(d int) bool
@@ -211,5 +234,7 @@ func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(
 			cancel()
 		}
 	})
-	return !stopped.Load() && ctx.Err() == nil
+	earlyStop := stopped.Load()
+	err = shutdownProducer(cancel, shards, feedErr, drainErr)
+	return err == nil && !earlyStop && ctx.Err() == nil, err
 }

@@ -2,12 +2,16 @@ package perm
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/pool"
+	"repro/internal/pool/faultpoint"
 )
 
 // collectParallel gathers every extension the parallel enumerator yields,
@@ -16,12 +20,15 @@ func collectParallel(t *testing.T, workers, n int, before func(a, b int) bool) [
 	t.Helper()
 	var mu sync.Mutex
 	var got []string
-	ok := LinearExtensionsParallel(context.Background(), workers, n, before, func(order []int) bool {
+	ok, err := LinearExtensionsParallel(context.Background(), workers, n, before, func(order []int) bool {
 		mu.Lock()
 		got = append(got, key(order))
 		mu.Unlock()
 		return true
 	})
+	if err != nil {
+		t.Fatalf("parallel enumeration failed: %v", err)
+	}
 	if !ok {
 		t.Fatal("exhaustive parallel enumeration reported an early stop")
 	}
@@ -88,8 +95,11 @@ func TestParallelCycleYieldsNothing(t *testing.T) {
 // the enumerator reports the early stop.
 func TestParallelEarlyStop(t *testing.T) {
 	var yields atomic.Int64
-	ok := LinearExtensionsParallel(context.Background(), 4, 8, func(a, b int) bool { return false },
+	ok, err := LinearExtensionsParallel(context.Background(), 4, 8, func(a, b int) bool { return false },
 		func([]int) bool { return yields.Add(1) < 3 })
+	if err != nil {
+		t.Fatalf("enumeration failed: %v", err)
+	}
 	if ok {
 		t.Error("early-stopped enumeration reported exhaustion")
 	}
@@ -109,11 +119,15 @@ func TestParallelCancellationIsPrompt(t *testing.T) {
 	var once sync.Once
 	done := make(chan bool, 1)
 	go func() {
-		done <- LinearExtensionsParallel(ctx, 4, 12, func(a, b int) bool { return false },
+		ok, err := LinearExtensionsParallel(ctx, 4, 12, func(a, b int) bool { return false },
 			func([]int) bool {
 				once.Do(func() { close(started) })
 				return true
 			})
+		if err != nil {
+			t.Errorf("cancelled enumeration returned an error: %v", err)
+		}
+		done <- ok
 	}()
 	<-started // the pool is demonstrably mid-enumeration
 	cancel()
@@ -139,12 +153,15 @@ func TestProductsParallelMatchesSequential(t *testing.T) {
 
 		var mu sync.Mutex
 		var got []string
-		ok := ProductsParallel(context.Background(), 3, sizes, func(idx []int) bool {
+		ok, err := ProductsParallel(context.Background(), 3, sizes, func(idx []int) bool {
 			mu.Lock()
 			got = append(got, key(idx))
 			mu.Unlock()
 			return true
 		})
+		if err != nil {
+			t.Fatalf("sizes %v: product enumeration failed: %v", sizes, err)
+		}
 		if !ok {
 			t.Fatalf("sizes %v: exhaustive product enumeration reported an early stop", sizes)
 		}
@@ -163,12 +180,45 @@ func TestProductsParallelMatchesSequential(t *testing.T) {
 // TestProductsParallelEarlyStop mirrors TestParallelEarlyStop for products.
 func TestProductsParallelEarlyStop(t *testing.T) {
 	var yields atomic.Int64
-	ok := ProductsParallel(context.Background(), 4, []int{6, 6, 6, 6, 6},
+	ok, err := ProductsParallel(context.Background(), 4, []int{6, 6, 6, 6, 6},
 		func([]int) bool { return yields.Add(1) < 5 })
+	if err != nil {
+		t.Fatalf("enumeration failed: %v", err)
+	}
 	if ok {
 		t.Error("early-stopped enumeration reported exhaustion")
 	}
 	if n := yields.Load(); n >= 6*6*6*6*6 {
 		t.Errorf("pool enumerated all %d vectors after a stop request", n)
+	}
+}
+
+// TestParallelWorkerPanicContained injects a panic into a drain worker via
+// the fault point and requires the enumerator to survive, report a
+// *pool.PanicError naming the shard, and not claim exhaustion.
+func TestParallelWorkerPanicContained(t *testing.T) {
+	var fired atomic.Bool
+	faultpoint.Set(faultpoint.Drain, func(worker int, item any) {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected shard fault")
+		}
+	})
+	defer faultpoint.Clear(faultpoint.Drain)
+
+	ok, err := LinearExtensionsParallel(context.Background(), 4, 9,
+		func(a, b int) bool { return false },
+		func([]int) bool { return true })
+	if ok {
+		t.Error("faulted enumeration reported exhaustion")
+	}
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *pool.PanicError", err)
+	}
+	if pe.Shard == "" {
+		t.Error("PanicError does not name the shard")
+	}
+	if pe.Value != "injected shard fault" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
 	}
 }

@@ -1,0 +1,74 @@
+// Package faultpoint provides test-only fault-injection hooks for the
+// worker pool. Production code calls Hit at named points; a test installs
+// a hook with Set to make a chosen worker panic or stall at that point,
+// which is how the repository proves panic containment, sibling
+// cancellation latency, and verdict determinism when a shard dies (see
+// internal/pool and model's fault-injection tests).
+//
+// The hooks are injected functions rather than build-tagged code so the
+// containment machinery under test is byte-for-byte the production
+// machinery. With no hooks installed, Hit is a single atomic load — the
+// production hot path pays nothing measurable.
+package faultpoint
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Named hit points compiled into the pool. Tests pass these to Set.
+const (
+	// Drain fires in a Drain worker before each item is processed; the
+	// item is passed to the hook.
+	Drain = "pool.drain"
+	// Indexed fires in an Indexed worker before each index is processed;
+	// the index is passed to the hook.
+	Indexed = "pool.indexed"
+	// Go fires once per Go worker at startup; the worker index doubles
+	// as the item.
+	Go = "pool.go"
+)
+
+var (
+	active atomic.Int32
+	mu     sync.Mutex
+	hooks  = map[string]func(worker int, item any){}
+)
+
+// Set installs fn at the named point, replacing any previous hook. The
+// hook runs on the worker's goroutine; panicking inside it simulates a
+// fault in the worker's payload, and blocking inside it simulates a
+// stalled worker.
+func Set(name string, fn func(worker int, item any)) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; !ok {
+		active.Add(1)
+	}
+	hooks[name] = fn
+}
+
+// Clear removes the named hook. Tests should defer it next to Set.
+func Clear(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := hooks[name]; ok {
+		delete(hooks, name)
+		active.Add(-1)
+	}
+}
+
+// Hit invokes the hook installed at name, if any. It is called by the
+// pool on every worker iteration and is a lone atomic load when no hooks
+// are installed.
+func Hit(name string, worker int, item any) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	fn := hooks[name]
+	mu.Unlock()
+	if fn != nil {
+		fn(worker, item)
+	}
+}

@@ -1,0 +1,94 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/order"
+)
+
+// hardProblem builds a view-existence instance whose DFS must expand many
+// nodes before concluding unsatisfiable: `writers` independent writes plus
+// a reader forced back to the initial value after observing a write.
+func hardProblem(t *testing.T, writers int) Problem {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < writers; i++ {
+		fmt.Fprintf(&sb, "p%d: w(l%d)1\n", i, i)
+	}
+	fmt.Fprintf(&sb, "p%d: r(l0)1 r(l0)0", writers)
+	s := parse(t, strings.TrimRight(sb.String(), "\n"))
+	return Problem{Sys: s, Ops: s.Ops(), Prec: order.Program(s)}
+}
+
+// TestFindViewNodeBudget checks the solver aborts with a *budget.StopError
+// once the node cap trips, and that the reported node count reflects the
+// work actually done (within one flush stride per solver).
+func TestFindViewNodeBudget(t *testing.T) {
+	p := hardProblem(t, 16)
+	p.Meter = budget.New(context.Background(), 0, 1000, time.Time{})
+	_, _, err := FindView(p)
+	var stop *budget.StopError
+	if !errors.As(err, &stop) {
+		t.Fatalf("err = %v, want *budget.StopError", err)
+	}
+	if stop.Reason != budget.Exhausted {
+		t.Errorf("Reason = %v, want %v", stop.Reason, budget.Exhausted)
+	}
+	if stop.Nodes < 1000 {
+		t.Errorf("Nodes = %d, want ≥ 1000", stop.Nodes)
+	}
+}
+
+// TestFindViewDeadline checks an expired deadline stops the solver on a
+// large instance.
+func TestFindViewDeadline(t *testing.T) {
+	p := hardProblem(t, 16)
+	p.Meter = budget.New(context.Background(), 0, 0, time.Now().Add(-time.Second))
+	_, _, err := FindView(p)
+	var stop *budget.StopError
+	if !errors.As(err, &stop) {
+		t.Fatalf("err = %v, want *budget.StopError", err)
+	}
+	if stop.Reason != budget.Deadline {
+		t.Errorf("Reason = %v, want %v", stop.Reason, budget.Deadline)
+	}
+}
+
+// TestFindViewNilMeterUnlimited: without a meter the same instance runs to
+// a definite (unsatisfiable) answer.
+func TestFindViewNilMeterUnlimited(t *testing.T) {
+	_, ok, err := FindView(hardProblem(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("contradictory coherence instance reported satisfiable")
+	}
+}
+
+// TestAbortedSearchDoesNotPoisonMemo is the memoization-soundness check:
+// run the same solver-visible instance first under a tiny budget (aborted
+// mid-search) and then without one; the unbudgeted answer must match a
+// fresh solver's. The memo table is per-solver, so the property holds by
+// construction — this test pins it against a future shared-cache change.
+func TestAbortedSearchDoesNotPoisonMemo(t *testing.T) {
+	budgeted := hardProblem(t, 12)
+	budgeted.Meter = budget.New(context.Background(), 0, 500, time.Time{})
+	if _, _, err := FindView(budgeted); err == nil {
+		t.Fatal("expected the 500-node budget to abort the search")
+	}
+
+	_, ok, err := FindView(hardProblem(t, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unsatisfiable instance reported satisfiable after an aborted run")
+	}
+}

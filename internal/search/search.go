@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/history"
+	"repro/internal/budget"
 	"repro/order"
 )
 
@@ -25,10 +26,18 @@ import (
 // constrain the view. Prec should already be transitively closed if chains
 // through operations outside Ops are to constrain the view (the paper's
 // orders are closed before restriction).
+//
+// Meter, when non-nil, meters the search cooperatively: every expanded
+// node is counted against the meter's budget (amortized every
+// budget.Stride nodes), and when the meter stops — deadline, work budget,
+// or context cancellation — the search aborts and returns the meter's
+// *budget.StopError instead of a definite answer. A nil Meter runs
+// open-loop, exactly as before.
 type Problem struct {
-	Sys  *history.System
-	Ops  []history.OpID
-	Prec *order.Relation
+	Sys   *history.System
+	Ops   []history.OpID
+	Prec  *order.Relation
+	Meter *budget.Meter
 }
 
 // MaxOps is the largest operation set FindView accepts. The solver's state
@@ -44,6 +53,45 @@ type solver struct {
 	val    []history.Value // local index → value
 	nLocs  int
 	failed map[stateKey]bool // memoized dead states
+
+	// Budget accounting: nodes are tallied locally and flushed to the
+	// shared meter every budget.Stride nodes; stopErr latches the meter's
+	// stop so the whole recursion unwinds quickly once the budget trips.
+	meter   *budget.Meter
+	pending int
+	stopErr error
+}
+
+// note counts one expanded node and polls the shared meter at the stride
+// cadence. It reports false when the search must abort; the unwinding
+// recursion must then avoid caching any state as dead (aborted subtrees
+// are unexplored, not failed).
+func (s *solver) note() bool {
+	if s.meter == nil {
+		return true
+	}
+	if s.stopErr != nil {
+		return false
+	}
+	if s.pending++; s.pending < budget.Stride {
+		return true
+	}
+	s.pending = 0
+	if err := s.meter.AddNodes(budget.Stride); err != nil {
+		s.stopErr = err
+		return false
+	}
+	return true
+}
+
+// flush reports the locally tallied node remainder to the meter. A stop
+// latched during the flush is deliberately ignored: the search has already
+// finished, and its answer stands.
+func (s *solver) flush() {
+	if s.meter != nil && s.pending > 0 {
+		s.meter.AddNodes(int64(s.pending))
+		s.pending = 0
+	}
 }
 
 type stateKey struct {
@@ -72,7 +120,8 @@ func FindViewUnmemoized(p Problem) (history.View, bool, error) {
 // enumeration over histories with long forced chains (e.g. candidate
 // sequentially consistent serializations of labeled operations in the RCsc
 // checker) stays tractable. The View passed to yield is freshly allocated
-// and may be retained.
+// and may be retained. When p.Meter stops the search, the enumeration
+// aborts and the meter's *budget.StopError is returned.
 func EnumerateViews(p Problem, yield func(history.View) bool) error {
 	s, err := newSolver(p, true)
 	if err != nil {
@@ -87,7 +136,8 @@ func EnumerateViews(p Problem, yield func(history.View) bool) error {
 		}
 		return yield(view)
 	})
-	return nil
+	s.flush()
+	return s.stopErr
 }
 
 // enumerate is dfs generalized to visit every completion. cont is false
@@ -97,6 +147,9 @@ func EnumerateViews(p Problem, yield func(history.View) bool) error {
 // completions cannot be skipped on revisit: distinct prefixes reaching it
 // yield distinct full sequences).
 func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func() bool) (cont, found bool) {
+	if !s.note() {
+		return false, false // budget stop: unwind without caching anything
+	}
 	n := len(s.ops)
 	if len(*seq) == n {
 		return yield(), true
@@ -138,7 +191,7 @@ func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func()
 			return false, found
 		}
 	}
-	if !found && s.failed != nil {
+	if !found && s.failed != nil && s.stopErr == nil {
 		s.failed[key] = true
 	}
 	return true, found
@@ -158,6 +211,7 @@ func newSolver(p Problem, memo bool) (*solver, error) {
 		kind:  make([]history.Kind, n),
 		locOf: make([]int, n),
 		val:   make([]history.Value, n),
+		meter: p.Meter,
 	}
 	if memo {
 		s.failed = make(map[stateKey]bool)
@@ -202,7 +256,12 @@ func findView(p Problem, memo bool) (history.View, bool, error) {
 	n := len(p.Ops)
 	seq := make([]int, 0, n)
 	lastW := make([]byte, s.nLocs)
-	if s.dfs(0, lastW, &seq) {
+	ok := s.dfs(0, lastW, &seq)
+	s.flush()
+	if s.stopErr != nil {
+		return nil, false, s.stopErr
+	}
+	if ok {
 		view := make(history.View, n)
 		for i, li := range seq {
 			view[i] = s.ops[li]
@@ -216,6 +275,9 @@ func findView(p Problem, memo bool) (history.View, bool, error) {
 // placed local indices; lastW[loc] records the most recent write placed per
 // location (local index + 1, 0 if none). seq accumulates the order.
 func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
+	if !s.note() {
+		return false // budget stop: unwind without caching anything
+	}
 	n := len(s.ops)
 	if len(*seq) == n {
 		return true
@@ -259,7 +321,7 @@ func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
 			lastW[loc] = prev
 		}
 	}
-	if s.failed != nil {
+	if s.failed != nil && s.stopErr == nil {
 		s.failed[key] = true
 	}
 	return false

@@ -13,6 +13,7 @@
 package litmus
 
 import (
+	"context"
 	"fmt"
 
 	"repro/history"
@@ -36,6 +37,9 @@ type Result struct {
 	Test    string
 	Model   string
 	Allowed bool
+	// Unknown is non-zero when the check was cut short by a deadline,
+	// budget or cancellation (RunCtx only); Allowed is then meaningless.
+	Unknown model.UnknownReason
 	// Expected and Asserted report the corpus expectation; Asserted is
 	// false when the corpus has no established verdict for this model.
 	Expected bool
@@ -43,15 +47,25 @@ type Result struct {
 }
 
 // Match reports whether the result agrees with the corpus expectation
-// (vacuously true when no expectation is asserted).
-func (r Result) Match() bool { return !r.Asserted || r.Allowed == r.Expected }
+// (vacuously true when no expectation is asserted, or when the check was
+// cut short — an undecided check is not evidence of a mismatch).
+func (r Result) Match() bool {
+	return !r.Asserted || r.Unknown != model.NotUnknown || r.Allowed == r.Expected
+}
 
 // Run checks the test against the given models and returns one result per
 // model, in the given order.
 func Run(t Test, models []model.Model) ([]Result, error) {
+	return RunCtx(context.Background(), t, models)
+}
+
+// RunCtx is Run under a context: the deadline, cancellation and any
+// model.WithBudget budget apply to every check, and a check cut short
+// reports its Unknown reason instead of a (meaningless) verdict.
+func RunCtx(ctx context.Context, t Test, models []model.Model) ([]Result, error) {
 	out := make([]Result, 0, len(models))
 	for _, m := range models {
-		v, err := m.Allows(t.History)
+		v, err := model.AllowsCtx(ctx, m, t.History)
 		if err != nil {
 			return nil, fmt.Errorf("litmus: %s under %s: %w", t.Name, m.Name(), err)
 		}
@@ -60,6 +74,7 @@ func Run(t Test, models []model.Model) ([]Result, error) {
 			Test:     t.Name,
 			Model:    m.Name(),
 			Allowed:  v.Allowed,
+			Unknown:  v.Unknown,
 			Expected: exp,
 			Asserted: asserted,
 		})
@@ -69,9 +84,14 @@ func Run(t Test, models []model.Model) ([]Result, error) {
 
 // RunCorpus runs every corpus test under every given model.
 func RunCorpus(models []model.Model) ([]Result, error) {
+	return RunCorpusCtx(context.Background(), models)
+}
+
+// RunCorpusCtx runs every corpus test under every given model, under ctx.
+func RunCorpusCtx(ctx context.Context, models []model.Model) ([]Result, error) {
 	var out []Result
 	for _, t := range Corpus() {
-		rs, err := Run(t, models)
+		rs, err := RunCtx(ctx, t, models)
 		if err != nil {
 			return nil, err
 		}

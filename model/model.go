@@ -36,6 +36,18 @@
 // the knob generically. Verdicts are identical at every setting; the
 // witness found may differ between runs, but every witness independently
 // verifies (VerifyWitness).
+//
+// # Bounded checking
+//
+// Because deciding membership is NP-hard, every checker is also available
+// in a budgeted, cancellable form: AllowsCtx(ctx, m, s) observes the
+// context's deadline and cancellation plus any Budget attached with
+// WithBudget (candidate and search-node caps), and returns a three-valued
+// Verdict — Allowed, not allowed, or Unknown with a typed reason
+// (DeadlineExceeded, BudgetExhausted, Canceled) and progress counters.
+// Budgets never flip an answer: a decided verdict under a budget equals
+// the unbudgeted verdict; when the budget trips first, the checker
+// withholds the answer rather than guessing.
 package model
 
 import (
@@ -43,6 +55,7 @@ import (
 	"sort"
 
 	"repro/history"
+	"repro/internal/budget"
 	"repro/internal/perm"
 	"repro/internal/search"
 	"repro/order"
@@ -69,17 +82,38 @@ type Witness struct {
 	LocSerializations map[history.Loc]history.View
 }
 
-// Verdict is the result of Model.Allows: whether the history is allowed,
-// and a witness when it is.
+// Verdict is the three-valued result of a membership check. When Unknown
+// is NotUnknown the verdict is decided: Allowed reports membership, with a
+// witness when allowed. When Unknown is set the check was cut short —
+// deadline, work budget, or cancellation — and Allowed is meaningless;
+// Progress records how much work was done before the stop. A decided
+// verdict produced under a budget always equals the verdict the unbudgeted
+// check would produce (budgets never flip an answer, they only withhold
+// one).
 type Verdict struct {
 	Allowed bool
 	Witness *Witness
+	// Unknown is NotUnknown for a decided verdict, otherwise the reason
+	// the check stopped short of deciding.
+	Unknown UnknownReason
+	// Progress counts candidates tested and search nodes expanded, for
+	// decided and Unknown verdicts alike. Open-loop checks (plain Allows,
+	// or a context with nothing that could stop the check) skip the
+	// accounting and report zeros.
+	Progress Progress
 }
+
+// Decided reports whether the verdict answers the membership question.
+func (v Verdict) Decided() bool { return v.Unknown == NotUnknown }
 
 // Model decides membership of histories in a consistency model. Allows
 // returns an error only when the question itself is malformed for the
 // checker (too many operations, ambiguous reads-from where the model's
 // orders require resolution) — never to signal "not allowed".
+//
+// Every model in this package also implements ContextModel; use the
+// package-level AllowsCtx to check under a deadline, budget, or
+// cancellable context.
 type Model interface {
 	Name() string
 	// Allows reports whether the system execution history is one of the
@@ -141,18 +175,19 @@ func SolveView(s *history.System, ops []history.OpID, prec *order.Relation) (his
 // common precedence relation. It returns nil (and no error) when some
 // processor has no legal view.
 func SolveViews(s *history.System, prec *order.Relation) (map[history.Proc]history.View, error) {
-	return solveViews(s, prec)
+	return solveViews(s, prec, nil)
 }
 
 // solveViews runs the per-processor view-existence subproblems shared by
 // every δp = w model: for each processor, find a legal arrangement of its
 // own operations plus all other processors' writes that respects prec.
-// It returns nil if any processor has no view.
-func solveViews(s *history.System, prec *order.Relation) (map[history.Proc]history.View, error) {
+// It returns nil if any processor has no view. A non-nil meter bounds the
+// search; a budget stop surfaces as the meter's *budget.StopError.
+func solveViews(s *history.System, prec *order.Relation, meter *budget.Meter) (map[history.Proc]history.View, error) {
 	views := make(map[history.Proc]history.View, s.NumProcs())
 	for p := 0; p < s.NumProcs(); p++ {
 		proc := history.Proc(p)
-		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec})
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec, Meter: meter})
 		if err != nil {
 			return nil, err
 		}
@@ -168,26 +203,36 @@ func solveViews(s *history.System, prec *order.Relation) (map[history.Proc]histo
 // location's writes that respects program order (same-processor writes to
 // one location are never reordered by any model in the paper). The
 // enumeration of mutual-consistency structures in TSO/PC/PCG/RC iterates
-// over the cartesian product of these candidate lists.
-func coherenceCandidates(s *history.System, po *order.Relation) (locs []history.Loc, candidates [][][]history.OpID) {
+// over the cartesian product of these candidate lists. Materialization
+// itself can be the explosive step on write-heavy histories, so each
+// materialized extension is charged to the meter as a search node and a
+// budget stop aborts the materialization with the meter's error.
+func coherenceCandidates(s *history.System, po *order.Relation, meter *budget.Meter) (locs []history.Loc, candidates [][][]history.OpID, err error) {
 	for _, loc := range s.Locs() {
 		writes := s.WritesTo(loc)
 		if len(writes) == 0 {
 			continue
 		}
 		var exts [][]history.OpID
-		collectExtensions(writes, po, &exts)
+		if err := collectExtensions(writes, po, meter, &exts); err != nil {
+			return nil, nil, err
+		}
 		locs = append(locs, loc)
 		candidates = append(candidates, exts)
 	}
-	return locs, candidates
+	return locs, candidates, nil
 }
 
 // collectExtensions appends every linear extension of po over the given
-// operations to *out.
-func collectExtensions(ops []history.OpID, po *order.Relation, out *[][]history.OpID) {
+// operations to *out, charging each to the meter.
+func collectExtensions(ops []history.OpID, po *order.Relation, meter *budget.Meter, out *[][]history.OpID) error {
 	before := func(a, b int) bool { return po.Has(ops[a], ops[b]) }
+	var stopErr error
 	perm.LinearExtensions(len(ops), before, func(ord []int) bool {
+		if err := meter.AddNodes(1); err != nil {
+			stopErr = err
+			return false
+		}
 		ext := make([]history.OpID, len(ord))
 		for i, k := range ord {
 			ext[i] = ops[k]
@@ -195,6 +240,7 @@ func collectExtensions(ops []history.OpID, po *order.Relation, out *[][]history.
 		*out = append(*out, ext)
 		return true
 	})
+	return stopErr
 }
 
 // addChain adds the total-order edges of seq to rel.

@@ -2,9 +2,11 @@ package model
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"repro/history"
+	"repro/internal/budget"
 	"repro/internal/perm"
 	"repro/internal/pool"
 	"repro/order"
@@ -24,10 +26,88 @@ import (
 // on whether a witness exists, though WHICH witness is found may depend on
 // scheduling — any witness independently verifies (VerifyWitness), so the
 // verdict, not the certificate, is the contract.
+//
+// Each AllowsCtx call owns one run: the context, the worker knob, and a
+// budget meter shared by every worker of that check. Candidates are charged
+// to the meter before they are tested, search nodes inside the view solver
+// are charged at a stride cadence, and when the meter latches a stop the
+// *budget.StopError unwinds the enumeration and finish converts it into an
+// Unknown verdict at the public boundary.
 
 // smallSpace is the candidate-count floor below which the search helpers
 // skip the pool: sharding a dozen candidates costs more than testing them.
 const smallSpace = 16
+
+// run is the per-check state shared by a checker's enumeration: the
+// caller's context, the resolved worker knob, and the budget meter every
+// worker charges.
+type run struct {
+	ctx     context.Context
+	meter   *budget.Meter
+	workers int
+}
+
+// newRun builds the per-check state for one AllowsCtx call, adopting any
+// Budget attached to the context. When nothing can stop the check — no
+// budget, no deadline, no cancellation — the meter stays nil, which every
+// layer treats as open loop: plain Allows calls then pay nothing over the
+// pre-budget code (and report zero Progress).
+func newRun(ctx context.Context, workers int) *run {
+	r := &run{ctx: ctx, workers: workers}
+	r.arm()
+	return r
+}
+
+// arm attaches a meter when the context carries anything that could stop
+// the check. Kept out of newRun so newRun inlines and an open-loop run can
+// stay on the caller's stack.
+func (r *run) arm() {
+	b, hasBudget := BudgetFromContext(r.ctx)
+	_, hasDeadline := r.ctx.Deadline()
+	if hasBudget || hasDeadline || r.ctx.Done() != nil {
+		r.meter = budget.New(r.ctx, b.MaxCandidates, b.MaxNodes, b.Deadline)
+	}
+}
+
+// progress snapshots the meter's counters for the verdict.
+func (r *run) progress() Progress {
+	return Progress{Candidates: r.meter.Candidates(), Nodes: r.meter.Nodes()}
+}
+
+// finish converts a search outcome into the public three-valued Verdict:
+// a witness is Allowed (sound even if the budget tripped concurrently — the
+// witness independently verifies), a *budget.StopError is Unknown with the
+// mapped reason, any other error passes through, and a clean exhaustion is
+// a rejection.
+func (r *run) finish(w *Witness, err error) (Verdict, error) {
+	if err != nil {
+		var stop *budget.StopError
+		if errors.As(err, &stop) {
+			return Verdict{Unknown: unknownReason(stop.Reason), Progress: r.progress()}, nil
+		}
+		return rejected, err
+	}
+	if w != nil {
+		return Verdict{Allowed: true, Witness: w, Progress: r.progress()}, nil
+	}
+	return Verdict{Progress: r.progress()}, nil
+}
+
+// wrapTest charges one candidate to the meter before each test; the
+// *budget.StopError returned once the meter latches aborts the enumeration
+// through the ordinary error path. An open-loop run (nil meter) returns
+// test unwrapped.
+func (r *run) wrapTest(test func(ord []int) (*Witness, error)) func(ord []int) (*Witness, error) {
+	if r.meter == nil {
+		return test
+	}
+	return func(ord []int) (*Witness, error) {
+		if err := r.meter.AddCandidate(); err != nil {
+			return nil, err
+		}
+		return test(ord)
+	}
+}
 
 // capture is the first-witness (or first-error) slot a parallel search's
 // shards race to fill.
@@ -56,14 +136,38 @@ func (c *capture) result() (*Witness, error) {
 	return c.witness, nil
 }
 
+// settle reconciles a parallel enumeration's three outcome channels — the
+// capture slot, the pool's structured error, and the exhaustion flag —
+// into a single (witness, error) pair. An enumeration that stopped early
+// with no witness, no worker fault and no latched budget stop was cancelled
+// externally between meter polls; report it as a Canceled stop rather than
+// a silent (unsound) rejection.
+func (r *run) settle(c *capture, exhausted bool, poolErr error) (*Witness, error) {
+	w, err := c.result()
+	if w != nil || err != nil {
+		return w, err
+	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
+	if exhausted {
+		return nil, nil
+	}
+	if err := r.meter.Poll(); err != nil {
+		return nil, err
+	}
+	return nil, &budget.StopError{Reason: budget.Canceled, Candidates: r.meter.Candidates(), Nodes: r.meter.Nodes()}
+}
+
 // searchLinearExtensions applies test to every linear extension of `before`
 // over n items until one returns a witness or an error. test receives a
 // reused index slice and must copy anything it retains; in parallel runs it
 // is called from multiple goroutines and must be safe for concurrent use
 // (every checker's test builds candidate-local state, so this holds by
 // construction).
-func searchLinearExtensions(workers, n int, before func(a, b int) bool, test func(ord []int) (*Witness, error)) (*Witness, error) {
-	if pool.Size(workers) == 1 || perm.CountLinearExtensionsUpTo(n, before, smallSpace) < smallSpace {
+func (r *run) searchLinearExtensions(n int, before func(a, b int) bool, test func(ord []int) (*Witness, error)) (*Witness, error) {
+	test = r.wrapTest(test)
+	if pool.Size(r.workers) == 1 || perm.CountLinearExtensionsUpTo(n, before, smallSpace) < smallSpace {
 		var (
 			witness *Witness
 			err     error
@@ -74,10 +178,10 @@ func searchLinearExtensions(workers, n int, before func(a, b int) bool, test fun
 		})
 		return witness, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(r.ctx)
 	defer cancel()
 	var c capture
-	perm.LinearExtensionsParallel(ctx, workers, n, before, func(ord []int) bool {
+	exhausted, poolErr := perm.LinearExtensionsParallel(ctx, r.workers, n, before, func(ord []int) bool {
 		w, err := test(ord)
 		if w != nil || err != nil {
 			c.set(w, err)
@@ -85,20 +189,21 @@ func searchLinearExtensions(workers, n int, before func(a, b int) bool, test fun
 		}
 		return true
 	})
-	return c.result()
+	return r.settle(&c, exhausted, poolErr)
 }
 
 // searchProducts applies test to every index vector of the cartesian
 // product of sizes until one returns a witness or an error, with the same
 // reuse and concurrency contract as searchLinearExtensions.
-func searchProducts(workers int, sizes []int, test func(idx []int) (*Witness, error)) (*Witness, error) {
+func (r *run) searchProducts(sizes []int, test func(idx []int) (*Witness, error)) (*Witness, error) {
+	test = r.wrapTest(test)
 	total := 1
 	for _, s := range sizes {
 		if total *= s; total >= smallSpace {
 			break
 		}
 	}
-	if pool.Size(workers) == 1 || total < smallSpace {
+	if pool.Size(r.workers) == 1 || total < smallSpace {
 		var (
 			witness *Witness
 			err     error
@@ -109,10 +214,10 @@ func searchProducts(workers int, sizes []int, test func(idx []int) (*Witness, er
 		})
 		return witness, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(r.ctx)
 	defer cancel()
 	var c capture
-	perm.ProductsParallel(ctx, workers, sizes, func(idx []int) bool {
+	exhausted, poolErr := perm.ProductsParallel(ctx, r.workers, sizes, func(idx []int) bool {
 		w, err := test(idx)
 		if w != nil || err != nil {
 			c.set(w, err)
@@ -120,7 +225,7 @@ func searchProducts(workers int, sizes []int, test func(idx []int) (*Witness, er
 		}
 		return true
 	})
-	return c.result()
+	return r.settle(&c, exhausted, poolErr)
 }
 
 // searchCoherence enumerates every coherence order (one total order of
@@ -128,13 +233,16 @@ func searchProducts(workers int, sizes []int, test func(idx []int) (*Witness, er
 // applies test to each until one yields a witness. It is the shared outer
 // loop of PC, PCG, Causal+Coh, WO and the RC models, parallelized across
 // the product of per-location candidate lists.
-func searchCoherence(workers int, s *history.System, po *order.Relation, test func(coh *order.Coherence) (*Witness, error)) (*Witness, error) {
-	locs, candidates := coherenceCandidates(s, po)
+func (r *run) searchCoherence(s *history.System, po *order.Relation, test func(coh *order.Coherence) (*Witness, error)) (*Witness, error) {
+	locs, candidates, err := coherenceCandidates(s, po, r.meter)
+	if err != nil {
+		return nil, err
+	}
 	sizes := make([]int, len(candidates))
 	for i, c := range candidates {
 		sizes[i] = len(c)
 	}
-	return searchProducts(workers, sizes, func(idx []int) (*Witness, error) {
+	return r.searchProducts(sizes, func(idx []int) (*Witness, error) {
 		m := make(map[history.Loc][]history.OpID, len(locs))
 		for i, loc := range locs {
 			m[loc] = candidates[i][idx[i]]

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+
 	"repro/history"
 	"repro/order"
 )
@@ -31,6 +33,11 @@ func (PC) Name() string { return "PC" }
 
 // Allows implements Model.
 func (m PC) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m PC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("PC", s); err != nil {
 		return rejected, err
 	}
@@ -38,7 +45,8 @@ func (m PC) Allows(s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		sem, err := order.SemiCausal(s, coh)
 		if err != nil {
 			return nil, err
@@ -48,19 +56,13 @@ func (m PC) Allows(s *history.System) (Verdict, error) {
 		}
 		prec := sem.Clone()
 		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // PCG is Goodman's processor consistency (Goodman 1989, as formalized by
@@ -81,26 +83,26 @@ func (PCG) Name() string { return "PCG" }
 
 // Allows implements Model.
 func (m PCG) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m PCG) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("PCG", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
-	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec := po.Clone()
 		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // CausalLabeledCoherent is the second new memory the paper's Section 7
@@ -122,6 +124,11 @@ func (CausalLabeledCoherent) Name() string { return "Causal+LCoh" }
 
 // Allows implements Model.
 func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m CausalLabeledCoherent) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	const name = "Causal+LCoh"
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
@@ -134,6 +141,7 @@ func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 		return rejected, nil
 	}
 	po := order.Program(s)
+	r := newRun(ctx, m.Workers)
 	// Enumerate per-location orders over labeled writes only.
 	var locs []history.Loc
 	var candidates [][][]history.OpID
@@ -148,7 +156,9 @@ func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 			continue
 		}
 		var exts [][]history.OpID
-		collectExtensions(labeledWrites, po, &exts)
+		if err := collectExtensions(labeledWrites, po, r.meter, &exts); err != nil {
+			return r.finish(nil, err)
+		}
 		locs = append(locs, loc)
 		candidates = append(candidates, exts)
 	}
@@ -156,7 +166,7 @@ func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 	for i, c := range candidates {
 		sizes[i] = len(c)
 	}
-	witness, err := searchProducts(m.Workers, sizes, func(idx []int) (*Witness, error) {
+	witness, err := r.searchProducts(sizes, func(idx []int) (*Witness, error) {
 		prec := co.Clone()
 		coh := make(map[history.Loc]history.View, len(locs))
 		for i, loc := range locs {
@@ -164,19 +174,13 @@ func (m CausalLabeledCoherent) Allows(s *history.System) (Verdict, error) {
 			prec.AddChain(seq)
 			coh[loc] = history.View(seq)
 		}
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coh}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // CausalCoherent is the new memory sketched in the paper's Section 7:
@@ -195,6 +199,11 @@ func (CausalCoherent) Name() string { return "Causal+Coh" }
 
 // Allows implements Model.
 func (m CausalCoherent) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m CausalCoherent) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("Causal+Coh", s); err != nil {
 		return rejected, err
 	}
@@ -206,20 +215,15 @@ func (m CausalCoherent) Allows(s *history.System) (Verdict, error) {
 		return rejected, nil
 	}
 	po := order.Program(s)
-	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec := co.Clone()
 		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/history"
@@ -27,7 +28,14 @@ type RCsc struct {
 func (RCsc) Name() string { return "RCsc" }
 
 // Allows implements Model.
-func (m RCsc) Allows(s *history.System) (Verdict, error) { return rcAllows("RCsc", s, true, m.Workers) }
+func (m RCsc) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m RCsc) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
+	return rcAllows(ctx, "RCsc", s, true, m.Workers)
+}
 
 // RCpc is release consistency with processor consistent synchronization
 // operations: identical to RCsc except the labeled operations need only
@@ -46,7 +54,12 @@ func (RCpc) Name() string { return "RCpc" }
 
 // Allows implements Model.
 func (m RCpc) Allows(s *history.System) (Verdict, error) {
-	return rcAllows("RCpc", s, false, m.Workers)
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m RCpc) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
+	return rcAllows(ctx, "RCpc", s, false, m.Workers)
 }
 
 // rcAllows is the shared RC decision procedure.
@@ -60,7 +73,7 @@ func (m RCpc) Allows(s *history.System) (Verdict, error) {
 // operation completes before the following release operation is
 // performed") make clear this is a typo for "o precedes o_w"; we implement
 // the bracketing reading.
-func rcAllows(name string, s *history.System, labeledSC bool, workers int) (Verdict, error) {
+func rcAllows(ctx context.Context, name string, s *history.System, labeledSC bool, workers int) (Verdict, error) {
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
 	}
@@ -82,11 +95,12 @@ func rcAllows(name string, s *history.System, labeledSC bool, workers int) (Verd
 	labeled := s.Labeled()
 	sub, toGlobal := labeledSubsystem(s)
 
-	witness, err := searchCoherence(workers, s, po, func(coh *order.Coherence) (*Witness, error) {
+	r := newRun(ctx, workers)
+	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec0 := base.Clone()
 		prec0.Union(coh.Relation(s))
 		if labeledSC {
-			w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
+			w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0)
 			if err != nil || w == nil {
 				return nil, err
 			}
@@ -110,37 +124,38 @@ func rcAllows(name string, s *history.System, labeledSC bool, workers int) (Verd
 		for _, pr := range semSub.Pairs() {
 			prec.Add(toGlobal[pr[0]], toGlobal[pr[1]])
 		}
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // rcscLabeledSearch enumerates the legal sequentially consistent
 // serializations of the labeled operations (legality-pruned, so impossible
 // prefixes are cut early) that are compatible with the coherence order and,
-// for each, tries to solve all views. It returns a witness or nil.
-func rcscLabeledSearch(s *history.System, labeled []history.OpID, po *order.Relation, coh *order.Coherence, prec0 *order.Relation) (*Witness, error) {
+// for each, tries to solve all views. It returns a witness or nil. Each
+// candidate serialization is charged to the run's meter (a second,
+// inner candidate space multiplying the coherence products), and the
+// enumeration itself is metered through the search problem.
+func rcscLabeledSearch(r *run, s *history.System, labeled []history.OpID, po *order.Relation, coh *order.Coherence, prec0 *order.Relation) (*Witness, error) {
 	var (
 		witness  *Witness
 		innerErr error
 	)
-	err := search.EnumerateViews(search.Problem{Sys: s, Ops: labeled, Prec: po}, func(t history.View) bool {
+	err := search.EnumerateViews(search.Problem{Sys: s, Ops: labeled, Prec: po, Meter: r.meter}, func(t history.View) bool {
+		if err := r.meter.AddCandidate(); err != nil {
+			innerErr = err
+			return false
+		}
 		if !labeledOrderMatchesCoherence(s, t, coh) {
 			return true
 		}
 		prec := prec0.Clone()
 		addChain(prec, t)
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil {
 			innerErr = err
 			return false

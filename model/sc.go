@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+
 	"repro/history"
 	"repro/internal/search"
 	"repro/order"
@@ -18,23 +20,26 @@ type SC struct{}
 func (SC) Name() string { return "SC" }
 
 // Allows implements Model.
-func (SC) Allows(s *history.System) (Verdict, error) {
+func (m SC) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (SC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("SC", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
-	v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.Ops(), Prec: po})
-	if err != nil {
-		return rejected, err
-	}
-	if !ok {
-		return rejected, nil
+	r := newRun(ctx, 1)
+	v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.Ops(), Prec: po, Meter: r.meter})
+	if err != nil || !ok {
+		return r.finish(nil, err)
 	}
 	views := make(map[history.Proc]history.View, s.NumProcs())
 	for p := 0; p < s.NumProcs(); p++ {
 		views[history.Proc(p)] = v
 	}
-	return allowedVerdict(&Witness{Views: views}), nil
+	return r.finish(&Witness{Views: views}, nil)
 }
 
 // PRAM is pipelined RAM (Lipton and Sandberg 1988). Views contain a
@@ -48,19 +53,22 @@ type PRAM struct{}
 func (PRAM) Name() string { return "PRAM" }
 
 // Allows implements Model.
-func (PRAM) Allows(s *history.System) (Verdict, error) {
+func (m PRAM) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (PRAM) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("PRAM", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
-	views, err := solveViews(s, po)
-	if err != nil {
-		return rejected, err
+	r := newRun(ctx, 1)
+	views, err := solveViews(s, po, r.meter)
+	if err != nil || views == nil {
+		return r.finish(nil, err)
 	}
-	if views == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(&Witness{Views: views}), nil
+	return r.finish(&Witness{Views: views}, nil)
 }
 
 // Causal is causal memory (Ahamad, Burns, Hutto and Neiger 1991). Like
@@ -74,7 +82,12 @@ type Causal struct{}
 func (Causal) Name() string { return "Causal" }
 
 // Allows implements Model.
-func (Causal) Allows(s *history.System) (Verdict, error) {
+func (m Causal) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (Causal) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("Causal", s); err != nil {
 		return rejected, err
 	}
@@ -87,14 +100,12 @@ func (Causal) Allows(s *history.System) (Verdict, error) {
 		// causally follows it) admits no views at all.
 		return rejected, nil
 	}
-	views, err := solveViews(s, co)
-	if err != nil {
-		return rejected, err
+	r := newRun(ctx, 1)
+	views, err := solveViews(s, co, r.meter)
+	if err != nil || views == nil {
+		return r.finish(nil, err)
 	}
-	if views == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(&Witness{Views: views}), nil
+	return r.finish(&Witness{Views: views}, nil)
 }
 
 // Coherence is cache consistency: operations on each individual location
@@ -108,22 +119,25 @@ type Coherence struct{}
 func (Coherence) Name() string { return "Coherence" }
 
 // Allows implements Model.
-func (Coherence) Allows(s *history.System) (Verdict, error) {
+func (m Coherence) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (Coherence) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("Coherence", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
+	r := newRun(ctx, 1)
 	sers := make(map[history.Loc]history.View)
 	for _, loc := range s.Locs() {
 		ops := s.OpsOn(loc)
-		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: ops, Prec: po})
-		if err != nil {
-			return rejected, err
-		}
-		if !ok {
-			return rejected, nil
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: ops, Prec: po, Meter: r.meter})
+		if err != nil || !ok {
+			return r.finish(nil, err)
 		}
 		sers[loc] = v
 	}
-	return allowedVerdict(&Witness{LocSerializations: sers}), nil
+	return r.finish(&Witness{LocSerializations: sers}, nil)
 }

@@ -1,7 +1,10 @@
 package model
 
 import (
+	"context"
+
 	"repro/history"
+	"repro/internal/search"
 	"repro/order"
 )
 
@@ -20,11 +23,17 @@ type Slow struct{}
 func (Slow) Name() string { return "Slow" }
 
 // Allows implements Model.
-func (Slow) Allows(s *history.System) (Verdict, error) {
+func (m Slow) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (Slow) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("Slow", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
+	r := newRun(ctx, 1)
 	views := make(map[history.Proc]history.View, s.NumProcs())
 	for p := 0; p < s.NumProcs(); p++ {
 		proc := history.Proc(p)
@@ -40,14 +49,11 @@ func (Slow) Allows(s *history.System) (Verdict, error) {
 				prec.Add(pr[0], pr[1])
 			}
 		}
-		v, ok, err := SolveView(s, s.ViewOps(proc), prec)
-		if err != nil {
-			return rejected, err
-		}
-		if !ok {
-			return rejected, nil
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec, Meter: r.meter})
+		if err != nil || !ok {
+			return r.finish(nil, err)
 		}
 		views[proc] = v
 	}
-	return allowedVerdict(&Witness{Views: views}), nil
+	return r.finish(&Witness{Views: views}, nil)
 }

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+
 	"repro/history"
 	"repro/order"
 )
@@ -30,6 +32,11 @@ func (TSO) Name() string { return "TSO" }
 
 // Allows implements Model.
 func (m TSO) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m TSO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("TSO", s); err != nil {
 		return rejected, err
 	}
@@ -37,7 +44,8 @@ func (m TSO) Allows(s *history.System) (Verdict, error) {
 	ppo := order.PartialProgram(s)
 	writes := s.Writes()
 
-	witness, err := searchLinearExtensions(m.Workers, len(writes), func(a, b int) bool {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchLinearExtensions(len(writes), func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
 	}, func(ord []int) (*Witness, error) {
 		wseq := make([]history.OpID, len(ord))
@@ -46,17 +54,11 @@ func (m TSO) Allows(s *history.System) (Verdict, error) {
 		}
 		prec := ppo.Clone()
 		addChain(prec, wseq)
-		views, err := solveViews(s, prec)
+		views, err := solveViews(s, prec, r.meter)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, WriteOrder: wseq}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+
 	"repro/history"
 	"repro/order"
 )
@@ -53,12 +55,18 @@ func (TSOAxiomatic) Name() string { return "TSO-ax" }
 
 // Allows implements Model.
 func (m TSOAxiomatic) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m TSOAxiomatic) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err := checkSize("TSO-ax", s); err != nil {
 		return rejected, err
 	}
 	po := order.Program(s)
 	writes := s.Writes()
-	witness, err := searchLinearExtensions(m.Workers, len(writes), func(a, b int) bool {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchLinearExtensions(len(writes), func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
 	}, func(ord []int) (*Witness, error) {
 		wseq := make([]history.OpID, len(ord))
@@ -71,13 +79,7 @@ func (m TSOAxiomatic) Allows(s *history.System) (Verdict, error) {
 		}
 		return &Witness{Views: views, WriteOrder: wseq}, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // axiomaticAssign tries to place every load against the store order wseq.

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
 	"repro/history"
@@ -40,6 +41,11 @@ func (WO) Name() string { return "WO" }
 
 // Allows implements Model.
 func (m WO) Allows(s *history.System) (Verdict, error) {
+	return m.AllowsCtx(context.Background(), s)
+}
+
+// AllowsCtx implements ContextModel.
+func (m WO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	const name = "WO"
 	if err := checkSize(name, s); err != nil {
 		return rejected, err
@@ -61,23 +67,18 @@ func (m WO) Allows(s *history.System) (Verdict, error) {
 	base.Union(fenceEdges(s))
 
 	labeled := s.Labeled()
-	witness, err := searchCoherence(m.Workers, s, po, func(coh *order.Coherence) (*Witness, error) {
+	r := newRun(ctx, m.Workers)
+	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		prec0 := base.Clone()
 		prec0.Union(coh.Relation(s))
-		w, err := rcscLabeledSearch(s, labeled, po, coh, prec0)
+		w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0)
 		if err != nil || w == nil {
 			return nil, err
 		}
 		w.Coherence = coherenceWitness(coh)
 		return w, nil
 	})
-	if err != nil {
-		return rejected, err
-	}
-	if witness == nil {
-		return rejected, nil
-	}
-	return allowedVerdict(witness), nil
+	return r.finish(witness, err)
 }
 
 // fenceEdges orders, per processor, every (ordinary, labeled) pair in

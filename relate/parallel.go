@@ -15,22 +15,34 @@ import (
 // below shard histories across the shared worker pool (internal/pool — the
 // same pool the model checkers and the explorer use) and aggregate;
 // results are identical to the sequential versions, deterministically.
+//
+// Every sweep is also available in a context-aware form (BuildMatrixCtx,
+// DensityCtx, CheckLatticeExhaustiveCtx): the context's deadline,
+// cancellation and budget (model.WithBudget) apply per check, and a check
+// the budget cuts short lands in the matrix's Unknown column instead of
+// silently vanishing or miscounting as a rejection.
 
 // classification is one history's verdict vector.
 type classification struct {
 	verdict map[string]bool // model name → allowed
-	ok      map[string]bool // model name → classifiable (no checker error)
+	ok      map[string]bool // model name → decided (no checker error, not cut short)
+	unknown map[string]bool // model name → check cut short (deadline/budget/cancel)
 }
 
-// classify runs every model on one history.
-func classify(h *history.System, models []model.Model) classification {
+// classify runs every model on one history under ctx.
+func classify(ctx context.Context, h *history.System, models []model.Model) classification {
 	c := classification{
 		verdict: make(map[string]bool, len(models)),
 		ok:      make(map[string]bool, len(models)),
+		unknown: make(map[string]bool, len(models)),
 	}
 	for _, m := range models {
-		v, err := m.Allows(h)
+		v, err := model.AllowsCtx(ctx, m, h)
 		if err != nil {
+			continue
+		}
+		if !v.Decided() {
+			c.unknown[m.Name()] = true
 			continue
 		}
 		c.verdict[m.Name()] = v.Allowed
@@ -39,11 +51,15 @@ func classify(h *history.System, models []model.Model) classification {
 	return c
 }
 
-// BuildMatrixParallel is BuildMatrix with the per-history classification
-// fanned out over `workers` goroutines (0 = GOMAXPROCS). The resulting
-// matrix is identical to the sequential one: classifications land in a
-// per-history slot and are folded in order.
-func BuildMatrixParallel(histories []*history.System, models []model.Model, workers int) *Matrix {
+// BuildMatrixCtx classifies every history under every model, fanning the
+// per-history classification out over `workers` goroutines (0 = GOMAXPROCS,
+// 1 = sequential). The context applies to every check: its deadline,
+// cancellation and any model.WithBudget budget. Checks cut short are
+// tallied per model in the matrix's Unknown column and excluded from
+// Classified, Allowed and Sep — an undecided check never contributes a
+// separation. The error is non-nil only for a contained worker fault
+// (*pool.PanicError).
+func BuildMatrixCtx(ctx context.Context, histories []*history.System, models []model.Model, workers int) (*Matrix, error) {
 	names := make([]string, len(models))
 	for i, m := range models {
 		names[i] = m.Name()
@@ -52,6 +68,7 @@ func BuildMatrixParallel(histories []*history.System, models []model.Model, work
 		Models:     names,
 		Classified: map[string]int{},
 		Allowed:    map[string]int{},
+		Unknown:    map[string]int{},
 		Sep:        map[string]map[string]int{},
 	}
 	for _, n := range names {
@@ -59,12 +76,17 @@ func BuildMatrixParallel(histories []*history.System, models []model.Model, work
 	}
 
 	results := make([]classification, len(histories))
-	pool.Indexed(pool.Size(workers), len(histories), func(i int) {
-		results[i] = classify(histories[i], models)
-	})
+	if err := pool.Indexed(pool.Size(workers), len(histories), func(i int) {
+		results[i] = classify(ctx, histories[i], models)
+	}); err != nil {
+		return nil, err
+	}
 
 	for _, c := range results {
 		for _, a := range names {
+			if c.unknown[a] {
+				mx.Unknown[a]++
+			}
 			if !c.ok[a] {
 				continue
 			}
@@ -84,35 +106,72 @@ func BuildMatrixParallel(histories []*history.System, models []model.Model, work
 			}
 		}
 	}
+	return mx, nil
+}
+
+// BuildMatrixParallel is BuildMatrix with the per-history classification
+// fanned out over `workers` goroutines (0 = GOMAXPROCS). The resulting
+// matrix is identical to the sequential one: classifications land in a
+// per-history slot and are folded in order. A checker panic propagates
+// (use BuildMatrixCtx for the structured-error form).
+func BuildMatrixParallel(histories []*history.System, models []model.Model, workers int) *Matrix {
+	mx, err := BuildMatrixCtx(context.Background(), histories, models, workers)
+	if err != nil {
+		panic(err)
+	}
 	return mx
 }
 
-// DensityParallel is Density with a worker pool (workers = 0 means
-// GOMAXPROCS). Enumeration is sequential (it is cheap); classification is
-// fanned out, with per-worker partial counts merged at the end.
-func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model) (map[string]int, int, error) {
+// shutdownFeed winds down a Feed/Drain pair: cancel the producer, drain the
+// channel until it closes (no goroutine outlives the sweep), and return the
+// first fault — a drain-worker one before a producer one.
+func shutdownFeed[T any](cancel context.CancelFunc, jobs <-chan T, feedErr func() error, drainErr error) error {
+	cancel()
+	for range jobs {
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	return feedErr()
+}
+
+// DensityCtx is Density under a context and worker pool: it enumerates the
+// complete history shape and counts, per model, the histories each allows,
+// plus the histories whose check the budget or deadline cut short
+// (undecided checks are counted in unknown, never in counts). A cancelled
+// context aborts the sweep with the context's error — a partial density
+// over an exhaustive shape would be misleading.
+func DensityCtx(ctx context.Context, procs, opsPerProc, locs, workers int, models []model.Model) (counts, unknown map[string]int, total int, err error) {
 	w := pool.Size(workers)
 	type partial struct {
-		counts map[string]int
-		n      int
-		err    error
+		counts  map[string]int
+		unknown map[string]int
+		n       int
+		err     error
 	}
 	parts := make([]partial, w)
-	jobs := pool.Feed(context.Background(), w*4, func(emit func(*history.System) bool) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs, feedErr := pool.Feed(cctx, w*4, func(emit func(*history.System) bool) {
 		EnumerateHistories(procs, opsPerProc, locs, emit)
 	})
-	pool.Drain(context.Background(), w, jobs, func(worker int, h *history.System) {
+	drainErr := pool.Drain(cctx, w, jobs, func(worker int, h *history.System) {
 		p := &parts[worker]
 		if p.counts == nil {
 			p.counts = make(map[string]int, len(models))
+			p.unknown = make(map[string]int, len(models))
 		}
 		p.n++
 		for _, m := range models {
-			v, err := m.Allows(h)
+			v, err := model.AllowsCtx(cctx, m, h)
 			if err != nil {
 				if p.err == nil {
 					p.err = err
 				}
+				continue
+			}
+			if !v.Decided() {
+				p.unknown[m.Name()]++
 				continue
 			}
 			if v.Allowed {
@@ -120,29 +179,47 @@ func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model)
 			}
 		}
 	})
+	if err := shutdownFeed(cancel, jobs, feedErr, drainErr); err != nil {
+		return nil, nil, 0, err
+	}
 
-	counts := make(map[string]int, len(models))
-	total := 0
-	var firstErr error
+	counts = make(map[string]int, len(models))
+	unknown = make(map[string]int, len(models))
 	for _, p := range parts {
 		total += p.n
 		for k, v := range p.counts {
 			counts[k] += v
 		}
-		if firstErr == nil && p.err != nil {
-			firstErr = p.err
+		for k, v := range p.unknown {
+			unknown[k] += v
+		}
+		if err == nil && p.err != nil {
+			err = p.err
 		}
 	}
-	if firstErr != nil {
-		return nil, 0, firstErr
+	if err == nil {
+		err = ctx.Err()
 	}
-	return counts, total, nil
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return counts, unknown, total, nil
 }
 
-// CheckLatticeExhaustiveParallel verifies every PaperLattice containment
-// over the complete shape using a worker pool, collecting at most one
-// counterexample per violated containment.
-func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (violations []string, total int, err error) {
+// DensityParallel is Density with a worker pool (workers = 0 means
+// GOMAXPROCS). Enumeration is sequential (it is cheap); classification is
+// fanned out, with per-worker partial counts merged at the end.
+func DensityParallel(procs, opsPerProc, locs, workers int, models []model.Model) (map[string]int, int, error) {
+	counts, _, total, err := DensityCtx(context.Background(), procs, opsPerProc, locs, workers, models)
+	return counts, total, err
+}
+
+// CheckLatticeExhaustiveCtx verifies every PaperLattice containment over
+// the complete shape under ctx, collecting at most one counterexample per
+// violated containment. Undecided checks (budget, deadline) classify the
+// history under neither side of an edge, so they can hide a violation but
+// never fabricate one; a cancelled context aborts with the context's error.
+func CheckLatticeExhaustiveCtx(ctx context.Context, procs, opsPerProc, locs, workers int) (violations []string, total int, err error) {
 	byName := map[string]model.Model{}
 	needed := map[string]bool{}
 	lattice := PaperLattice()
@@ -166,16 +243,18 @@ func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (viola
 		n          int
 	}
 	parts := make([]partial, w)
-	jobs := pool.Feed(context.Background(), w*4, func(emit func(*history.System) bool) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	jobs, feedErr := pool.Feed(cctx, w*4, func(emit func(*history.System) bool) {
 		EnumerateHistories(procs, opsPerProc, locs, emit)
 	})
-	pool.Drain(context.Background(), w, jobs, func(worker int, h *history.System) {
+	drainErr := pool.Drain(cctx, w, jobs, func(worker int, h *history.System) {
 		p := &parts[worker]
 		if p.violations == nil {
 			p.violations = map[string]string{}
 		}
 		p.n++
-		c := classify(h, models)
+		c := classify(cctx, h, models)
 		for _, edge := range lattice {
 			key := edge.Strong + "⊆" + edge.Weak
 			if _, done := p.violations[key]; done {
@@ -187,6 +266,12 @@ func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (viola
 			}
 		}
 	})
+	if err := shutdownFeed(cancel, jobs, feedErr, drainErr); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 
 	merged := map[string]string{}
 	for _, p := range parts {
@@ -204,4 +289,11 @@ func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (viola
 		}
 	}
 	return violations, total, nil
+}
+
+// CheckLatticeExhaustiveParallel verifies every PaperLattice containment
+// over the complete shape using a worker pool, collecting at most one
+// counterexample per violated containment.
+func CheckLatticeExhaustiveParallel(procs, opsPerProc, locs, workers int) (violations []string, total int, err error) {
+	return CheckLatticeExhaustiveCtx(context.Background(), procs, opsPerProc, locs, workers)
 }

@@ -161,6 +161,10 @@ type Matrix struct {
 	Classified map[string]int
 	// Allowed[m] counts histories model m allows.
 	Allowed map[string]int
+	// Unknown[m] counts histories whose check under m was cut short by a
+	// budget, deadline or cancellation (BuildMatrixCtx only). Undecided
+	// histories are excluded from Classified, Allowed and Sep.
+	Unknown map[string]int
 	// Sep[a][b] counts histories allowed by a but rejected by b, among
 	// histories classified by both.
 	Sep map[string]map[string]int
@@ -168,48 +172,10 @@ type Matrix struct {
 
 // BuildMatrix classifies every history under every model. Checker errors
 // (ambiguous reads-from, mixed-label locations) exclude that history from
-// that model's rows and columns rather than failing the build.
+// that model's rows and columns rather than failing the build. Use
+// BuildMatrixCtx to sweep under a deadline or budget.
 func BuildMatrix(histories []*history.System, models []model.Model) *Matrix {
-	names := make([]string, len(models))
-	for i, m := range models {
-		names[i] = m.Name()
-	}
-	mx := &Matrix{
-		Models:     names,
-		Classified: map[string]int{},
-		Allowed:    map[string]int{},
-		Sep:        map[string]map[string]int{},
-	}
-	for _, n := range names {
-		mx.Sep[n] = map[string]int{}
-	}
-	for _, h := range histories {
-		verdict := map[string]bool{}
-		ok := map[string]bool{}
-		for _, m := range models {
-			v, err := m.Allows(h)
-			if err != nil {
-				continue
-			}
-			verdict[m.Name()] = v.Allowed
-			ok[m.Name()] = true
-			mx.Classified[m.Name()]++
-			if v.Allowed {
-				mx.Allowed[m.Name()]++
-			}
-		}
-		for _, a := range names {
-			if !ok[a] || !verdict[a] {
-				continue
-			}
-			for _, b := range names {
-				if a != b && ok[b] && !verdict[b] {
-					mx.Sep[a][b]++
-				}
-			}
-		}
-	}
-	return mx
+	return BuildMatrixParallel(histories, models, 1)
 }
 
 // StrongerEq reports the empirical claim "every classified history allowed
