@@ -9,6 +9,7 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -18,6 +19,7 @@ import (
 	"repro/drf"
 	"repro/explore"
 	"repro/history"
+	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/litmus"
 	"repro/model"
@@ -402,6 +404,54 @@ func BenchmarkBudgetOverhead(b *testing.B) {
 					b.Fatalf("verdict %+v err %v", v, err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on the
+// same corpus-scale decisions as BenchmarkBudgetOverhead: open-loop (no
+// sink, no registry — the nil-Probe fast path), metrics-only (a live
+// registry, counters flushed per search), and fully traced (registry plus a
+// JSONL sink on a discarding writer). The open-loop column must stay at the
+// un-instrumented baseline — the acceptance bar for the disabled path is
+// ≤5% versus BenchmarkBudgetOverhead's open-loop. BENCH_OBS.json records
+// the outcomes.
+func BenchmarkObsOverhead(b *testing.B) {
+	cases := []struct {
+		test, model string
+		want        bool
+	}{
+		{"Fig1-SB", "TSO", true},
+		{"Fig2-WRC", "PC", true},
+		{"Bakery-violation", "RCsc", false},
+	}
+	for _, c := range cases {
+		tc, err := litmus.ByName(c.test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := model.ByName(c.model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(b *testing.B, ctx context.Context) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := model.AllowsCtx(ctx, m, tc.History)
+				if err != nil || !v.Decided() || v.Allowed != c.want {
+					b.Fatalf("verdict %+v err %v", v, err)
+				}
+			}
+		}
+		b.Run(c.test+"/"+c.model+"/open-loop", func(b *testing.B) {
+			run(b, context.Background())
+		})
+		b.Run(c.test+"/"+c.model+"/metrics", func(b *testing.B) {
+			run(b, obs.WithRegistry(context.Background(), obs.NewRegistry()))
+		})
+		b.Run(c.test+"/"+c.model+"/traced", func(b *testing.B) {
+			ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
+			run(b, obs.WithSink(ctx, obs.NewJSONL(io.Discard)))
 		})
 	}
 }

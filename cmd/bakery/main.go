@@ -13,10 +13,12 @@
 //	       [-mode exhaustive|stochastic] [-runs 1000] [-seed 1]
 //	       [-algorithm bakery|peterson|dekker|fast|dijkstra|szymanski] [-check]
 //	       [-workers N] [-timeout D] [-budget N]
+//	       [-trace FILE] [-metrics FILE] [-pprof FILE]
 //
 // -timeout bounds the exploration (and the confirmation checks) by wall
 // clock; a truncated exploration reports why it stopped. -budget bounds the
-// confirmation checkers' work.
+// confirmation checkers' work. -trace and -metrics stream exploration and
+// checker events/counters.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"repro/algorithms"
+	"repro/cmd/internal/cliflags"
 	"repro/explore"
 	"repro/model"
 	"repro/program"
@@ -41,20 +44,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "stochastic seed")
 	algo := flag.String("algorithm", "bakery", "bakery, peterson, dekker, fast, dijkstra or szymanski")
 	check := flag.Bool("check", true, "validate a violating history against the RCsc/RCpc checkers")
-	workers := flag.Int("workers", 0, "explorer/checker pool size (0 = one per CPU, 1 = sequential)")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit for the exploration and checks (0 = none)")
-	budgetN := flag.Int64("budget", 0, "work budget per confirmation check (0 = none)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	workers := &shared.Workers
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fatal(err)
 	}
-	if *budgetN > 0 {
-		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
-	}
+	defer done()
 
 	labeled := strings.HasPrefix(*memory, "rc")
 	mkMem := memoryFactory(*memory)

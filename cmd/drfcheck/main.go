@@ -8,15 +8,24 @@
 //
 // Usage:
 //
-//	drfcheck [-algorithm bakery|peterson|dekker] [-n 2] [-labeled]
+//	drfcheck [-algorithm bakery|peterson|dekker|fast|szymanski] [-n 2]
+//	         [-labeled] [-workers N] [-timeout D] [-budget N]
+//	         [-trace FILE] [-metrics FILE] [-pprof FILE]
+//
+// -timeout bounds the explorations by wall clock; a truncated analysis
+// reports exhaustive=false and its DRF/equality answers cover only the
+// executions reached. -trace and -metrics stream exploration events and
+// counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/algorithms"
+	"repro/cmd/internal/cliflags"
 	"repro/drf"
 	"repro/explore"
 	"repro/program"
@@ -27,7 +36,15 @@ func main() {
 	algo := flag.String("algorithm", "bakery", "bakery, peterson, dekker, fast or szymanski")
 	n := flag.Int("n", 2, "processors (bakery only; peterson/dekker are 2)")
 	labeled := flag.Bool("labeled", true, "label the synchronization accesses")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
+	opts := explore.Options{Workers: shared.Workers}
 
 	var progs [][]program.Stmt
 	switch *algo {
@@ -45,15 +62,13 @@ func main() {
 	case "szymanski":
 		progs = algorithms.Szymanski(*n, *labeled)
 	default:
-		fmt.Fprintf(os.Stderr, "drfcheck: unknown algorithm %q\n", *algo)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 	fmt.Printf("algorithm=%s n=%d labeled=%v\n\n", *algo, *n, *labeled)
 
-	rep, err := drf.Analyze(progs, explore.Options{})
+	rep, err := drf.AnalyzeCtx(ctx, progs, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "drfcheck:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("proper labeling: DRF=%v over %d SC executions (exhaustive=%v)\n",
 		rep.DRF, rep.Executions, rep.Complete)
@@ -63,16 +78,18 @@ func main() {
 
 	nn := *n
 	compare := func(name string, mk func() sim.Memory) {
-		cmp, err := drf.CompareOutcomes(
-			func() sim.Memory { return sim.NewSC(nn) }, mk, progs, explore.Options{})
+		cmp, err := drf.CompareOutcomesCtx(ctx,
+			func() sim.Memory { return sim.NewSC(nn) }, mk, progs, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "drfcheck:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		verdict := "EQUAL"
 		if !cmp.Equal {
 			verdict = fmt.Sprintf("DIFFER (%d outcomes only on %s, %d only on SC)",
 				len(cmp.OnlyB), name, len(cmp.OnlyA))
+		}
+		if !cmp.Complete {
+			verdict += " [truncated]"
 		}
 		fmt.Printf("outcomes SC vs %-5s %s (|SC|=%d |%s|=%d)\n", name+":", verdict, cmp.SizeA, name, cmp.SizeB)
 	}
@@ -86,4 +103,9 @@ func main() {
 	} else {
 		fmt.Println("\nnot properly labeled: no SC-equivalence guarantee applies.")
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drfcheck:", err)
+	os.Exit(1)
 }

@@ -1,0 +1,162 @@
+// Package cliflags registers the bounding and observability flags shared
+// by every command in this repository — -workers, -timeout, -budget,
+// -trace, -metrics, -pprof — with one help text, and wires them into a
+// context: the timeout and work budget bound every check made under it,
+// the trace sink receives structured JSONL events, and the metrics
+// registry collects counters flushed as a JSON snapshot on exit.
+//
+// Usage, from a command's main:
+//
+//	f := cliflags.Register(flag.CommandLine)
+//	flag.Parse()
+//	ctx, done, err := f.Setup(context.Background())
+//	if err != nil { ... }
+//	defer done()
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// Flags holds the parsed shared flags.
+type Flags struct {
+	// Workers sizes worker pools (checker enumeration, explorer
+	// expansion, sweep classification): 0 = one per CPU, 1 = sequential.
+	Workers int
+	// Timeout bounds the whole run by wall clock (0 = none).
+	Timeout time.Duration
+	// Budget bounds each check's work: max mutual-consistency candidates
+	// and max search nodes (0 = none).
+	Budget int64
+	// Trace names the JSONL trace-event file ("-" = stderr).
+	Trace string
+	// Metrics names the exit metrics-snapshot file ("-" = stderr).
+	Metrics string
+	// Pprof names the CPU-profile file; with a ".trace" suffix a Go
+	// runtime execution trace is written instead.
+	Pprof string
+}
+
+// Register installs the shared flags on fs and returns their destination.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Workers, "workers", 0,
+		"worker pool size (0 = one per CPU, 1 = sequential)")
+	fs.DurationVar(&f.Timeout, "timeout", 0,
+		"wall-clock limit for the whole run (0 = none); exceeding it reports UNKNOWN, not an error")
+	fs.Int64Var(&f.Budget, "budget", 0,
+		"work budget per check: max candidates and max search nodes (0 = none)")
+	fs.StringVar(&f.Trace, "trace", "",
+		"write structured trace events as JSONL to this file ('-' = stderr)")
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write a metrics snapshot as JSON to this file on exit ('-' = stderr)")
+	fs.StringVar(&f.Pprof, "pprof", "",
+		"write a CPU profile to this file (a .trace suffix writes a Go execution trace for `go tool trace` instead)")
+	return f
+}
+
+// Setup applies the flags to ctx: -timeout and -budget bound it, -trace
+// attaches a JSONL event sink, -metrics attaches a metrics registry, and
+// -pprof starts profiling. The returned function tears everything down —
+// stops profiling, flushes and closes the trace file, writes the metrics
+// snapshot — and must be called exactly once, normally deferred.
+func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
+	var down []func() error
+	teardown := func() {
+		for i := len(down) - 1; i >= 0; i-- {
+			if err := down[i](); err != nil {
+				fmt.Fprintln(os.Stderr, "cliflags:", err)
+			}
+		}
+	}
+
+	if f.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, f.Timeout)
+		down = append(down, func() error { cancel(); return nil })
+	}
+	if f.Budget > 0 {
+		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: f.Budget, MaxNodes: f.Budget})
+	}
+
+	if f.Metrics != "" {
+		reg := obs.NewRegistry()
+		ctx = obs.WithRegistry(ctx, reg)
+		path := f.Metrics
+		down = append(down, func() error {
+			w, closeOut, err := openOut(path)
+			if err != nil {
+				return err
+			}
+			werr := reg.WriteJSON(w)
+			if cerr := closeOut(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
+
+	if f.Trace != "" {
+		w, closeOut, err := openOut(f.Trace)
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		sink := obs.NewJSONL(w)
+		ctx = obs.WithSink(ctx, sink)
+		down = append(down, func() error {
+			if err := sink.Err(); err != nil {
+				return fmt.Errorf("trace: %d events written, then: %w", sink.Count(), err)
+			}
+			return closeOut()
+		})
+	}
+
+	if f.Pprof != "" {
+		out, err := os.Create(f.Pprof)
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		if strings.HasSuffix(f.Pprof, ".trace") {
+			if err := rtrace.Start(out); err != nil {
+				out.Close()
+				teardown()
+				return nil, nil, err
+			}
+			down = append(down, func() error { rtrace.Stop(); return out.Close() })
+		} else {
+			if err := pprof.StartCPUProfile(out); err != nil {
+				out.Close()
+				teardown()
+				return nil, nil, err
+			}
+			down = append(down, func() error { pprof.StopCPUProfile(); return out.Close() })
+		}
+	}
+
+	return ctx, teardown, nil
+}
+
+// openOut opens path for writing, with "-" meaning stderr (left open).
+func openOut(path string) (io.Writer, func() error, error) {
+	if path == "-" {
+		return os.Stderr, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}

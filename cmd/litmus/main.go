@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	litmus [-test NAME] [-models SC,TSO,...] [-workers N] [-timeout D] [-budget N]
+//	litmus [-test NAME] [-models SC,TSO,...] [-workers N] [-timeout D]
+//	       [-budget N] [-trace FILE] [-metrics FILE] [-pprof FILE]
 //
 // With -timeout or -budget, a check cut short renders as "unknown" and is
 // tallied separately; only genuine verdict mismatches affect the exit code.
+// -trace streams one JSONL event per check (and per search milestone);
+// -metrics snapshots the counters on exit.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/cmd/internal/cliflags"
 	"repro/litmus"
 	"repro/model"
 )
@@ -29,9 +33,7 @@ func main() {
 	models := flag.String("models", "", "comma-separated model names (default: all)")
 	export := flag.String("export", "", "write the corpus as .litmus files into this directory and exit")
 	dir := flag.String("dir", "", "also run every .litmus file from this directory")
-	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole run (0 = none)")
-	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *export != "" {
@@ -51,7 +53,7 @@ func main() {
 		}
 	}
 	for i, m := range ms {
-		ms[i] = model.WithWorkers(m, *workers)
+		ms[i] = model.WithWorkers(m, shared.Workers)
 	}
 
 	tests := litmus.Corpus()
@@ -70,15 +72,11 @@ func main() {
 		tests = append(tests, extra...)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fatal(err)
 	}
-	if *budgetN > 0 {
-		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
-	}
+	defer done()
 
 	fmt.Printf("%-22s", "test")
 	for _, m := range ms {
@@ -119,6 +117,7 @@ func main() {
 	}
 	if mismatches > 0 {
 		fmt.Printf("%d verdicts disagree with corpus expectations (marked '!')\n", mismatches)
+		done()
 		os.Exit(1)
 	}
 	fmt.Println("all decided verdicts match the corpus expectations")

@@ -5,12 +5,21 @@
 //
 // Usage:
 //
-//	memcheck [-models SC,TSO,...] [-witness] [-workers N]
-//	         [-timeout D] [-budget N] [history | -f file]
+//	memcheck [-models SC,TSO,...] [-witness] [-explain] [-json]
+//	         [-workers N] [-timeout D] [-budget N]
+//	         [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	         [history | -f file]
 //
 // Membership checking is NP-hard, so -timeout and -budget bound each
-// check; a check cut short prints UNKNOWN with its reason and progress
-// instead of a verdict.
+// check; a check cut short prints UNKNOWN with its reason and progress —
+// candidates and nodes tried, and the deepest constraint frontier (how
+// many operations the best partial view placed) — instead of a verdict.
+//
+// -explain renders each verdict as an explanation: allowed verdicts show
+// the certifying views with every ordering step annotated with the
+// constraints that forced it, and forbidden or UNKNOWN verdicts report the
+// constraint frontier. -json emits the same explanations as JSON (one
+// object per model), machine-checkable with model.ValidateExplanation.
 //
 // The history uses the paper's notation, one processor per line or
 // '|'-separated on one line:
@@ -25,8 +34,8 @@ import (
 	"io"
 	"os"
 	"strings"
-	"time"
 
+	"repro/cmd/internal/cliflags"
 	"repro/history"
 	"repro/model"
 )
@@ -35,9 +44,9 @@ func main() {
 	models := flag.String("models", "", "comma-separated model names (default: all)")
 	file := flag.String("f", "", "read the history from this file instead of the argument")
 	witness := flag.Bool("witness", false, "print certifying views for allowed verdicts")
-	workers := flag.Int("workers", 0, "checker pool size (0 = one per CPU, 1 = sequential)")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit per check (0 = none)")
-	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
+	explain := flag.Bool("explain", false, "print each verdict's explanation: annotated views, or the constraint frontier")
+	jsonOut := flag.Bool("json", false, "print each verdict's explanation as JSON")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
 	text, err := inputText(*file, flag.Args())
@@ -50,42 +59,48 @@ func main() {
 	}
 	fmt.Printf("history (%d processors, %d operations):\n%s\n", sys.NumProcs(), sys.NumOps(), sys)
 
-	ctx, cancel := boundedContext(context.Background(), *timeout, *budgetN)
-	defer cancel()
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
 	for _, m := range selectModels(*models) {
-		m = model.WithWorkers(m, *workers)
+		m = model.WithWorkers(m, shared.Workers)
 		v, err := model.AllowsCtx(ctx, m, sys)
 		if err != nil {
 			fmt.Printf("%-11s error: %v\n", m.Name(), err)
 			continue
 		}
-		if !v.Decided() {
-			fmt.Printf("%-11s UNKNOWN (%s) after %d candidates, %d nodes\n",
-				m.Name(), v.Unknown, v.Progress.Candidates, v.Progress.Nodes)
-			continue
-		}
-		if !v.Allowed {
+		switch {
+		case !v.Decided():
+			fmt.Printf("%-11s UNKNOWN (%s) after %d candidates, %d nodes; frontier %d/%d ops\n",
+				m.Name(), v.Unknown, v.Progress.Candidates, v.Progress.Nodes,
+				v.Progress.Frontier, sys.NumOps())
+		case !v.Allowed:
 			fmt.Printf("%-11s FORBIDDEN\n", m.Name())
-			continue
+		default:
+			fmt.Printf("%-11s allowed\n", m.Name())
+			if *witness {
+				printWitness(sys, v.Witness)
+			}
 		}
-		fmt.Printf("%-11s allowed\n", m.Name())
-		if *witness {
-			printWitness(sys, v.Witness)
+		if *explain || *jsonOut {
+			e, err := model.Explain(m, sys, v)
+			if err != nil {
+				fmt.Printf("%-11s explain error: %v\n", m.Name(), err)
+				continue
+			}
+			if *jsonOut {
+				data, err := e.JSON()
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(string(data))
+			} else {
+				indent(e.Text())
+			}
 		}
 	}
-}
-
-// boundedContext applies the -timeout and -budget flags: the timeout covers
-// the whole model sweep; the budget bounds each individual check.
-func boundedContext(ctx context.Context, timeout time.Duration, budget int64) (context.Context, context.CancelFunc) {
-	cancel := context.CancelFunc(func() {})
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-	}
-	if budget > 0 {
-		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: budget, MaxNodes: budget})
-	}
-	return ctx, cancel
 }
 
 func inputText(file string, args []string) (string, error) {
@@ -117,7 +132,12 @@ func selectModels(names string) []model.Model {
 }
 
 func printWitness(sys *history.System, w *model.Witness) {
-	for _, line := range strings.Split(strings.TrimRight(w.Format(sys), "\n"), "\n") {
+	indent(w.Format(sys))
+}
+
+// indent prints a multi-line block indented under the verdict line.
+func indent(block string) {
+	for _, line := range strings.Split(strings.TrimRight(block, "\n"), "\n") {
 		fmt.Println("   ", line)
 	}
 }

@@ -5,16 +5,23 @@
 //
 // Usage:
 //
-//	paper [-quick]
+//	paper [-quick] [-workers N] [-timeout D] [-budget N]
+//	      [-trace FILE] [-metrics FILE] [-pprof FILE]
+//
+// -timeout and -budget bound every check and exploration (a claim whose
+// check is cut short FAILs rather than silently passing); -trace and
+// -metrics stream the whole reproduction's events and counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"repro/algorithms"
+	"repro/cmd/internal/cliflags"
 	"repro/drf"
 	"repro/explore"
 	"repro/litmus"
@@ -41,14 +48,27 @@ func claim(section, what string, ok bool, detail string) {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller random corpora")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+	defer done()
+	workers := shared.Workers
+	opts := func(o explore.Options) explore.Options { o.Workers = workers; return o }
+	models := make([]model.Model, 0, len(model.All()))
+	for _, m := range model.All() {
+		models = append(models, model.WithWorkers(m, workers))
+	}
 
 	fmt.Println("A Characterization of Scalable Shared Memories (Kohli, Neiger, Ahamad, 1993)")
 	fmt.Println("reproduction report")
 	fmt.Println()
 
 	// Figures 1–4 and every other pinned verdict: the litmus corpus.
-	results, err := litmus.RunCorpus(model.All())
+	results, err := litmus.RunCorpusCtx(ctx, models)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,9 +89,18 @@ func main() {
 
 	// Figure 1's witness views, specifically.
 	fig1, _ := litmus.ByName("Fig1-SB")
-	v, err := model.TSO{}.Allows(fig1.History)
+	v, err := model.AllowsCtx(ctx, model.TSO{Workers: workers}, fig1.History)
 	ok := err == nil && v.Allowed && model.VerifyWitness(model.TSO{}, fig1.History, v.Witness) == nil
 	claim("Fig 1", "TSO witness views verify independently", ok, "")
+
+	// ... and its explanation replays: the machine-readable witness is
+	// re-verified edge by edge (observability PR acceptance gate).
+	ok = false
+	if err == nil && v.Allowed {
+		e, eerr := model.Explain(model.TSO{}, fig1.History, v)
+		ok = eerr == nil && model.ValidateExplanation(model.TSO{}, fig1.History, e) == nil
+	}
+	claim("Fig 1", "TSO witness explanation validates by replay", ok, "")
 
 	// Figure 5: sampled lattice.
 	nRandom, nSims := 300, 6
@@ -87,7 +116,10 @@ func main() {
 			hs = append(hs, relate.RandomLabeledHistory(rng, relate.GenConfig{}))
 		}
 	}
-	mx := relate.BuildMatrixParallel(hs, model.All(), 0)
+	mx, err := relate.BuildMatrixCtx(ctx, hs, models, workers)
+	if err != nil {
+		fatal(err)
+	}
 	violations, missing := mx.CheckLattice()
 	claim("Fig 5", "containment lattice holds over sampled corpus", len(violations) == 0,
 		fmt.Sprintf("%d histories, %d missing witnesses", len(hs), len(missing)))
@@ -97,7 +129,7 @@ func main() {
 	if !*quick {
 		shapeK = 3
 	}
-	exViolations, total, err := relate.CheckLatticeExhaustiveParallel(shapeP, shapeK, shapeL, 0)
+	exViolations, total, err := relate.CheckLatticeExhaustiveCtx(ctx, shapeP, shapeK, shapeL, workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,7 +142,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := explore.Exhaustive(m, explore.Options{TrackProgress: true})
+	res, err := explore.ExhaustiveCtx(ctx, m, opts(explore.Options{TrackProgress: true}))
 	if err != nil {
 		fatal(err)
 	}
@@ -123,7 +155,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res2, err := explore.Exhaustive(m2, explore.Options{StopAtFirst: true})
+	res2, err := explore.ExhaustiveCtx(ctx, m2, opts(explore.Options{StopAtFirst: true}))
 	if err != nil {
 		fatal(err)
 	}
@@ -131,32 +163,32 @@ func main() {
 	var certified bool
 	if ok {
 		h := res2.Violations[0].History
-		rcpc, e1 := model.RCpc{}.Allows(h)
-		rcsc, e2 := model.RCsc{}.Allows(h)
+		rcpc, e1 := model.AllowsCtx(ctx, model.RCpc{Workers: workers}, h)
+		rcsc, e2 := model.AllowsCtx(ctx, model.RCsc{Workers: workers}, h)
 		certified = e1 == nil && e2 == nil && rcpc.Allowed && !rcsc.Allowed
 	}
 	claim("§5", "Bakery on RCpc: mutual exclusion violated", ok, "")
 	claim("§5", "violating history: RCpc-legal and RCsc-illegal", certified, "")
 
 	// Section 5's premise: proper labeling and the SC≡RCsc theorem.
-	rep, err := drf.Analyze(algorithms.Bakery(2, 1, true), explore.Options{})
+	rep, err := drf.AnalyzeCtx(ctx, algorithms.Bakery(2, 1, true), opts(explore.Options{}))
 	if err != nil {
 		fatal(err)
 	}
 	claim("§5", "labeled Bakery is properly labeled (DRF)", rep.DRF && rep.Complete, "")
-	cmp, err := drf.CompareOutcomes(
+	cmp, err := drf.CompareOutcomesCtx(ctx,
 		func() sim.Memory { return sim.NewSC(2) },
 		func() sim.Memory { return sim.NewRCsc(2) },
-		algorithms.Bakery(2, 1, true), explore.Options{})
+		algorithms.Bakery(2, 1, true), opts(explore.Options{}))
 	if err != nil {
 		fatal(err)
 	}
 	claim("§5", "properly labeled ⇒ outcomes on RCsc = outcomes on SC", cmp.Equal && cmp.Complete,
 		fmt.Sprintf("%d outcomes each", cmp.SizeA))
-	cmp2, err := drf.CompareOutcomes(
+	cmp2, err := drf.CompareOutcomesCtx(ctx,
 		func() sim.Memory { return sim.NewSC(2) },
 		func() sim.Memory { return sim.NewRCpc(2) },
-		algorithms.Bakery(2, 1, true), explore.Options{})
+		algorithms.Bakery(2, 1, true), opts(explore.Options{}))
 	if err != nil {
 		fatal(err)
 	}
@@ -165,17 +197,18 @@ func main() {
 
 	// §3.2/§6: the TSO findings.
 	sbrfi, _ := litmus.ByName("SB-rfi")
-	paperTSO, _ := model.TSO{}.Allows(sbrfi.History)
-	axTSO, _ := model.TSOAxiomatic{}.Allows(sbrfi.History)
+	paperTSO, _ := model.AllowsCtx(ctx, model.TSO{Workers: workers}, sbrfi.History)
+	axTSO, _ := model.AllowsCtx(ctx, model.TSOAxiomatic{Workers: workers}, sbrfi.History)
 	claim("§6", "paper-TSO ≠ axiomatic TSO (SB+rfi separates)", !paperTSO.Allowed && axTSO.Allowed, "")
 	fwd, _ := litmus.ByName("TSOax-not-PC")
-	pcV, _ := model.PC{}.Allows(fwd.History)
-	axV, _ := model.TSOAxiomatic{}.Allows(fwd.History)
+	pcV, _ := model.AllowsCtx(ctx, model.PC{Workers: workers}, fwd.History)
+	axV, _ := model.AllowsCtx(ctx, model.TSOAxiomatic{Workers: workers}, fwd.History)
 	claim("§6", "axiomatic TSO ∥ paper-PC (forwarding separates)", !pcV.Allowed && axV.Allowed, "finding of this reproduction")
 
 	fmt.Println()
 	if failures > 0 {
 		fmt.Printf("%d claims FAILED\n", failures)
+		done()
 		os.Exit(1)
 	}
 	fmt.Println("every claim reproduced")

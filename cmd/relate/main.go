@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	relate [-random N] [-sims N] [-seed S] [-timeout D] [-budget N]
+//	relate [-random N] [-sims N] [-seed S] [-workers N] [-timeout D]
+//	       [-budget N] [-trace FILE] [-metrics FILE] [-pprof FILE]
 //
 // With -timeout or -budget, checks cut short land in the matrix's Unknown
 // column (never counted as rejections) and a summary line reports them.
+// -trace streams sweep and per-check events as JSONL; -metrics snapshots
+// the counters on exit.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/cmd/internal/cliflags"
 	"repro/model"
 	"repro/relate"
 )
@@ -28,23 +32,19 @@ func main() {
 	nSims := flag.Int("sims", 5, "random runs per simulator")
 	seed := flag.Int64("seed", 1993, "random seed")
 	shape := flag.String("shape", "", "exhaustive mode: verify the lattice over ALL histories of shape P,K,L (processors, ops each, locations), e.g. 2,2,2")
-	workers := flag.Int("workers", 0, "classification workers (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none)")
-	budgetN := flag.Int64("budget", 0, "work budget per check: max candidates and search nodes (0 = none)")
+	shared := cliflags.Register(flag.CommandLine)
 	flag.Parse()
+	workers := &shared.Workers
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	ctx, done, err := shared.Setup(context.Background())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relate:", err)
+		os.Exit(1)
 	}
-	if *budgetN > 0 {
-		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: *budgetN, MaxNodes: *budgetN})
-	}
+	defer done()
 
 	if *shape != "" {
-		runExhaustive(ctx, *shape, *workers)
+		runExhaustive(ctx, *shape, *workers, done)
 		return
 	}
 
@@ -103,6 +103,7 @@ func main() {
 		for _, v := range violations {
 			fmt.Println(" ", v)
 		}
+		done()
 		os.Exit(1)
 	}
 	if len(missing) > 0 {
@@ -126,17 +127,20 @@ func totalUnknown(mx *relate.Matrix) int {
 }
 
 // runExhaustive verifies the lattice over every history of a complete
-// shape and prints the per-model density table.
-func runExhaustive(ctx context.Context, shape string, workers int) {
+// shape and prints the per-model density table. done flushes the shared
+// observability teardown before an error exit.
+func runExhaustive(ctx context.Context, shape string, workers int, done func()) {
 	var p, k, l int
 	if _, err := fmt.Sscanf(shape, "%d,%d,%d", &p, &k, &l); err != nil {
 		fmt.Fprintf(os.Stderr, "relate: bad -shape %q: %v\n", shape, err)
+		done()
 		os.Exit(1)
 	}
 	fmt.Printf("exhaustively classifying every history of shape procs=%d ops/proc=%d locs=%d...\n", p, k, l)
 	counts, unknown, total, err := relate.DensityCtx(ctx, p, k, l, workers, model.All())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relate:", err)
+		done()
 		os.Exit(1)
 	}
 	fmt.Printf("\n%d histories in the shape; allowed per model (density):\n", total)
@@ -151,6 +155,7 @@ func runExhaustive(ctx context.Context, shape string, workers int) {
 	violations, _, err := relate.CheckLatticeExhaustiveCtx(ctx, p, k, l, workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relate:", err)
+		done()
 		os.Exit(1)
 	}
 	if len(violations) > 0 {
@@ -158,6 +163,7 @@ func runExhaustive(ctx context.Context, shape string, workers int) {
 		for _, v := range violations {
 			fmt.Println(" ", v)
 		}
+		done()
 		os.Exit(1)
 	}
 	fmt.Printf("\nevery Figure 5 containment holds over all %d histories of this shape\n", total)

@@ -19,6 +19,7 @@
 package drf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,6 +62,13 @@ const maxRacesReported = 8
 // data races. A nil error with Report.DRF true and Report.Complete true is
 // a proof (over the DSL semantics) that the program is properly labeled.
 func Analyze(progs [][]program.Stmt, opts explore.Options) (Report, error) {
+	return AnalyzeCtx(context.Background(), progs, opts)
+}
+
+// AnalyzeCtx is Analyze under a context: cancellation or a deadline
+// truncates the exploration, and a truncated analysis reports Complete
+// false (its DRF answer is then only over the executions examined).
+func AnalyzeCtx(ctx context.Context, progs [][]program.Stmt, opts explore.Options) (Report, error) {
 	m, err := program.NewMachine(sim.NewSC(len(progs)), progs)
 	if err != nil {
 		return Report{}, err
@@ -78,7 +86,7 @@ func Analyze(progs [][]program.Stmt, opts explore.Options) (Report, error) {
 		}
 		return true
 	}
-	res, err := explore.Exhaustive(m, opts)
+	res, err := explore.ExhaustiveCtx(ctx, m, opts)
 	if err != nil {
 		return Report{}, err
 	}
@@ -161,6 +169,12 @@ func outcomeOf(m *program.Machine) Outcome {
 // returns the set of observable outcomes over all terminal states. The
 // boolean reports whether exploration was exhaustive.
 func Outcomes(mem sim.Memory, progs [][]program.Stmt, opts explore.Options) (map[Outcome]bool, bool, error) {
+	return OutcomesCtx(context.Background(), mem, progs, opts)
+}
+
+// OutcomesCtx is Outcomes under a context; a truncated exploration
+// reports exhaustive false.
+func OutcomesCtx(ctx context.Context, mem sim.Memory, progs [][]program.Stmt, opts explore.Options) (map[Outcome]bool, bool, error) {
 	m, err := program.NewMachine(mem, progs)
 	if err != nil {
 		return nil, false, err
@@ -171,7 +185,7 @@ func Outcomes(mem sim.Memory, progs [][]program.Stmt, opts explore.Options) (map
 		out[outcomeOf(t)] = true
 		return true
 	}
-	res, err := explore.Exhaustive(m, opts)
+	res, err := explore.ExhaustiveCtx(ctx, m, opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -195,11 +209,18 @@ type Comparison struct {
 // the Gibbons–Merritt–Gharachorloo theorem predicts Equal == true when A
 // is sequentially consistent memory and B is RCsc.
 func CompareOutcomes(mkA, mkB func() sim.Memory, progs [][]program.Stmt, opts explore.Options) (Comparison, error) {
-	a, ca, err := Outcomes(mkA(), progs, opts)
+	return CompareOutcomesCtx(context.Background(), mkA, mkB, progs, opts)
+}
+
+// CompareOutcomesCtx is CompareOutcomes under a context; if either
+// exploration is truncated the comparison reports Complete false and the
+// outcome sets cover only what was reached.
+func CompareOutcomesCtx(ctx context.Context, mkA, mkB func() sim.Memory, progs [][]program.Stmt, opts explore.Options) (Comparison, error) {
+	a, ca, err := OutcomesCtx(ctx, mkA(), progs, opts)
 	if err != nil {
 		return Comparison{}, err
 	}
-	b, cb, err := Outcomes(mkB(), progs, opts)
+	b, cb, err := OutcomesCtx(ctx, mkB(), progs, opts)
 	if err != nil {
 		return Comparison{}, err
 	}

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"repro/history"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/program"
 )
@@ -225,10 +226,53 @@ func ExhaustiveCtx(ctx context.Context, m0 *program.Machine, opts Options) (Resu
 	if inv == nil {
 		inv = MutualExclusion
 	}
-	if w := pool.Size(opts.Workers); w > 1 {
-		return exhaustiveParallel(ctx, m0, opts, inv, w)
+	w := pool.Size(opts.Workers)
+	traced := obs.Enabled(ctx)
+	if traced {
+		obs.EmitTo(ctx, obs.Event{Type: obs.EvExploreStart, Worker: w})
 	}
+	ctx, endTask := obs.TaskRegion(ctx, "explore", "exhaustive")
+	res, err := func() (Result, error) {
+		defer endTask()
+		if w > 1 {
+			return exhaustiveParallel(ctx, m0, opts, inv, w)
+		}
+		return exhaustiveSeq(ctx, m0, opts, inv)
+	}()
+	if traced {
+		finishExplore(ctx, res)
+	}
+	return res, err
+}
 
+// finishExplore publishes an exploration's outcome to the context's
+// observability destinations: per-violation events, a finish event
+// carrying the counts, and aggregate counters.
+func finishExplore(ctx context.Context, res Result) {
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		reg.Counter("explore.runs").Add(1)
+		reg.Counter("explore.states").Add(int64(res.States))
+		reg.Counter("explore.transitions").Add(int64(res.Transitions))
+		reg.Counter("explore.violations").Add(int64(len(res.Violations)))
+	}
+	for _, v := range res.Violations {
+		obs.EmitTo(ctx, obs.Event{
+			Type:   obs.EvViolation,
+			Reason: v.Err.Error(),
+			Detail: fmt.Sprintf("%d-step schedule", len(v.Trace)),
+		})
+	}
+	obs.EmitTo(ctx, obs.Event{
+		Type:        obs.EvExploreFinish,
+		States:      res.States,
+		Transitions: res.Transitions,
+		Verdict:     res.Incomplete.String(),
+	})
+}
+
+// exhaustiveSeq is the sequential depth-first search — the oracle the
+// parallel engine's differential tests compare against.
+func exhaustiveSeq(ctx context.Context, m0 *program.Machine, opts Options, inv Invariant) (Result, error) {
 	var res Result
 	res.Complete = true
 	if opts.TrackProgress {

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a lock-free collection of named metrics. Lookup uses a
+// sync.Map (read-mostly after warm-up); the metrics themselves are plain
+// atomics, so concurrent updates never contend on a lock. Hot loops should
+// not call Counter/Gauge/Histogram per event — they resolve the metric
+// once (a Probe does this at Start) and flush strided deltas into it.
+type Registry struct {
+	counters   sync.Map // string -> *Counter
+	gauges     sync.Map // string -> *Gauge
+	histograms sync.Map // string -> *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; a nil counter ignores the call.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value metric with a monotonic-max helper.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value; a nil gauge ignores the call.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Max raises the gauge to n if n is larger (atomic compare-and-swap loop).
+func (g *Gauge) Max(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// holds values v with bits.Len64(v) == i, i.e. bucket 0 is {0}, bucket 1 is
+// {1}, bucket 2 is {2,3}, bucket 3 is {4..7}, ... — enough for the full
+// int64 range.
+const histBuckets = 65
+
+// Histogram is a lock-free power-of-two histogram. Observations land in
+// the bucket of their bit length, so the histogram answers "order of
+// magnitude" questions (cancellation latency in µs, nodes per candidate)
+// with one atomic add per observation and no allocation.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe records one value (negative values clamp to zero); a nil
+// histogram ignores the call.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// HistogramSnapshot is the exported state of a histogram: non-empty
+// buckets keyed by their inclusive upper bound.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if s.Buckets == nil {
+			s.Buckets = make(map[string]int64)
+		}
+		// Bucket i covers [2^(i-1), 2^i - 1]; label by the upper bound.
+		var hi uint64
+		if i == 0 {
+			hi = 0
+		} else if i >= 64 {
+			hi = ^uint64(0) >> 1
+		} else {
+			hi = 1<<uint(i) - 1
+		}
+		s.Buckets[fmt.Sprintf("le_%d", hi)] = n
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, new(Counter))
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, new(Gauge))
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
+	}
+	v, _ := r.histograms.LoadOrStore(name, new(Histogram))
+	return v.(*Histogram)
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, sorted
+// by name inside each section for stable output.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64)
+		}
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64)
+		}
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.histograms.Range(func(k, v any) bool {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot)
+		}
+		s.Histograms[k.(string)] = v.(*Histogram).snapshot()
+		return true
+	})
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText renders the snapshot as sorted "name value" lines, one metric
+// per line — the human-readable form CLIs print to stderr.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var lines []string
+	for k, v := range s.Counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, v := range s.Gauges {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	for k, h := range s.Histograms {
+		mean := int64(0)
+		if h.Count > 0 {
+			mean = h.Sum / h.Count
+		}
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%d mean=%d", k, h.Count, h.Sum, mean))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package obs is the observability layer of the checking engine: a
+// lock-free metrics registry, a structured trace-event stream, and the
+// per-check Probe that the solvers, enumerators and pools report into.
+//
+// Membership checking is NP-hard, and PR 2's budgets already make checks
+// stop with Unknown verdicts — but a stopped check is only actionable when
+// the operator can see WHERE the permutation search spent its nodes, which
+// constraint pruned what, and how far the deepest partial view got. This
+// package makes that visible without taxing the un-instrumented path:
+//
+//   - A Registry holds named atomic counters, gauges and power-of-two
+//     histograms. Hot loops never touch the registry directly: they tally
+//     into plain locals and flush through a Probe at a stride cadence (the
+//     same ≤5%-overhead discipline as internal/budget).
+//   - A Sink receives structured trace Events — candidate enumerated,
+//     constraint violated, shard start/finish, first witness, budget stop —
+//     renderable as JSONL (one event per line) or buffered in a ring.
+//   - Probe is the per-check handle the engine threads through itself. It
+//     is created from a context (WithSink / WithRegistry attach the
+//     destinations); when the context carries neither, Start returns nil,
+//     and every Probe method is nil-receiver-safe and inlines to a branch —
+//     the un-instrumented cost stays at the open-loop baseline.
+//
+// The package deliberately imports nothing from the repository so that
+// every layer (internal/search, internal/perm, internal/pool, model,
+// explore, relate, litmus) can report into it without cycles.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// EventType classifies a trace event. The values are stable strings — they
+// are the "type" field of the JSONL schema documented in the README.
+type EventType string
+
+const (
+	// EvRunStart opens one membership check: model, operation count.
+	EvRunStart EventType = "run_start"
+	// EvCandidate is one mutual-consistency candidate (write order,
+	// coherence product, labeled serialization) entering its test.
+	EvCandidate EventType = "candidate"
+	// EvConstraint is a candidate (or whole history) rejected by a named
+	// constraint before any view search ran — a cyclic causal order, a
+	// cyclic semi-causality closure, a labeled order contradicting the
+	// coherence order.
+	EvConstraint EventType = "constraint_violated"
+	// EvShardStart / EvShardFinish bracket one prefix shard of a parallel
+	// enumeration on a pool worker.
+	EvShardStart  EventType = "shard_start"
+	EvShardFinish EventType = "shard_finish"
+	// EvWitness is the first witness of a check: the candidate space race
+	// is over and the sibling shards are being cancelled.
+	EvWitness EventType = "witness"
+	// EvBudgetStop records a budget/deadline/cancellation stop with the
+	// progress counters at the stop.
+	EvBudgetStop EventType = "budget_stop"
+	// EvRunFinish closes one membership check with its verdict.
+	EvRunFinish EventType = "run_finish"
+	// EvExploreStart / EvExploreFinish bracket one state-space exploration;
+	// EvViolation is an invariant violation found during it.
+	EvExploreStart  EventType = "explore_start"
+	EvExploreFinish EventType = "explore_finish"
+	EvViolation     EventType = "violation"
+	// EvSweepStart / EvSweepFinish bracket one relate classification sweep.
+	EvSweepStart  EventType = "sweep_start"
+	EvSweepFinish EventType = "sweep_finish"
+	// EvLitmus is one litmus test × model verdict.
+	EvLitmus EventType = "litmus"
+)
+
+// processStart anchors every event's monotonic timestamp, so events from
+// concurrent checks interleave on one comparable axis.
+var processStart = time.Now()
+
+// Event is one structured trace record. Unused fields are zero and omitted
+// from the JSONL rendering; which fields a given Type populates is
+// documented in the README's event-schema table.
+type Event struct {
+	// Us is the event time in microseconds since process start.
+	Us int64 `json:"us"`
+	// Type is the event kind (see the Ev* constants).
+	Type EventType `json:"type"`
+	// Model is the memory model being checked, when the event belongs to a
+	// model check.
+	Model string `json:"model,omitempty"`
+	// Test is the litmus test or sweep label, when one applies.
+	Test string `json:"test,omitempty"`
+	// Worker is the pool worker index for shard events (-1 when unset).
+	Worker int `json:"worker,omitempty"`
+	// Shard renders the work-shard (prefix) of shard events.
+	Shard string `json:"shard,omitempty"`
+	// Kind names the violated constraint for EvConstraint (for example
+	// "sem-cycle", "causal-cycle", "labeled-vs-coherence").
+	Kind string `json:"kind,omitempty"`
+	// Reason is the stop reason for EvBudgetStop and truncated runs.
+	Reason string `json:"reason,omitempty"`
+	// Verdict renders the outcome on EvRunFinish/EvLitmus:
+	// "allowed", "forbidden", or "unknown".
+	Verdict string `json:"verdict,omitempty"`
+	// Candidates / Nodes are progress counters where meaningful.
+	Candidates int64 `json:"candidates,omitempty"`
+	Nodes      int64 `json:"nodes,omitempty"`
+	// Frontier is the deepest partial linearization (operations placed)
+	// any view search of the check reached.
+	Frontier int `json:"frontier,omitempty"`
+	// Ops / Procs describe the history on EvRunStart.
+	Ops   int `json:"ops,omitempty"`
+	Procs int `json:"procs,omitempty"`
+	// States / Transitions are explorer counters.
+	States      int `json:"states,omitempty"`
+	Transitions int `json:"transitions,omitempty"`
+	// Detail carries free-form context (violation text, sweep shape).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Sink receives trace events. Implementations must be safe for concurrent
+// Emit calls: the parallel enumeration engine emits from every worker.
+type Sink interface {
+	Emit(Event)
+}
+
+// now stamps an event with the monotonic process clock.
+func now() int64 { return time.Since(processStart).Microseconds() }
+
+// stamp fills the timestamp and returns the event, so call sites stay one
+// line.
+func stamp(e Event) Event {
+	e.Us = now()
+	return e
+}
+
+type sinkKey struct{}
+type registryKey struct{}
+
+// WithSink attaches a trace sink to the context; every check, exploration
+// and sweep under the returned context emits events into it.
+func WithSink(ctx context.Context, s Sink) context.Context {
+	return context.WithValue(ctx, sinkKey{}, s)
+}
+
+// SinkFrom returns the sink attached by WithSink, or nil.
+func SinkFrom(ctx context.Context) Sink {
+	s, _ := ctx.Value(sinkKey{}).(Sink)
+	return s
+}
+
+// WithRegistry attaches a metrics registry to the context.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFrom returns the registry attached by WithRegistry, or nil.
+func RegistryFrom(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}
+
+// Enabled reports whether the context carries any observability
+// destination. Layers use it to skip instrumentation setup entirely.
+func Enabled(ctx context.Context) bool {
+	return SinkFrom(ctx) != nil || RegistryFrom(ctx) != nil
+}

@@ -1,0 +1,355 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("second Counter lookup returned a different instance")
+	}
+
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Max(5)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after Max(5) = %d, want 10", got)
+	}
+	g.Max(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge after Max(42) = %d, want 42", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, -5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 25 { // negative clamps to 0
+		t.Fatalf("sum = %d, want 25", got)
+	}
+	s := h.snapshot()
+	want := map[string]int64{"le_0": 2, "le_1": 1, "le_3": 2, "le_7": 2, "le_15": 1}
+	for k, n := range want {
+		if s.Buckets[k] != n {
+			t.Errorf("bucket %s = %d, want %d (all: %v)", k, s.Buckets[k], n, s.Buckets)
+		}
+	}
+	if len(s.Buckets) != len(want) {
+		t.Errorf("bucket set %v, want exactly %v", s.Buckets, want)
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	// Every metric method must be a no-op on nil receivers — the probe's
+	// metrics-disabled path hands these out.
+	var c *Counter
+	c.Add(1)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value != 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Max(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value != 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram not empty")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry returned a live metric")
+	}
+	if s := r.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestNilProbeSafe(t *testing.T) {
+	// Start with a bare context returns nil; every method must then be a
+	// branch, not a panic — this IS the un-instrumented fast path.
+	p := Start(context.Background(), "SC", 4, 2)
+	if p != nil {
+		t.Fatal("Start on a bare context should return nil")
+	}
+	if p.Enabled() || p.Tracing() {
+		t.Fatal("nil probe reports enabled")
+	}
+	p.Candidate(1)
+	p.Constraint("po", "")
+	p.Witness(1, 2)
+	p.BudgetStop("deadline", 1, 2, 3)
+	p.CancelLatency(time.Millisecond)
+	p.Emit(Event{Type: EvWitness})
+	p.Finish("allowed", 1, 2, 3)
+	var st SolverStats
+	st.OrderPrune("po")
+	p.FlushSolver(&st)
+	p.FlushSolver(nil)
+}
+
+func TestProbeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	ctx := WithRegistry(context.Background(), reg)
+	p := Start(ctx, "SC", 4, 2)
+	if p == nil || !p.Enabled() || p.Tracing() {
+		t.Fatal("probe with registry only: want enabled, not tracing")
+	}
+	p.Candidate(1)
+	p.Constraint("causal-cycle", "detail")
+	st := SolverStats{Nodes: 10, MemoHits: 2, MemoMisses: 3, ValuePrunes: 4, MaxDepth: 3}
+	st.OrderPrune("po")
+	st.OrderPrune("po")
+	st.OrderPrune("wb")
+	p.FlushSolver(&st)
+	p.Finish("allowed", 1, 10, 4)
+
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"check.runs":                    1,
+		"check.SC.candidates":           1,
+		"check.SC.nodes":                10,
+		"check.SC.memo_hits":            2,
+		"check.SC.memo_misses":          3,
+		"check.SC.prune.value":          4,
+		"check.SC.prune.po":             2,
+		"check.SC.prune.wb":             1,
+		"check.SC.prune.causal-cycle":   1,
+		"check.SC.constraints_violated": 1,
+	} {
+		if s.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, s.Counters[name], want)
+		}
+	}
+	if s.Gauges["check.SC.frontier"] != 4 {
+		t.Errorf("frontier gauge = %d, want 4", s.Gauges["check.SC.frontier"])
+	}
+	if h := s.Histograms["check.SC.duration_us"]; h.Count != 1 {
+		t.Errorf("duration histogram count = %d, want 1", h.Count)
+	}
+}
+
+func TestProbeEvents(t *testing.T) {
+	ring := NewRing(16)
+	ctx := WithSink(context.Background(), ring)
+	p := Start(ctx, "PC", 6, 3)
+	if !p.Tracing() {
+		t.Fatal("probe with sink: want tracing")
+	}
+	p.Candidate(1)
+	p.Witness(1, 9)
+	p.Finish("allowed", 1, 9, 6)
+
+	evs := ring.Events()
+	wantTypes := []EventType{EvRunStart, EvCandidate, EvWitness, EvRunFinish}
+	if len(evs) != len(wantTypes) {
+		t.Fatalf("got %d events, want %d: %+v", len(evs), len(wantTypes), evs)
+	}
+	for i, e := range evs {
+		if e.Type != wantTypes[i] {
+			t.Errorf("event %d type = %s, want %s", i, e.Type, wantTypes[i])
+		}
+		if e.Model != "PC" {
+			t.Errorf("event %d model = %q, want PC", i, e.Model)
+		}
+	}
+	if evs[0].Ops != 6 || evs[0].Procs != 3 {
+		t.Errorf("run_start ops/procs = %d/%d, want 6/3", evs[0].Ops, evs[0].Procs)
+	}
+	if evs[3].Verdict != "allowed" || evs[3].Frontier != 6 {
+		t.Errorf("run_finish = %+v, want verdict=allowed frontier=6", evs[3])
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	ring := NewRing(3)
+	for i := 1; i <= 5; i++ {
+		ring.Emit(Event{Candidates: int64(i)})
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("total = %d, want 5", ring.Total())
+	}
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d events, want 3", len(evs))
+	}
+	for i, want := range []int64{3, 4, 5} { // oldest-first
+		if evs[i].Candidates != want {
+			t.Errorf("event %d = %d, want %d", i, evs[i].Candidates, want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf strings.Builder
+	sink := NewJSONL(&buf)
+	sink.Emit(Event{Type: EvRunStart, Model: "SC", Ops: 4, Procs: 2, Us: 7})
+	sink.Emit(Event{Type: EvRunFinish, Model: "SC", Verdict: "allowed", Us: 9})
+	if sink.Count() != 2 || sink.Err() != nil {
+		t.Fatalf("count=%d err=%v, want 2/nil", sink.Count(), sink.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if e.Type != EvRunStart || e.Model != "SC" || e.Ops != 4 {
+		t.Errorf("round-tripped event = %+v", e)
+	}
+	if strings.Contains(lines[1], "\"ops\"") {
+		t.Error("zero fields should be omitted from JSONL")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, errors.New("disk full")
+}
+
+func TestJSONLDropsAfterError(t *testing.T) {
+	w := &failWriter{}
+	sink := NewJSONL(w)
+	for i := 0; i < 5; i++ {
+		sink.Emit(Event{Type: EvCandidate})
+	}
+	if sink.Err() == nil {
+		t.Fatal("want an error recorded")
+	}
+	if w.n != 1 {
+		t.Fatalf("writer called %d times, want 1 (drop after first error)", w.n)
+	}
+}
+
+func TestTeeAndFilter(t *testing.T) {
+	a, b := NewRing(8), NewRing(8)
+	var sink Sink = Tee{a, Filter{Next: b, Allow: map[EventType]bool{EvWitness: true}}}
+	sink.Emit(Event{Type: EvCandidate})
+	sink.Emit(Event{Type: EvWitness})
+	if a.Total() != 2 {
+		t.Errorf("tee arm saw %d events, want 2", a.Total())
+	}
+	if b.Total() != 1 || b.Events()[0].Type != EvWitness {
+		t.Errorf("filter arm saw %d events (want 1 witness)", b.Total())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if Enabled(ctx) {
+		t.Fatal("bare context reports enabled")
+	}
+	EmitTo(ctx, Event{Type: EvLitmus}) // must not panic
+	CountTo(ctx, "x", 1)
+
+	reg, ring := NewRegistry(), NewRing(4)
+	ctx = WithSink(WithRegistry(ctx, reg), ring)
+	if !Enabled(ctx) || SinkFrom(ctx) != Sink(ring) || RegistryFrom(ctx) != reg {
+		t.Fatal("context round-trip lost a destination")
+	}
+	EmitTo(ctx, Event{Type: EvLitmus})
+	CountTo(ctx, "x", 2)
+	if ring.Total() != 1 || reg.Counter("x").Value() != 2 {
+		t.Fatalf("EmitTo/CountTo did not reach destinations: %d events, counter=%d",
+			ring.Total(), reg.Counter("x").Value())
+	}
+	if evs := ring.Events(); evs[0].Us < 0 {
+		t.Error("EmitTo should stamp a non-negative timestamp")
+	}
+}
+
+func TestTaskRegionDisabled(t *testing.T) {
+	ctx := context.Background()
+	tctx, end := TaskRegion(ctx, "check", "SC")
+	if tctx != ctx {
+		t.Error("TaskRegion with runtime tracing off should return ctx unchanged")
+	}
+	end()
+	Region(ctx, "r")()
+}
+
+func TestWriteJSONAndText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("g").Set(5)
+	reg.Histogram("h").Observe(10)
+
+	var jsonOut strings.Builder
+	if err := reg.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(jsonOut.String()), &snap); err != nil {
+		t.Fatalf("WriteJSON output not JSON: %v", err)
+	}
+	if snap.Counters["b.count"] != 2 || snap.Gauges["g"] != 5 || snap.Histograms["h"].Sum != 10 {
+		t.Errorf("snapshot round-trip = %+v", snap)
+	}
+
+	var text strings.Builder
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(text.String()), "\n")
+	want := []string{"a.count 1", "b.count 2", "g 5", "h count=1 sum=10 mean=10"}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %q, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentRegistry(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				reg.Counter("c").Add(1)
+				reg.Gauge("g").Max(int64(j))
+				reg.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := reg.Gauge("g").Value(); got != 999 {
+		t.Errorf("gauge = %d, want 999", got)
+	}
+	if got := reg.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

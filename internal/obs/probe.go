@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	rtrace "runtime/trace"
+	"time"
+)
+
+// Probe is the per-check observability handle. The model layer creates one
+// at the top of a membership check via Start; it pre-resolves that check's
+// registry metrics once (so hot paths never do a name lookup) and carries
+// the trace sink. A nil Probe is the un-instrumented fast path: every
+// method on a nil receiver returns immediately, so call sites need no
+// guards and the disabled cost is a predicted branch.
+//
+// The solver does not call Probe per node — it tallies into a SolverStats
+// on its own stack and flushes once per view search (internal/search
+// mirrors internal/budget's stride discipline). Probe methods are safe for
+// concurrent use: parallel workers flush into the same atomic metrics.
+type Probe struct {
+	sink  Sink
+	reg   *Registry
+	model string
+	start time.Time
+
+	candidates  *Counter
+	nodes       *Counter
+	memoHits    *Counter
+	memoMisses  *Counter
+	valuePrunes *Counter
+	constraints *Counter
+	frontier    *Gauge
+	duration    *Histogram
+	cancelLat   *Histogram
+}
+
+// Start creates the probe for one membership check of the named model, or
+// returns nil when the context carries neither a sink nor a registry — the
+// nil fast path. It emits the run_start event.
+func Start(ctx context.Context, model string, ops, procs int) *Probe {
+	sink, reg := SinkFrom(ctx), RegistryFrom(ctx)
+	if sink == nil && reg == nil {
+		return nil
+	}
+	p := &Probe{sink: sink, reg: reg, model: model, start: time.Now()}
+	if reg != nil {
+		prefix := "check." + model + "."
+		p.candidates = reg.Counter(prefix + "candidates")
+		p.nodes = reg.Counter(prefix + "nodes")
+		p.memoHits = reg.Counter(prefix + "memo_hits")
+		p.memoMisses = reg.Counter(prefix + "memo_misses")
+		p.valuePrunes = reg.Counter(prefix + "prune.value")
+		p.constraints = reg.Counter(prefix + "constraints_violated")
+		p.frontier = reg.Gauge(prefix + "frontier")
+		p.duration = reg.Histogram(prefix + "duration_us")
+		p.cancelLat = reg.Histogram(prefix + "cancel_latency_us")
+		reg.Counter("check.runs").Add(1)
+	}
+	p.emit(Event{Type: EvRunStart, Ops: ops, Procs: procs})
+	return p
+}
+
+// emit stamps the event with time and model and sends it to the sink.
+func (p *Probe) emit(e Event) {
+	if p == nil || p.sink == nil {
+		return
+	}
+	e.Model = p.model
+	p.sink.Emit(stamp(e))
+}
+
+// Emit sends an arbitrary event through the probe (stamped with the
+// check's model). Nil-safe.
+func (p *Probe) Emit(e Event) { p.emit(e) }
+
+// Enabled reports whether the probe is live; callers with nontrivial event
+// assembly can skip it entirely when false.
+func (p *Probe) Enabled() bool { return p != nil }
+
+// Tracing reports whether the probe carries a trace sink (as opposed to
+// metrics only); per-candidate event emission keys off this.
+func (p *Probe) Tracing() bool { return p != nil && p.sink != nil }
+
+// Candidate records one mutual-consistency candidate entering its test.
+// seq is the 1-based running candidate number.
+func (p *Probe) Candidate(seq int64) {
+	if p == nil {
+		return
+	}
+	p.candidates.Add(1)
+	p.emit(Event{Type: EvCandidate, Candidates: seq})
+}
+
+// Constraint records a candidate (or the whole history) rejected by a
+// named order constraint before any view search ran.
+func (p *Probe) Constraint(kind, detail string) {
+	if p == nil {
+		return
+	}
+	p.constraints.Add(1)
+	if p.reg != nil {
+		p.reg.Counter("check." + p.model + ".prune." + kind).Add(1)
+	}
+	p.emit(Event{Type: EvConstraint, Kind: kind, Detail: detail})
+}
+
+// Witness records the first witness of the check — the moment the
+// candidate race is decided and sibling shards begin cancelling.
+func (p *Probe) Witness(candidates, nodes int64) {
+	p.emit(Event{Type: EvWitness, Candidates: candidates, Nodes: nodes})
+}
+
+// BudgetStop records a budget, deadline or cancellation stop with the
+// progress counters at the stop.
+func (p *Probe) BudgetStop(reason string, candidates, nodes int64, frontier int) {
+	p.emit(Event{Type: EvBudgetStop, Reason: reason,
+		Candidates: candidates, Nodes: nodes, Frontier: frontier})
+}
+
+// CancelLatency records how long the engine took to go quiet after the
+// first witness (or stop) requested cancellation.
+func (p *Probe) CancelLatency(d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.cancelLat.Observe(d.Microseconds())
+}
+
+// Finish closes the check: verdict is "allowed", "forbidden" or
+// "unknown". It records the duration histogram and the frontier gauge and
+// emits the run_finish event.
+func (p *Probe) Finish(verdict string, candidates, nodes int64, frontier int) {
+	if p == nil {
+		return
+	}
+	p.duration.Observe(time.Since(p.start).Microseconds())
+	p.frontier.Max(int64(frontier))
+	p.emit(Event{Type: EvRunFinish, Verdict: verdict,
+		Candidates: candidates, Nodes: nodes, Frontier: frontier})
+}
+
+// SolverStats is one view search's tally, accumulated in plain locals on
+// the solver's stack and flushed through FlushSolver when the search
+// returns — the strided-flush half of the ≤5%-overhead discipline.
+type SolverStats struct {
+	// Nodes is dfs invocations; MemoHits/MemoMisses split them by failed-
+	// state memo outcome; ValuePrunes counts read-legality rejections.
+	Nodes, MemoHits, MemoMisses, ValuePrunes int64
+	// OrderPrunes counts placements rejected because an unplaced
+	// predecessor blocks them, keyed by the order part (po, ppo, wb, co,
+	// coherence, ...) the blocking edge came from, or "derived" when the
+	// edge exists only in the transitive closure.
+	OrderPrunes map[string]int64
+	// MaxDepth is the deepest partial linearization reached (operations
+	// placed) — the constraint frontier.
+	MaxDepth int
+}
+
+// OrderPrune attributes one order-constraint rejection to a part.
+func (st *SolverStats) OrderPrune(part string) {
+	if st.OrderPrunes == nil {
+		st.OrderPrunes = make(map[string]int64)
+	}
+	st.OrderPrunes[part]++
+}
+
+// FlushSolver folds one view search's stats into the check's metrics.
+func (p *Probe) FlushSolver(st *SolverStats) {
+	if p == nil || st == nil {
+		return
+	}
+	p.nodes.Add(st.Nodes)
+	p.memoHits.Add(st.MemoHits)
+	p.memoMisses.Add(st.MemoMisses)
+	p.valuePrunes.Add(st.ValuePrunes)
+	p.frontier.Max(int64(st.MaxDepth))
+	if p.reg != nil {
+		for part, n := range st.OrderPrunes {
+			p.reg.Counter("check." + p.model + ".prune." + part).Add(n)
+		}
+	}
+}
+
+// EmitTo sends an event to the context's sink, if any — the entry point
+// for layers (perm, pool, explore, relate, litmus) that report against a
+// context rather than a per-check probe.
+func EmitTo(ctx context.Context, e Event) {
+	if s := SinkFrom(ctx); s != nil {
+		s.Emit(stamp(e))
+	}
+}
+
+// CountTo bumps a named counter on the context's registry, if any.
+func CountTo(ctx context.Context, name string, n int64) {
+	if r := RegistryFrom(ctx); r != nil {
+		r.Counter(name).Add(n)
+	}
+}
+
+// Region opens a Go runtime/trace region (visible in `go tool trace`) and
+// returns its closer. When runtime tracing is off this is nearly free, so
+// callers can defer Region(ctx, "...")() unconditionally on cold paths.
+func Region(ctx context.Context, name string) func() {
+	if !rtrace.IsEnabled() {
+		return func() {}
+	}
+	return rtrace.StartRegion(ctx, name).End
+}
+
+// TaskRegion opens a runtime/trace user task (which nests regions across
+// goroutines) named for a model check, returning the derived context and
+// the task closer.
+func TaskRegion(ctx context.Context, kind, name string) (context.Context, func()) {
+	if !rtrace.IsEnabled() {
+		return ctx, func() {}
+	}
+	tctx, task := rtrace.NewTask(ctx, fmt.Sprintf("%s:%s", kind, name))
+	return tctx, task.End
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL is a sink that writes one JSON object per event, one event per
+// line — the `-trace FILE` format. A mutex serializes writers; trace
+// emission is per-candidate (not per-node), so the lock is far off the
+// solver's hot path.
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int64
+	err error
+}
+
+// NewJSONL returns a sink writing JSONL to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (j *JSONL) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+	if j.err == nil {
+		j.n++
+	}
+}
+
+// Count returns the number of events written so far.
+func (j *JSONL) Count() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Err returns the first write error, if any; later events after an error
+// are dropped rather than compounding it.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Ring is a bounded in-memory sink keeping the most recent events — the
+// flight recorder used by tests and by callers that only want the tail of
+// a long run (for example the events around a budget stop).
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int64
+	full  bool
+}
+
+// NewRing returns a ring sink retaining up to cap events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted (retained or evicted).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Tee fans one event out to several sinks, in order.
+type Tee []Sink
+
+// Emit implements Sink.
+func (t Tee) Emit(e Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// Filter passes through only events whose type is in the allow set.
+type Filter struct {
+	Next  Sink
+	Allow map[EventType]bool
+}
+
+// Emit implements Sink.
+func (f Filter) Emit(e Event) {
+	if f.Allow[e.Type] {
+		f.Next.Emit(e)
+	}
+}

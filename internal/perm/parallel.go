@@ -2,10 +2,28 @@ package perm
 
 import (
 	"context"
+	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
+
+// shardScope emits the shard_start/shard_finish trace events bracketing
+// one prefix shard and counts it, when the context carries a sink or
+// registry. The enabled check is hoisted so the un-instrumented path pays
+// one boolean per shard and never formats the prefix.
+func shardScope(ctx context.Context, enabled bool, worker int, prefix []int) func() {
+	if !enabled {
+		return nil
+	}
+	shard := fmt.Sprint(prefix)
+	obs.EmitTo(ctx, obs.Event{Type: obs.EvShardStart, Worker: worker, Shard: shard})
+	obs.CountTo(ctx, "perm.shards", 1)
+	return func() {
+		obs.EmitTo(ctx, obs.Event{Type: obs.EvShardFinish, Worker: worker, Shard: shard})
+	}
+}
 
 // shardsPerWorker is how many work shards the prefix splitter aims to hand
 // each worker. More shards give finer-grained load balancing — shard costs
@@ -67,12 +85,16 @@ func LinearExtensionsParallel(ctx context.Context, workers, n int, before func(a
 	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
 	defer stop()
 
+	traced := obs.Enabled(ctx)
 	shards, feedErr := pool.Feed(cctx, workers, func(emit func([]int) bool) {
 		prefixes(n, preds, depth, func(prefix []int) bool {
 			return emit(append([]int(nil), prefix...))
 		})
 	})
-	drainErr := pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+	drainErr := pool.Drain(cctx, workers, shards, func(w int, prefix []int) {
+		if done := shardScope(ctx, traced, w, prefix); done != nil {
+			defer done()
+		}
 		order := make([]int, len(prefix), n)
 		copy(order, prefix)
 		var placed uint64
@@ -205,12 +227,16 @@ func ProductsParallel(ctx context.Context, workers int, sizes []int, yield func(
 	stop := context.AfterFunc(cctx, func() { stopped.Store(true) })
 	defer stop()
 
+	traced := obs.Enabled(ctx)
 	shards, feedErr := pool.Feed(cctx, workers, func(emit func([]int) bool) {
 		Products(sizes[:split], func(prefix []int) bool {
 			return emit(append([]int(nil), prefix...))
 		})
 	})
-	drainErr := pool.Drain(cctx, workers, shards, func(_ int, prefix []int) {
+	drainErr := pool.Drain(cctx, workers, shards, func(w int, prefix []int) {
+		if done := shardScope(ctx, traced, w, prefix); done != nil {
+			defer done()
+		}
 		idx := make([]int, len(sizes))
 		copy(idx, prefix)
 		var rec func(d int) bool

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/pool/faultpoint"
 )
 
@@ -187,6 +188,11 @@ func runIndex(w, i int, fn func(i int)) (err error) {
 func Drain[T any](ctx context.Context, workers int, jobs <-chan T, fn func(worker int, item T)) error {
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Metrics resolve once per Drain; a nil registry yields nil counters
+	// whose Add is a no-op, so the un-instrumented path pays one branch per
+	// item (items are shards — far off any hot loop).
+	reg := obs.RegistryFrom(ctx)
+	items, panics := reg.Counter("pool.items"), reg.Counter("pool.panics")
 	var first firstError
 	goErr := Go(workers, func(w int) {
 		for {
@@ -197,7 +203,9 @@ func Drain[T any](ctx context.Context, workers int, jobs <-chan T, fn func(worke
 				if !ok {
 					return
 				}
+				items.Add(1)
 				if err := runItem(w, item, fn); err != nil {
+					panics.Add(1)
 					first.set(err)
 					cancel()
 					return

@@ -14,9 +14,12 @@ package search
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
 
 	"repro/history"
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/order"
 )
 
@@ -38,6 +41,30 @@ type Problem struct {
 	Ops   []history.OpID
 	Prec  *order.Relation
 	Meter *budget.Meter
+
+	// Probe, when non-nil, receives this search's statistics — nodes
+	// expanded, memo hits/misses, value and order prunes — flushed once
+	// when the search returns, never per node. A nil Probe disables all
+	// statistic tallying (the checks reduce to predicted branches).
+	Probe *obs.Probe
+	// Parts names the order relations whose union (closure) Prec is, so
+	// order prunes can be attributed to the constraint responsible: when a
+	// placement is blocked by an unplaced predecessor, the prune is charged
+	// to the first part containing that edge, or to "derived" when the edge
+	// exists only in the transitive closure. Consulted only when Probe is
+	// non-nil.
+	Parts []Part
+	// Frontier, when non-nil, is raised (atomic max) to the deepest partial
+	// linearization this search reaches — the constraint frontier reported
+	// on forbidden and Unknown verdicts. Tracked even without a Probe.
+	Frontier *atomic.Int64
+}
+
+// Part is one named ingredient of a precedence relation (po, ppo, wb, co,
+// coherence, ...), used to attribute order prunes.
+type Part struct {
+	Name string
+	Rel  *order.Relation
 }
 
 // MaxOps is the largest operation set FindView accepts. The solver's state
@@ -60,6 +87,16 @@ type solver struct {
 	meter   *budget.Meter
 	pending int
 	stopErr error
+
+	// Observability: stats tallies on the solver's stack and is flushed to
+	// probe once per search (nil when the check is un-instrumented);
+	// maxDepth tracks the constraint frontier and is always on (one
+	// compare per node); frontier receives its atomic max, when non-nil.
+	stats    *obs.SolverStats
+	probe    *obs.Probe
+	parts    []Part
+	frontier *atomic.Int64
+	maxDepth int
 }
 
 // note counts one expanded node and polls the shared meter at the stride
@@ -67,6 +104,9 @@ type solver struct {
 // recursion must then avoid caching any state as dead (aborted subtrees
 // are unexplored, not failed).
 func (s *solver) note() bool {
+	if s.stats != nil {
+		s.stats.Nodes++
+	}
 	if s.meter == nil {
 		return true
 	}
@@ -84,14 +124,43 @@ func (s *solver) note() bool {
 	return true
 }
 
-// flush reports the locally tallied node remainder to the meter. A stop
-// latched during the flush is deliberately ignored: the search has already
-// finished, and its answer stands.
+// flush reports the locally tallied node remainder to the meter, raises
+// the shared frontier to this search's max depth, and hands the stats to
+// the probe. A stop latched during the meter flush is deliberately
+// ignored: the search has already finished, and its answer stands.
 func (s *solver) flush() {
 	if s.meter != nil && s.pending > 0 {
 		s.meter.AddNodes(int64(s.pending))
 		s.pending = 0
 	}
+	if s.frontier != nil {
+		for {
+			cur := s.frontier.Load()
+			if int64(s.maxDepth) <= cur || s.frontier.CompareAndSwap(cur, int64(s.maxDepth)) {
+				break
+			}
+		}
+	}
+	if s.stats != nil {
+		s.stats.MaxDepth = s.maxDepth
+		s.probe.FlushSolver(s.stats)
+		*s.stats = obs.SolverStats{}
+	}
+}
+
+// noteOrderPrune attributes one order-constraint rejection (operation i
+// blocked by the unplaced predecessors in missing) to the named part
+// containing the blocking edge. Called only when stats is armed.
+func (s *solver) noteOrderPrune(i int, missing uint64) {
+	j := bits.TrailingZeros64(missing)
+	a, b := s.ops[j], s.ops[i]
+	for _, part := range s.parts {
+		if part.Rel != nil && part.Rel.Has(a, b) {
+			s.stats.OrderPrune(part.Name)
+			return
+		}
+	}
+	s.stats.OrderPrune("derived")
 }
 
 type stateKey struct {
@@ -151,6 +220,9 @@ func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func()
 		return false, false // budget stop: unwind without caching anything
 	}
 	n := len(s.ops)
+	if d := len(*seq); d > s.maxDepth {
+		s.maxDepth = d
+	}
 	if len(*seq) == n {
 		return yield(), true
 	}
@@ -158,12 +230,24 @@ func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func()
 	if s.failed != nil {
 		key = stateKey{placed, string(lastW)}
 		if s.failed[key] {
+			if s.stats != nil {
+				s.stats.MemoHits++
+			}
 			return true, false // dead subtree; keep enumerating elsewhere
+		}
+		if s.stats != nil {
+			s.stats.MemoMisses++
 		}
 	}
 	for i := 0; i < n; i++ {
 		bit := uint64(1) << uint(i)
-		if placed&bit != 0 || s.preds[i]&^placed != 0 {
+		if placed&bit != 0 {
+			continue
+		}
+		if miss := s.preds[i] &^ placed; miss != 0 {
+			if s.stats != nil {
+				s.noteOrderPrune(i, miss)
+			}
 			continue
 		}
 		loc := s.locOf[i]
@@ -171,9 +255,15 @@ func (s *solver) enumerate(placed uint64, lastW []byte, seq *[]int, yield func()
 		if s.kind[i] == history.Read {
 			if w := lastW[loc]; w == 0 {
 				if s.val[i] != history.Initial {
+					if s.stats != nil {
+						s.stats.ValuePrunes++
+					}
 					continue
 				}
 			} else if s.val[int(w)-1] != s.val[i] {
+				if s.stats != nil {
+					s.stats.ValuePrunes++
+				}
 				continue
 			}
 		} else {
@@ -205,13 +295,19 @@ func newSolver(p Problem, memo bool) (*solver, error) {
 		return nil, fmt.Errorf("search: %d operations exceeds limit of %d", n, MaxOps)
 	}
 	s := &solver{
-		sys:   p.Sys,
-		ops:   p.Ops,
-		preds: make([]uint64, n),
-		kind:  make([]history.Kind, n),
-		locOf: make([]int, n),
-		val:   make([]history.Value, n),
-		meter: p.Meter,
+		sys:      p.Sys,
+		ops:      p.Ops,
+		preds:    make([]uint64, n),
+		kind:     make([]history.Kind, n),
+		locOf:    make([]int, n),
+		val:      make([]history.Value, n),
+		meter:    p.Meter,
+		frontier: p.Frontier,
+	}
+	if p.Probe.Enabled() {
+		s.probe = p.Probe
+		s.parts = p.Parts
+		s.stats = &obs.SolverStats{}
 	}
 	if memo {
 		s.failed = make(map[stateKey]bool)
@@ -279,6 +375,9 @@ func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
 		return false // budget stop: unwind without caching anything
 	}
 	n := len(s.ops)
+	if d := len(*seq); d > s.maxDepth {
+		s.maxDepth = d
+	}
 	if len(*seq) == n {
 		return true
 	}
@@ -286,12 +385,24 @@ func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
 	if s.failed != nil {
 		key = stateKey{placed, string(lastW)}
 		if s.failed[key] {
+			if s.stats != nil {
+				s.stats.MemoHits++
+			}
 			return false
+		}
+		if s.stats != nil {
+			s.stats.MemoMisses++
 		}
 	}
 	for i := 0; i < n; i++ {
 		bit := uint64(1) << uint(i)
-		if placed&bit != 0 || s.preds[i]&^placed != 0 {
+		if placed&bit != 0 {
+			continue
+		}
+		if miss := s.preds[i] &^ placed; miss != 0 {
+			if s.stats != nil {
+				s.noteOrderPrune(i, miss)
+			}
 			continue
 		}
 		loc := s.locOf[i]
@@ -300,9 +411,15 @@ func (s *solver) dfs(placed uint64, lastW []byte, seq *[]int) bool {
 			// to its location (or the initial value) matches.
 			if w := lastW[loc]; w == 0 {
 				if s.val[i] != history.Initial {
+					if s.stats != nil {
+						s.stats.ValuePrunes++
+					}
 					continue
 				}
 			} else if s.val[int(w)-1] != s.val[i] {
+				if s.stats != nil {
+					s.stats.ValuePrunes++
+				}
 				continue
 			}
 			*seq = append(*seq, i)

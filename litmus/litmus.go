@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/history"
+	"repro/internal/obs"
 	"repro/model"
 )
 
@@ -70,14 +71,32 @@ func RunCtx(ctx context.Context, t Test, models []model.Model) ([]Result, error)
 			return nil, fmt.Errorf("litmus: %s under %s: %w", t.Name, m.Name(), err)
 		}
 		exp, asserted := t.Expect[m.Name()]
-		out = append(out, Result{
+		res := Result{
 			Test:     t.Name,
 			Model:    m.Name(),
 			Allowed:  v.Allowed,
 			Unknown:  v.Unknown,
 			Expected: exp,
 			Asserted: asserted,
-		})
+		}
+		if obs.Enabled(ctx) {
+			verdict := "forbidden"
+			switch {
+			case v.Unknown != model.NotUnknown:
+				verdict = "unknown"
+			case v.Allowed:
+				verdict = "allowed"
+			}
+			obs.EmitTo(ctx, obs.Event{
+				Type: obs.EvLitmus, Test: t.Name, Model: m.Name(),
+				Verdict: verdict, Frontier: v.Progress.Frontier,
+			})
+			obs.CountTo(ctx, "litmus.checks", 1)
+			if !res.Match() {
+				obs.CountTo(ctx, "litmus.mismatches", 1)
+			}
+		}
+		out = append(out, res)
 	}
 	return out, nil
 }

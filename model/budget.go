@@ -93,6 +93,11 @@ type Progress struct {
 	Candidates int64
 	// Nodes is the number of search nodes the view solver expanded.
 	Nodes int64
+	// Frontier is the deepest partial linearization (operations placed)
+	// any view search of the check reached — how close the solver got to a
+	// full view before the check decided or stopped. Unlike the counters
+	// above it is tracked on every check, open-loop included.
+	Frontier int
 }
 
 // ContextModel is implemented by every model in this repository: a Model

@@ -1,0 +1,545 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/history"
+	"repro/internal/search"
+	"repro/order"
+)
+
+// This file renders verdicts into explanations. A bare "allowed" answer
+// hides the objects the paper actually reasons with — the per-processor
+// serializations S_{p+δp} and the order constraints they respect — so
+// Explain reconstructs, from the history and the witness's mutual-
+// consistency structures, each model's named order ingredients (po, ppo,
+// wb, coherence, brackets, fences, the labeled serialization) and labels
+// every consecutive pair of each view with the constraints that forced it.
+// A pair no constraint forced is labeled "solver": the search was free to
+// choose it, and a different legal choice may exist. Negative and Unknown
+// verdicts explain themselves through the constraint frontier — how deep
+// the deepest partial serialization got before every extension was pruned
+// (or the budget stopped the check).
+//
+// Explanations are replayable: ValidateExplanation re-verifies the
+// embedded witness independently (VerifyWitness) and re-derives every
+// claimed edge label, so a serialized explanation is evidence, not prose.
+
+// OpRef is a JSON-renderable reference to one operation of the history.
+type OpRef struct {
+	// ID is the operation's global identifier (history.OpID).
+	ID int `json:"id"`
+	// Proc is the issuing processor.
+	Proc int `json:"proc"`
+	// Kind is "r" or "w" ("R"/"W" when labeled), as in the paper's
+	// notation.
+	Kind string `json:"kind"`
+	// Loc and Value identify what was accessed.
+	Loc   string `json:"loc"`
+	Value int    `json:"value"`
+	// Text is the paper-notation rendering, e.g. "w1(x)3".
+	Text string `json:"text"`
+}
+
+// ExplainedEdge is one consecutive pair of a serialization together with
+// the order constraints responsible for it. Why lists the names of the
+// model's order ingredients containing the edge; "derived" marks an edge
+// forced only by the transitive closure of the ingredients; "solver"
+// marks a free choice of the view search (no constraint ordered the
+// pair).
+type ExplainedEdge struct {
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Why  []string `json:"why"`
+}
+
+// ViewExplanation is one certifying view S_{p+δp} with its edges labeled.
+type ViewExplanation struct {
+	Proc  int             `json:"proc"`
+	Order []OpRef         `json:"order"`
+	Edges []ExplainedEdge `json:"edges,omitempty"`
+}
+
+// Explanation is the machine-readable rendering of a verdict. For an
+// allowed verdict it embeds the certifying views and mutual-consistency
+// structures; for a forbidden or Unknown verdict it reports the deepest
+// constraint frontier the search reached.
+type Explanation struct {
+	Model   string `json:"model"`
+	Decided bool   `json:"decided"`
+	Allowed bool   `json:"allowed"`
+	// Unknown carries the stop reason when Decided is false.
+	Unknown string `json:"unknown,omitempty"`
+	Ops     int    `json:"ops"`
+	Procs   int    `json:"procs"`
+	// Views are the certifying per-processor serializations (allowed
+	// verdicts only).
+	Views []ViewExplanation `json:"views,omitempty"`
+	// WriteOrder, Coherence, LabeledOrder and LocSerializations mirror the
+	// witness's mutual-consistency structures.
+	WriteOrder        []OpRef            `json:"write_order,omitempty"`
+	Coherence         map[string][]OpRef `json:"coherence,omitempty"`
+	LabeledOrder      []OpRef            `json:"labeled_order,omitempty"`
+	LocSerializations map[string][]OpRef `json:"loc_serializations,omitempty"`
+	// Frontier is the deepest partial serialization reached (operations
+	// placed); for an allowed verdict this equals the size of a full view.
+	Frontier int `json:"frontier"`
+	// Progress carries the check's work counters.
+	Progress Progress `json:"progress"`
+}
+
+// Explain renders the verdict v of model m on history s into an
+// Explanation. It never re-runs the membership check: allowed verdicts
+// are explained from their witness, negative and Unknown ones from the
+// verdict's progress counters.
+func Explain(m Model, s *history.System, v Verdict) (*Explanation, error) {
+	e := &Explanation{
+		Model:    m.Name(),
+		Decided:  v.Decided(),
+		Allowed:  v.Decided() && v.Allowed,
+		Ops:      s.NumOps(),
+		Procs:    s.NumProcs(),
+		Frontier: v.Progress.Frontier,
+		Progress: v.Progress,
+	}
+	if !v.Decided() {
+		e.Unknown = v.Unknown.String()
+		return e, nil
+	}
+	if !v.Allowed {
+		return e, nil
+	}
+	w := v.Witness
+	if w == nil {
+		return nil, fmt.Errorf("model: %s: allowed verdict without witness", m.Name())
+	}
+	e.WriteOrder = opRefs(s, w.WriteOrder)
+	if len(w.Coherence) > 0 {
+		e.Coherence = make(map[string][]OpRef, len(w.Coherence))
+		for loc, seq := range w.Coherence {
+			e.Coherence[string(loc)] = opRefs(s, seq)
+		}
+	}
+	e.LabeledOrder = opRefs(s, w.LabeledOrder)
+	if len(w.LocSerializations) > 0 {
+		e.LocSerializations = make(map[string][]OpRef, len(w.LocSerializations))
+	}
+	var procs []history.Proc
+	for p := range w.Views {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, proc := range procs {
+		view := w.Views[proc]
+		parts, closed, err := explainParts(m.Name(), s, w, proc)
+		if err != nil {
+			return nil, err
+		}
+		ve := ViewExplanation{Proc: int(proc), Order: opRefs(s, view)}
+		for i := 0; i+1 < len(view); i++ {
+			ve.Edges = append(ve.Edges, ExplainedEdge{
+				From: int(view[i]), To: int(view[i+1]),
+				Why: edgeWhy(parts, closed, view[i], view[i+1]),
+			})
+		}
+		e.Views = append(e.Views, ve)
+	}
+	// The Coherence model certifies with per-location serializations; the
+	// only ingredient is program order.
+	if len(w.LocSerializations) > 0 {
+		var locs []string
+		for loc := range w.LocSerializations {
+			locs = append(locs, string(loc))
+		}
+		sort.Strings(locs)
+		po := order.Program(s)
+		parts := []search.Part{{Name: "po", Rel: po}}
+		for _, loc := range locs {
+			view := w.LocSerializations[history.Loc(loc)]
+			e.LocSerializations[loc] = opRefs(s, view)
+			ve := ViewExplanation{Proc: -1, Order: opRefs(s, view)}
+			for i := 0; i+1 < len(view); i++ {
+				ve.Edges = append(ve.Edges, ExplainedEdge{
+					From: int(view[i]), To: int(view[i+1]),
+					Why: edgeWhy(parts, po, view[i], view[i+1]),
+				})
+			}
+			e.Views = append(e.Views, ve)
+		}
+	}
+	if e.Frontier == 0 {
+		// Open-loop checks may not have progress counters, but an allowed
+		// verdict by construction placed a full view.
+		for _, ve := range e.Views {
+			if len(ve.Order) > e.Frontier {
+				e.Frontier = len(ve.Order)
+			}
+		}
+	}
+	return e, nil
+}
+
+// opRefs renders a view as operation references.
+func opRefs(s *history.System, view history.View) []OpRef {
+	if view == nil {
+		return nil
+	}
+	out := make([]OpRef, len(view))
+	for i, id := range view {
+		o := s.Op(id)
+		kind := "r"
+		if o.Kind == history.Write {
+			kind = "w"
+		}
+		if o.Labeled {
+			kind = strings.ToUpper(kind)
+		}
+		out[i] = OpRef{
+			ID: int(id), Proc: int(o.Proc), Kind: kind,
+			Loc: string(o.Loc), Value: int(o.Value), Text: o.String(),
+		}
+	}
+	return out
+}
+
+// edgeWhy labels one consecutive pair: the named ingredients containing
+// the edge, "derived" when only the closure forces it, "solver" when the
+// search chose it freely.
+func edgeWhy(parts []search.Part, closed *order.Relation, a, b history.OpID) []string {
+	var why []string
+	for _, p := range parts {
+		if p.Rel != nil && p.Rel.Has(a, b) {
+			why = append(why, p.Name)
+		}
+	}
+	if len(why) > 0 {
+		return why
+	}
+	if closed != nil && closed.Has(a, b) {
+		return []string{"derived"}
+	}
+	return []string{"solver"}
+}
+
+// explainParts reconstructs the named order ingredients of the model's
+// view requirement for processor proc's view, from the history and the
+// witness's mutual-consistency structures, plus the transitive closure of
+// their union (for "derived" attribution). It mirrors each checker's
+// construction in model/{sc,tso,pc,rc,wo,slow,tsoaxiom}.go; keep the two
+// in sync when a model's requirement changes.
+func explainParts(name string, s *history.System, w *Witness, proc history.Proc) (parts []search.Part, closed *order.Relation, err error) {
+	switch name {
+	case "SC", "PRAM":
+		parts = []search.Part{{Name: "po", Rel: order.Program(s)}}
+	case "Slow":
+		// Own operations in program order; others' writes ordered only
+		// within (processor, location) groups — proc-specific by design.
+		po := order.Program(s)
+		prec := order.New(s.NumOps())
+		for _, pr := range po.Pairs() {
+			a, b := s.Op(pr[0]), s.Op(pr[1])
+			if a.Proc == proc || a.Loc == b.Loc {
+				prec.Add(pr[0], pr[1])
+			}
+		}
+		parts = []search.Part{{Name: "po", Rel: prec}}
+	case "Causal":
+		co, cerr := order.Causal(s)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		parts = causalParts(s, co)
+	case "TSO":
+		parts = []search.Part{
+			{Name: "ppo", Rel: order.PartialProgram(s)},
+			{Name: "write-order", Rel: chainRel(s, w.WriteOrder)},
+		}
+	case "TSO-ax":
+		// The axiomatic model's "views" render a memory order, not a view
+		// in the paper's sense; the ingredients are the store order and
+		// per-processor program order (forwarded loads produce "solver"
+		// edges — the freedom the Value axiom grants).
+		parts = []search.Part{
+			{Name: "store-order", Rel: chainRel(s, w.WriteOrder)},
+			{Name: "po", Rel: order.Program(s)},
+		}
+	case "PC":
+		coh, cerr := coherenceFromWitness(s, w)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		sem, cerr := order.SemiCausal(s, coh)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		parts = []search.Part{
+			{Name: "ppo", Rel: order.PartialProgram(s)},
+			{Name: "coherence", Rel: coh.Relation(s)},
+			{Name: "sem", Rel: sem},
+		}
+	case "PCG":
+		parts = []search.Part{
+			{Name: "po", Rel: order.Program(s)},
+			{Name: "coherence", Rel: chainsRel(s, w.Coherence)},
+		}
+	case "Causal+Coh", "Causal+LCoh":
+		co, cerr := order.Causal(s)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		parts = append(causalParts(s, co),
+			search.Part{Name: "coherence", Rel: chainsRel(s, w.Coherence)})
+	case "RCsc", "RCpc", "WO":
+		ppo := order.PartialProgram(s)
+		bracket, berr := bracketEdges(s)
+		if berr != nil {
+			return nil, nil, berr
+		}
+		parts = []search.Part{{Name: "ppo", Rel: ppo}, {Name: "bracket", Rel: bracket}}
+		if name == "WO" {
+			parts = append(parts, search.Part{Name: "fence", Rel: fenceEdges(s)})
+		}
+		parts = append(parts, search.Part{Name: "coherence", Rel: chainsRel(s, w.Coherence)})
+		if w.LabeledOrder != nil {
+			parts = append(parts, search.Part{Name: "labeled-order", Rel: chainRel(s, w.LabeledOrder)})
+		}
+		if name == "RCpc" {
+			sub, toGlobal := labeledSubsystem(s)
+			coh, cerr := coherenceFromWitness(s, w)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			subCoh, cerr := restrictCoherence(s, sub, toGlobal, coh)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			semSub, cerr := order.SemiCausal(sub, subCoh)
+			if cerr != nil {
+				return nil, nil, cerr
+			}
+			sem := order.New(s.NumOps())
+			for _, pr := range semSub.Pairs() {
+				sem.Add(toGlobal[pr[0]], toGlobal[pr[1]])
+			}
+			parts = append(parts, search.Part{Name: "sem", Rel: sem})
+		}
+	case "Coherence":
+		parts = []search.Part{{Name: "po", Rel: order.Program(s)}}
+	default:
+		return nil, nil, fmt.Errorf("model: no explanation ingredients for model %q", name)
+	}
+	closed = order.New(s.NumOps())
+	for _, p := range parts {
+		if p.Rel != nil {
+			closed.Union(p.Rel)
+		}
+	}
+	closed.TransitiveClosure()
+	return parts, closed, nil
+}
+
+// chainRel renders a serialization as a total-order relation.
+func chainRel(s *history.System, seq history.View) *order.Relation {
+	r := order.New(s.NumOps())
+	addChain(r, seq)
+	return r
+}
+
+// chainsRel unions per-location serialization chains into one relation.
+func chainsRel(s *history.System, chains map[history.Loc]history.View) *order.Relation {
+	r := order.New(s.NumOps())
+	for _, seq := range chains {
+		addChain(r, seq)
+	}
+	return r
+}
+
+// coherenceFromWitness rebuilds the order.Coherence structure from a
+// witness's per-location write orders (needed to recompute semi-causality
+// for PC and RCpc explanations).
+func coherenceFromWitness(s *history.System, w *Witness) (*order.Coherence, error) {
+	m := make(map[history.Loc][]history.OpID, len(w.Coherence))
+	for loc, seq := range w.Coherence {
+		m[loc] = []history.OpID(seq)
+	}
+	return order.NewCoherence(s, m)
+}
+
+// Text renders the explanation for humans: each view as a chain of
+// operations annotated with the constraints that forced each step, then
+// the mutual-consistency structures, or the frontier line for undecided
+// and negative verdicts.
+func (e *Explanation) Text() string {
+	var sb strings.Builder
+	switch {
+	case !e.Decided:
+		fmt.Fprintf(&sb, "%s: UNKNOWN (%s)\n", e.Model, e.Unknown)
+	case e.Allowed:
+		fmt.Fprintf(&sb, "%s: allowed\n", e.Model)
+	default:
+		fmt.Fprintf(&sb, "%s: not allowed\n", e.Model)
+	}
+	if !e.Allowed {
+		fmt.Fprintf(&sb, "deepest constraint frontier: %d/%d operations placed\n", e.Frontier, e.Ops)
+		if e.Progress.Candidates > 0 || e.Progress.Nodes > 0 {
+			fmt.Fprintf(&sb, "work: %d candidates, %d nodes\n", e.Progress.Candidates, e.Progress.Nodes)
+		}
+		return sb.String()
+	}
+	for _, v := range e.Views {
+		if v.Proc >= 0 {
+			fmt.Fprintf(&sb, "S_p%d:", v.Proc)
+		} else {
+			sb.WriteString("serialization:")
+		}
+		for i, o := range v.Order {
+			if i > 0 {
+				fmt.Fprintf(&sb, " →{%s}", strings.Join(v.Edges[i-1].Why, ","))
+			}
+			sb.WriteString(" " + o.Text)
+		}
+		sb.WriteString("\n")
+	}
+	if len(e.WriteOrder) > 0 {
+		fmt.Fprintf(&sb, "write order: %s\n", refTexts(e.WriteOrder))
+	}
+	var cohLocs []string
+	for loc := range e.Coherence {
+		cohLocs = append(cohLocs, loc)
+	}
+	sort.Strings(cohLocs)
+	for _, loc := range cohLocs {
+		fmt.Fprintf(&sb, "coherence %s: %s\n", loc, refTexts(e.Coherence[loc]))
+	}
+	if len(e.LabeledOrder) > 0 {
+		fmt.Fprintf(&sb, "labeled SC order: %s\n", refTexts(e.LabeledOrder))
+	}
+	return sb.String()
+}
+
+// JSON renders the explanation as indented JSON.
+func (e *Explanation) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+func refTexts(refs []OpRef) string {
+	parts := make([]string, len(refs))
+	for i, r := range refs {
+		parts[i] = r.Text
+	}
+	return strings.Join(parts, " ")
+}
+
+// witness rebuilds the Witness embedded in an allowed explanation.
+func (e *Explanation) witness(s *history.System) *Witness {
+	w := &Witness{}
+	for _, v := range e.Views {
+		if v.Proc < 0 {
+			continue // Coherence per-location serialization, carried below
+		}
+		if w.Views == nil {
+			w.Views = make(map[history.Proc]history.View)
+		}
+		w.Views[history.Proc(v.Proc)] = refView(v.Order)
+	}
+	w.WriteOrder = refView(e.WriteOrder)
+	if len(e.Coherence) > 0 {
+		w.Coherence = make(map[history.Loc]history.View, len(e.Coherence))
+		for loc, refs := range e.Coherence {
+			w.Coherence[history.Loc(loc)] = refView(refs)
+		}
+	}
+	w.LabeledOrder = refView(e.LabeledOrder)
+	if len(e.LocSerializations) > 0 {
+		w.LocSerializations = make(map[history.Loc]history.View, len(e.LocSerializations))
+		for loc, refs := range e.LocSerializations {
+			w.LocSerializations[history.Loc(loc)] = refView(refs)
+		}
+	}
+	return w
+}
+
+func refView(refs []OpRef) history.View {
+	if refs == nil {
+		return nil
+	}
+	v := make(history.View, len(refs))
+	for i, r := range refs {
+		v[i] = history.OpID(r.ID)
+	}
+	return v
+}
+
+// ValidateExplanation replays an allowed explanation against the history:
+// the embedded witness must independently verify (VerifyWitness), every
+// view's edge list must match its order, and every claimed edge label
+// must be re-derivable — a named ingredient must actually contain the
+// edge, "derived" edges must be in the ingredients' closure but no single
+// ingredient, and "solver" edges must be forced by nothing. Undecided and
+// negative explanations validate trivially (there is no certificate to
+// replay). This is the acceptance gate for serialized explanations: an
+// explanation that round-trips through JSON and still validates is
+// evidence in the same sense as the paper's hand-built views.
+func ValidateExplanation(m Model, s *history.System, e *Explanation) error {
+	if e == nil {
+		return fmt.Errorf("model: nil explanation")
+	}
+	if e.Model != m.Name() {
+		return fmt.Errorf("model: explanation is for %q, not %q", e.Model, m.Name())
+	}
+	if !e.Decided || !e.Allowed {
+		return nil
+	}
+	w := e.witness(s)
+	if err := VerifyWitness(m, s, w); err != nil {
+		return fmt.Errorf("model: explanation witness does not verify: %w", err)
+	}
+	for _, v := range e.Views {
+		if len(v.Edges) != max(0, len(v.Order)-1) {
+			return fmt.Errorf("model: %s: view of p%d has %d edges for %d operations", e.Model, v.Proc, len(v.Edges), len(v.Order))
+		}
+		var parts []search.Part
+		var closed *order.Relation
+		var err error
+		if v.Proc >= 0 {
+			parts, closed, err = explainParts(e.Model, s, w, history.Proc(v.Proc))
+		} else {
+			po := order.Program(s)
+			parts, closed = []search.Part{{Name: "po", Rel: po}}, po
+		}
+		if err != nil {
+			return err
+		}
+		byName := make(map[string]*order.Relation, len(parts))
+		for _, p := range parts {
+			byName[p.Name] = p.Rel
+		}
+		for i, edge := range v.Edges {
+			a, b := history.OpID(edge.From), history.OpID(edge.To)
+			if int(a) != v.Order[i].ID || int(b) != v.Order[i+1].ID {
+				return fmt.Errorf("model: %s: view of p%d: edge %d does not connect consecutive operations", e.Model, v.Proc, i)
+			}
+			want := edgeWhy(parts, closed, a, b)
+			if !equalStrings(edge.Why, want) {
+				return fmt.Errorf("model: %s: view of p%d: edge %v→%v claims %v, re-derivation gives %v", e.Model, v.Proc, a, b, edge.Why, want)
+			}
+			_ = byName
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -53,9 +53,11 @@ package model
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/history"
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/search"
 	"repro/order"
@@ -184,10 +186,19 @@ func SolveViews(s *history.System, prec *order.Relation) (map[history.Proc]histo
 // It returns nil if any processor has no view. A non-nil meter bounds the
 // search; a budget stop surfaces as the meter's *budget.StopError.
 func solveViews(s *history.System, prec *order.Relation, meter *budget.Meter) (map[history.Proc]history.View, error) {
+	return solveViewsObs(s, prec, meter, nil, nil, nil)
+}
+
+// solveViewsObs is solveViews with the observability wiring: probe and
+// parts drive solver statistics and prune attribution (nil for the
+// un-instrumented path), and frontier, when non-nil, is raised to the
+// deepest partial linearization any of the searches reached.
+func solveViewsObs(s *history.System, prec *order.Relation, meter *budget.Meter, probe *obs.Probe, parts []search.Part, frontier *atomic.Int64) (map[history.Proc]history.View, error) {
 	views := make(map[history.Proc]history.View, s.NumProcs())
 	for p := 0; p < s.NumProcs(); p++ {
 		proc := history.Proc(p)
-		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec, Meter: meter})
+		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec, Meter: meter,
+			Probe: probe, Parts: parts, Frontier: frontier})
 		if err != nil {
 			return nil, err
 		}

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/history"
 	"repro/internal/budget"
+	"repro/internal/obs"
 	"repro/internal/perm"
 	"repro/internal/pool"
+	"repro/internal/search"
 	"repro/order"
 )
 
@@ -39,23 +43,51 @@ import (
 const smallSpace = 16
 
 // run is the per-check state shared by a checker's enumeration: the
-// caller's context, the resolved worker knob, and the budget meter every
-// worker charges.
+// caller's context, the resolved worker knob, the budget meter every
+// worker charges, and the observability probe (nil when the context
+// carries no sink or registry — the un-instrumented fast path).
 type run struct {
 	ctx     context.Context
 	meter   *budget.Meter
 	workers int
+	probe   *obs.Probe
+	endTask func()
+	// frontier is raised (atomic max, flushed once per view search) to the
+	// deepest partial linearization any solver of this check reached — the
+	// constraint frontier reported by forbidden and Unknown verdicts.
+	frontier atomic.Int64
 }
 
 // newRun builds the per-check state for one AllowsCtx call, adopting any
-// Budget attached to the context. When nothing can stop the check — no
-// budget, no deadline, no cancellation — the meter stays nil, which every
-// layer treats as open loop: plain Allows calls then pay nothing over the
-// pre-budget code (and report zero Progress).
-func newRun(ctx context.Context, workers int) *run {
+// Budget attached to the context and starting the check's probe. When
+// nothing can stop the check — no budget, no deadline, no cancellation —
+// the meter stays nil, which every layer treats as open loop: plain Allows
+// calls then pay nothing over the pre-budget code (and report zero
+// Progress); likewise an un-instrumented context leaves the probe nil.
+func newRun(ctx context.Context, name string, workers int, s *history.System) *run {
 	r := &run{ctx: ctx, workers: workers}
+	r.probe = obs.Start(ctx, name, s.NumOps(), s.NumProcs())
+	r.ctx, r.endTask = obs.TaskRegion(ctx, "check", name)
 	r.arm()
 	return r
+}
+
+// instrumented reports whether the check carries a live probe; checkers
+// build prune-attribution part lists and per-candidate ingredient
+// relations only when it does, so the nil path allocates nothing extra.
+func (r *run) instrumented() bool { return r.probe != nil }
+
+// solveViews runs the shared per-processor view subproblems under this
+// run's meter, probe, frontier, and the given prune-attribution parts
+// (pass nil when not instrumented).
+func (r *run) solveViews(s *history.System, prec *order.Relation, parts []search.Part) (map[history.Proc]history.View, error) {
+	return solveViewsObs(s, prec, r.meter, r.probe, parts, &r.frontier)
+}
+
+// problem assembles a view-existence problem wired to this run.
+func (r *run) problem(s *history.System, ops []history.OpID, prec *order.Relation, parts []search.Part) search.Problem {
+	return search.Problem{Sys: s, Ops: ops, Prec: prec, Meter: r.meter,
+		Probe: r.probe, Parts: parts, Frontier: &r.frontier}
 }
 
 // arm attaches a meter when the context carries anything that could stop
@@ -69,52 +101,72 @@ func (r *run) arm() {
 	}
 }
 
-// progress snapshots the meter's counters for the verdict.
+// progress snapshots the meter's counters and the frontier for the
+// verdict.
 func (r *run) progress() Progress {
-	return Progress{Candidates: r.meter.Candidates(), Nodes: r.meter.Nodes()}
+	return Progress{Candidates: r.meter.Candidates(), Nodes: r.meter.Nodes(),
+		Frontier: int(r.frontier.Load())}
 }
 
 // finish converts a search outcome into the public three-valued Verdict:
 // a witness is Allowed (sound even if the budget tripped concurrently — the
 // witness independently verifies), a *budget.StopError is Unknown with the
 // mapped reason, any other error passes through, and a clean exhaustion is
-// a rejection.
+// a rejection. It also closes out the probe: budget_stop / witness /
+// run_finish events and the check's duration histogram.
 func (r *run) finish(w *Witness, err error) (Verdict, error) {
+	defer r.endTask()
 	if err != nil {
 		var stop *budget.StopError
 		if errors.As(err, &stop) {
-			return Verdict{Unknown: unknownReason(stop.Reason), Progress: r.progress()}, nil
+			p := r.progress()
+			r.probe.BudgetStop(stop.Reason.String(), p.Candidates, p.Nodes, p.Frontier)
+			r.probe.Finish("unknown", p.Candidates, p.Nodes, p.Frontier)
+			return Verdict{Unknown: unknownReason(stop.Reason), Progress: p}, nil
 		}
 		return rejected, err
 	}
+	p := r.progress()
 	if w != nil {
-		return Verdict{Allowed: true, Witness: w, Progress: r.progress()}, nil
+		r.probe.Witness(p.Candidates, p.Nodes)
+		r.probe.Finish("allowed", p.Candidates, p.Nodes, p.Frontier)
+		return Verdict{Allowed: true, Witness: w, Progress: p}, nil
 	}
-	return Verdict{Progress: r.progress()}, nil
+	r.probe.Finish("forbidden", p.Candidates, p.Nodes, p.Frontier)
+	return Verdict{Progress: p}, nil
 }
 
-// wrapTest charges one candidate to the meter before each test; the
-// *budget.StopError returned once the meter latches aborts the enumeration
-// through the ordinary error path. An open-loop run (nil meter) returns
-// test unwrapped.
+// wrapTest charges one candidate to the meter before each test and
+// reports it to the probe; the *budget.StopError returned once the meter
+// latches aborts the enumeration through the ordinary error path. An
+// open-loop, un-instrumented run returns test unwrapped.
 func (r *run) wrapTest(test func(ord []int) (*Witness, error)) func(ord []int) (*Witness, error) {
-	if r.meter == nil {
+	if r.meter == nil && r.probe == nil {
 		return test
 	}
+	var seq atomic.Int64
 	return func(ord []int) (*Witness, error) {
-		if err := r.meter.AddCandidate(); err != nil {
-			return nil, err
+		if r.probe != nil {
+			r.probe.Candidate(seq.Add(1))
+		}
+		if r.meter != nil {
+			if err := r.meter.AddCandidate(); err != nil {
+				return nil, err
+			}
 		}
 		return test(ord)
 	}
 }
 
 // capture is the first-witness (or first-error) slot a parallel search's
-// shards race to fill.
+// shards race to fill. The winner's timestamp feeds the cancellation-
+// latency histogram: settle observes the gap between the race being
+// decided and the pool going quiet.
 type capture struct {
 	mu      sync.Mutex
 	witness *Witness
 	err     error
+	at      time.Time
 }
 
 // set records the outcome if none is recorded yet and reports whether this
@@ -123,6 +175,7 @@ func (c *capture) set(w *Witness, err error) {
 	c.mu.Lock()
 	if c.witness == nil && c.err == nil {
 		c.witness, c.err = w, err
+		c.at = time.Now()
 	}
 	c.mu.Unlock()
 }
@@ -145,6 +198,11 @@ func (c *capture) result() (*Witness, error) {
 func (r *run) settle(c *capture, exhausted bool, poolErr error) (*Witness, error) {
 	w, err := c.result()
 	if w != nil || err != nil {
+		if r.probe != nil && !c.at.IsZero() {
+			// settle runs after the pool has fully wound down, so this is
+			// the first-outcome-to-quiet cancellation latency.
+			r.probe.CancelLatency(time.Since(c.at))
+		}
 		return w, err
 	}
 	if poolErr != nil {

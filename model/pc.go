@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/history"
+	"repro/internal/search"
 	"repro/order"
 )
 
@@ -45,18 +46,26 @@ func (m PC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, m.Workers)
+	ppo := order.PartialProgram(s)
+	r := newRun(ctx, "PC", m.Workers, s)
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		sem, err := order.SemiCausal(s, coh)
 		if err != nil {
 			return nil, err
 		}
 		if sem.HasCycle() {
+			r.probe.Constraint("sem-cycle", "semi-causal order is cyclic under this coherence order")
 			return nil, nil // incompatible coherence order; try next
 		}
+		cohRel := coh.Relation(s)
 		prec := sem.Clone()
-		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec, r.meter)
+		prec.Union(cohRel)
+		var parts []search.Part
+		if r.instrumented() {
+			parts = []search.Part{{Name: "ppo", Rel: ppo},
+				{Name: "coherence", Rel: cohRel}, {Name: "sem", Rel: sem}}
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -92,11 +101,16 @@ func (m PCG) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) 
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, "PCG", m.Workers, s)
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+		cohRel := coh.Relation(s)
 		prec := po.Clone()
-		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec, r.meter)
+		prec.Union(cohRel)
+		var parts []search.Part
+		if r.instrumented() {
+			parts = []search.Part{{Name: "po", Rel: po}, {Name: "coherence", Rel: cohRel}}
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -137,11 +151,12 @@ func (m CausalLabeledCoherent) AllowsCtx(ctx context.Context, s *history.System)
 	if err != nil {
 		return rejected, err
 	}
-	if co.HasCycle() {
-		return rejected, nil
-	}
 	po := order.Program(s)
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, name, m.Workers, s)
+	if co.HasCycle() {
+		r.probe.Constraint("causal-cycle", "causal order (po ∪ wb)+ is cyclic")
+		return r.finish(nil, nil)
+	}
 	// Enumerate per-location orders over labeled writes only.
 	var locs []history.Loc
 	var candidates [][][]history.OpID
@@ -174,7 +189,15 @@ func (m CausalLabeledCoherent) AllowsCtx(ctx context.Context, s *history.System)
 			prec.AddChain(seq)
 			coh[loc] = history.View(seq)
 		}
-		views, err := solveViews(s, prec, r.meter)
+		var parts []search.Part
+		if r.instrumented() {
+			chain := order.New(s.NumOps())
+			for _, v := range coh {
+				addChain(chain, v)
+			}
+			parts = append(causalParts(s, co), search.Part{Name: "coherence", Rel: chain})
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -211,15 +234,21 @@ func (m CausalCoherent) AllowsCtx(ctx context.Context, s *history.System) (Verdi
 	if err != nil {
 		return rejected, err
 	}
-	if co.HasCycle() {
-		return rejected, nil
-	}
 	po := order.Program(s)
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, "Causal+Coh", m.Workers, s)
+	if co.HasCycle() {
+		r.probe.Constraint("causal-cycle", "causal order (po ∪ wb)+ is cyclic")
+		return r.finish(nil, nil)
+	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+		cohRel := coh.Relation(s)
 		prec := co.Clone()
-		prec.Union(coh.Relation(s))
-		views, err := solveViews(s, prec, r.meter)
+		prec.Union(cohRel)
+		var parts []search.Part
+		if r.instrumented() {
+			parts = append(causalParts(s, co), search.Part{Name: "coherence", Rel: cohRel})
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}

@@ -95,12 +95,25 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 	labeled := s.Labeled()
 	sub, toGlobal := labeledSubsystem(s)
 
-	r := newRun(ctx, workers)
+	r := newRun(ctx, name, workers, s)
+	// baseParts attributes prunes from the static ingredients; candidate-
+	// specific relations (coherence, labeled order) are appended per
+	// candidate. Built once; nil when un-instrumented.
+	var baseParts []search.Part
+	if r.instrumented() {
+		baseParts = []search.Part{{Name: "ppo", Rel: ppo}, {Name: "bracket", Rel: bracket}}
+	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+		cohRel := coh.Relation(s)
 		prec0 := base.Clone()
-		prec0.Union(coh.Relation(s))
+		prec0.Union(cohRel)
+		var parts []search.Part
+		if r.instrumented() {
+			parts = append(baseParts[:len(baseParts):len(baseParts)],
+				search.Part{Name: "coherence", Rel: cohRel})
+		}
 		if labeledSC {
-			w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0)
+			w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0, parts)
 			if err != nil || w == nil {
 				return nil, err
 			}
@@ -118,13 +131,24 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 			return nil, err
 		}
 		if semSub.HasCycle() {
+			r.probe.Constraint("sem-cycle", "labeled-subhistory semi-causal order is cyclic under this coherence order")
 			return nil, nil
 		}
 		prec := prec0.Clone()
+		var sem *order.Relation
+		if parts != nil {
+			sem = order.New(s.NumOps())
+		}
 		for _, pr := range semSub.Pairs() {
 			prec.Add(toGlobal[pr[0]], toGlobal[pr[1]])
+			if sem != nil {
+				sem.Add(toGlobal[pr[0]], toGlobal[pr[1]])
+			}
 		}
-		views, err := solveViews(s, prec, r.meter)
+		if sem != nil {
+			parts = append(parts, search.Part{Name: "sem", Rel: sem})
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -140,22 +164,34 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 // candidate serialization is charged to the run's meter (a second,
 // inner candidate space multiplying the coherence products), and the
 // enumeration itself is metered through the search problem.
-func rcscLabeledSearch(r *run, s *history.System, labeled []history.OpID, po *order.Relation, coh *order.Coherence, prec0 *order.Relation) (*Witness, error) {
+func rcscLabeledSearch(r *run, s *history.System, labeled []history.OpID, po *order.Relation, coh *order.Coherence, prec0 *order.Relation, parts []search.Part) (*Witness, error) {
 	var (
 		witness  *Witness
 		innerErr error
 	)
-	err := search.EnumerateViews(search.Problem{Sys: s, Ops: labeled, Prec: po, Meter: r.meter}, func(t history.View) bool {
+	var enumParts []search.Part
+	if parts != nil {
+		enumParts = []search.Part{{Name: "po", Rel: po}}
+	}
+	err := search.EnumerateViews(r.problem(s, labeled, po, enumParts), func(t history.View) bool {
 		if err := r.meter.AddCandidate(); err != nil {
 			innerErr = err
 			return false
 		}
 		if !labeledOrderMatchesCoherence(s, t, coh) {
+			r.probe.Constraint("labeled-vs-coherence", "labeled serialization contradicts the coherence order")
 			return true
 		}
 		prec := prec0.Clone()
 		addChain(prec, t)
-		views, err := solveViews(s, prec, r.meter)
+		candParts := parts
+		if candParts != nil {
+			chain := order.New(s.NumOps())
+			addChain(chain, t)
+			candParts = append(candParts[:len(candParts):len(candParts)],
+				search.Part{Name: "labeled-order", Rel: chain})
+		}
+		views, err := r.solveViews(s, prec, candParts)
 		if err != nil {
 			innerErr = err
 			return false

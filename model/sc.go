@@ -30,8 +30,12 @@ func (SC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, 1)
-	v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.Ops(), Prec: po, Meter: r.meter})
+	r := newRun(ctx, "SC", 1, s)
+	var parts []search.Part
+	if r.instrumented() {
+		parts = []search.Part{{Name: "po", Rel: po}}
+	}
+	v, ok, err := search.FindView(r.problem(s, s.Ops(), po, parts))
 	if err != nil || !ok {
 		return r.finish(nil, err)
 	}
@@ -63,8 +67,12 @@ func (PRAM) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, 1)
-	views, err := solveViews(s, po, r.meter)
+	r := newRun(ctx, "PRAM", 1, s)
+	var parts []search.Part
+	if r.instrumented() {
+		parts = []search.Part{{Name: "po", Rel: po}}
+	}
+	views, err := r.solveViews(s, po, parts)
 	if err != nil || views == nil {
 		return r.finish(nil, err)
 	}
@@ -95,17 +103,33 @@ func (Causal) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error)
 	if err != nil {
 		return rejected, err
 	}
+	r := newRun(ctx, "Causal", 1, s)
 	if co.HasCycle() {
 		// A cycle in causal order (e.g. a read observing a write that
 		// causally follows it) admits no views at all.
-		return rejected, nil
+		r.probe.Constraint("causal-cycle", "causal order (po ∪ wb)+ is cyclic")
+		return r.finish(nil, nil)
 	}
-	r := newRun(ctx, 1)
-	views, err := solveViews(s, co, r.meter)
+	var parts []search.Part
+	if r.instrumented() {
+		parts = causalParts(s, co)
+	}
+	views, err := r.solveViews(s, co, parts)
 	if err != nil || views == nil {
 		return r.finish(nil, err)
 	}
 	return r.finish(&Witness{Views: views}, nil)
+}
+
+// causalParts attributes causal-order prunes: edges from program order and
+// writes-before are charged to their source; everything else in the
+// closure is "derived". Built only on instrumented checks.
+func causalParts(s *history.System, co *order.Relation) []search.Part {
+	parts := []search.Part{{Name: "po", Rel: order.Program(s)}}
+	if wb, err := order.WritesBefore(s); err == nil {
+		parts = append(parts, search.Part{Name: "wb", Rel: wb})
+	}
+	return append(parts, search.Part{Name: "causal", Rel: co})
 }
 
 // Coherence is cache consistency: operations on each individual location
@@ -129,11 +153,15 @@ func (Coherence) AllowsCtx(ctx context.Context, s *history.System) (Verdict, err
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, 1)
+	r := newRun(ctx, "Coherence", 1, s)
+	var parts []search.Part
+	if r.instrumented() {
+		parts = []search.Part{{Name: "po", Rel: po}}
+	}
 	sers := make(map[history.Loc]history.View)
 	for _, loc := range s.Locs() {
 		ops := s.OpsOn(loc)
-		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: ops, Prec: po, Meter: r.meter})
+		v, ok, err := search.FindView(r.problem(s, ops, po, parts))
 		if err != nil || !ok {
 			return r.finish(nil, err)
 		}

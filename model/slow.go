@@ -33,7 +33,7 @@ func (Slow) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 		return rejected, err
 	}
 	po := order.Program(s)
-	r := newRun(ctx, 1)
+	r := newRun(ctx, "Slow", 1, s)
 	views := make(map[history.Proc]history.View, s.NumProcs())
 	for p := 0; p < s.NumProcs(); p++ {
 		proc := history.Proc(p)
@@ -49,7 +49,11 @@ func (Slow) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 				prec.Add(pr[0], pr[1])
 			}
 		}
-		v, ok, err := search.FindView(search.Problem{Sys: s, Ops: s.ViewOps(proc), Prec: prec, Meter: r.meter})
+		var parts []search.Part
+		if r.instrumented() {
+			parts = []search.Part{{Name: "po", Rel: prec}}
+		}
+		v, ok, err := search.FindView(r.problem(s, s.ViewOps(proc), prec, parts))
 		if err != nil || !ok {
 			return r.finish(nil, err)
 		}

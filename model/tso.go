@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/history"
+	"repro/internal/search"
 	"repro/order"
 )
 
@@ -44,7 +45,7 @@ func (m TSO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) 
 	ppo := order.PartialProgram(s)
 	writes := s.Writes()
 
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, "TSO", m.Workers, s)
 	witness, err := r.searchLinearExtensions(len(writes), func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
 	}, func(ord []int) (*Witness, error) {
@@ -54,7 +55,13 @@ func (m TSO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) 
 		}
 		prec := ppo.Clone()
 		addChain(prec, wseq)
-		views, err := solveViews(s, prec, r.meter)
+		var parts []search.Part
+		if r.instrumented() {
+			chain := order.New(s.NumOps())
+			addChain(chain, wseq)
+			parts = []search.Part{{Name: "ppo", Rel: ppo}, {Name: "write-order", Rel: chain}}
+		}
+		views, err := r.solveViews(s, prec, parts)
 		if err != nil || views == nil {
 			return nil, err
 		}

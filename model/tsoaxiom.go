@@ -65,7 +65,7 @@ func (m TSOAxiomatic) AllowsCtx(ctx context.Context, s *history.System) (Verdict
 	}
 	po := order.Program(s)
 	writes := s.Writes()
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, "TSO-ax", m.Workers, s)
 	witness, err := r.searchLinearExtensions(len(writes), func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
 	}, func(ord []int) (*Witness, error) {

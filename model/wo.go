@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/history"
+	"repro/internal/search"
 	"repro/order"
 )
 
@@ -62,16 +63,28 @@ func (m WO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	if err != nil {
 		return rejected, fmt.Errorf("model: %s: %w", name, err)
 	}
+	fence := fenceEdges(s)
 	base := ppo.Clone()
 	base.Union(bracket)
-	base.Union(fenceEdges(s))
+	base.Union(fence)
 
 	labeled := s.Labeled()
-	r := newRun(ctx, m.Workers)
+	r := newRun(ctx, name, m.Workers, s)
+	var baseParts []search.Part
+	if r.instrumented() {
+		baseParts = []search.Part{{Name: "ppo", Rel: ppo},
+			{Name: "bracket", Rel: bracket}, {Name: "fence", Rel: fence}}
+	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+		cohRel := coh.Relation(s)
 		prec0 := base.Clone()
-		prec0.Union(coh.Relation(s))
-		w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0)
+		prec0.Union(cohRel)
+		var parts []search.Part
+		if r.instrumented() {
+			parts = append(baseParts[:len(baseParts):len(baseParts)],
+				search.Part{Name: "coherence", Rel: cohRel})
+		}
+		w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0, parts)
 		if err != nil || w == nil {
 			return nil, err
 		}

@@ -4,9 +4,24 @@ import (
 	"context"
 
 	"repro/history"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/model"
 )
+
+// sweepScope emits the sweep_start/sweep_finish event pair around a
+// classification sweep and tallies classified histories; a no-op closure
+// when the context carries no observability destination.
+func sweepScope(ctx context.Context, kind string, items int64) func(done int64) {
+	if !obs.Enabled(ctx) {
+		return func(int64) {}
+	}
+	obs.EmitTo(ctx, obs.Event{Type: obs.EvSweepStart, Kind: kind, Candidates: items})
+	return func(done int64) {
+		obs.CountTo(ctx, "relate.histories", done)
+		obs.EmitTo(ctx, obs.Event{Type: obs.EvSweepFinish, Kind: kind, Candidates: done})
+	}
+}
 
 // The classification sweeps — thousands of histories, each decided under a
 // dozen models — are embarrassingly parallel: checkers are pure functions
@@ -74,6 +89,7 @@ func BuildMatrixCtx(ctx context.Context, histories []*history.System, models []m
 	for _, n := range names {
 		mx.Sep[n] = map[string]int{}
 	}
+	finish := sweepScope(ctx, "matrix", int64(len(histories)))
 
 	results := make([]classification, len(histories))
 	if err := pool.Indexed(pool.Size(workers), len(histories), func(i int) {
@@ -106,6 +122,7 @@ func BuildMatrixCtx(ctx context.Context, histories []*history.System, models []m
 			}
 		}
 	}
+	finish(int64(len(histories)))
 	return mx, nil
 }
 
@@ -143,6 +160,7 @@ func shutdownFeed[T any](cancel context.CancelFunc, jobs <-chan T, feedErr func(
 // over an exhaustive shape would be misleading.
 func DensityCtx(ctx context.Context, procs, opsPerProc, locs, workers int, models []model.Model) (counts, unknown map[string]int, total int, err error) {
 	w := pool.Size(workers)
+	finish := sweepScope(ctx, "density", 0)
 	type partial struct {
 		counts  map[string]int
 		unknown map[string]int
@@ -203,6 +221,7 @@ func DensityCtx(ctx context.Context, procs, opsPerProc, locs, workers int, model
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	finish(int64(total))
 	return counts, unknown, total, nil
 }
 
@@ -238,6 +257,7 @@ func CheckLatticeExhaustiveCtx(ctx context.Context, procs, opsPerProc, locs, wor
 	}
 
 	w := pool.Size(workers)
+	finish := sweepScope(ctx, "lattice", 0)
 	type partial struct {
 		violations map[string]string // "Strong⊆Weak" → counterexample
 		n          int
@@ -288,6 +308,7 @@ func CheckLatticeExhaustiveCtx(ctx context.Context, procs, opsPerProc, locs, wor
 			violations = append(violations, key+" violated by "+ex)
 		}
 	}
+	finish(int64(total))
 	return violations, total, nil
 }
 
