@@ -12,8 +12,8 @@
 //	bakery [-memory rcsc|rcpc|sc|tso|tso-fwd|pram|pcg|causal] [-n 2]
 //	       [-mode exhaustive|stochastic] [-runs 1000] [-seed 1]
 //	       [-algorithm bakery|peterson|dekker|fast|dijkstra|szymanski] [-check]
-//	       [-workers N] [-timeout D] [-budget N]
-//	       [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	       [-workers N] [-timeout D] [-budget N] [-trace FILE]
+//	       [-metrics FILE] [-report FILE] [-serve ADDR] [-pprof FILE]
 //
 // -timeout bounds the exploration (and the confirmation checks) by wall
 // clock; a truncated exploration reports why it stopped. -budget bounds the

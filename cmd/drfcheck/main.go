@@ -10,7 +10,8 @@
 //
 //	drfcheck [-algorithm bakery|peterson|dekker|fast|szymanski] [-n 2]
 //	         [-labeled] [-workers N] [-timeout D] [-budget N]
-//	         [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	         [-trace FILE] [-metrics FILE] [-report FILE] [-serve ADDR]
+//	         [-pprof FILE]
 //
 // -timeout bounds the explorations by wall clock; a truncated analysis
 // reports exhaustive=false and its DRF/equality answers cover only the

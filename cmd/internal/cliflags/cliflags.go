@@ -1,9 +1,12 @@
 // Package cliflags registers the bounding and observability flags shared
 // by every command in this repository — -workers, -timeout, -budget,
-// -trace, -metrics, -pprof — with one help text, and wires them into a
-// context: the timeout and work budget bound every check made under it,
-// the trace sink receives structured JSONL events, and the metrics
-// registry collects counters flushed as a JSON snapshot on exit.
+// -trace, -metrics, -report, -serve, -pprof — with one help text, and
+// wires them into a context: the timeout and work budget bound every check
+// made under it, the trace sink receives structured JSONL events, the
+// metrics registry collects counters flushed as a JSON snapshot on exit,
+// -report writes a structured run report (obs.Report) for cmd/obsdiff, and
+// -serve starts the live observability HTTP service (Prometheus /metrics,
+// SSE /trace, /runs, pprof) for the duration of the run.
 //
 // Usage, from a command's main:
 //
@@ -20,12 +23,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obshttp"
 	"repro/model"
 )
 
@@ -43,6 +48,12 @@ type Flags struct {
 	Trace string
 	// Metrics names the exit metrics-snapshot file ("-" = stderr).
 	Metrics string
+	// Report names the structured run-report file ("-" = stderr): the
+	// obs.Report JSON artifact cmd/obsdiff compares across runs.
+	Report string
+	// Serve is the listen address of the live observability HTTP service
+	// ("" = off; ":0" picks a free port, printed to stderr).
+	Serve string
 	// Pprof names the CPU-profile file; with a ".trace" suffix a Go
 	// runtime execution trace is written instead.
 	Pprof string
@@ -61,16 +72,23 @@ func Register(fs *flag.FlagSet) *Flags {
 		"write structured trace events as JSONL to this file ('-' = stderr)")
 	fs.StringVar(&f.Metrics, "metrics", "",
 		"write a metrics snapshot as JSON to this file on exit ('-' = stderr)")
+	fs.StringVar(&f.Report, "report", "",
+		"write a structured run report (verdicts, work, prune attribution, wall time) as JSON to this file on exit ('-' = stderr); compare reports with cmd/obsdiff")
+	fs.StringVar(&f.Serve, "serve", "",
+		"serve live observability HTTP on this address while the run lasts (':0' picks a free port): /metrics (Prometheus), /metrics.json, /trace (SSE), /runs, /debug/pprof/")
 	fs.StringVar(&f.Pprof, "pprof", "",
 		"write a CPU profile to this file (a .trace suffix writes a Go execution trace for `go tool trace` instead)")
 	return f
 }
 
 // Setup applies the flags to ctx: -timeout and -budget bound it, -trace
-// attaches a JSONL event sink, -metrics attaches a metrics registry, and
-// -pprof starts profiling. The returned function tears everything down —
-// stops profiling, flushes and closes the trace file, writes the metrics
-// snapshot — and must be called exactly once, normally deferred.
+// attaches a JSONL event sink, -metrics/-report/-serve attach a shared
+// metrics registry (plus the report builder and the live HTTP service,
+// which tee into the same event stream), and -pprof starts profiling. The
+// returned function tears everything down — stops profiling, flushes and
+// closes the trace file, writes the metrics snapshot and the run report,
+// shuts the server down — and must be called exactly once, normally
+// deferred.
 func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 	var down []func() error
 	teardown := func() {
@@ -90,9 +108,18 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: f.Budget, MaxNodes: f.Budget})
 	}
 
-	if f.Metrics != "" {
-		reg := obs.NewRegistry()
+	// -metrics, -report and -serve share one registry; the trace file, the
+	// report builder and the server's broadcast/run-log share one event
+	// stream via a tee. With none of them set, the context carries neither
+	// and the engine stays on its nil-probe fast path.
+	var reg *obs.Registry
+	if f.Metrics != "" || f.Report != "" || f.Serve != "" {
+		reg = obs.NewRegistry()
 		ctx = obs.WithRegistry(ctx, reg)
+	}
+	var sinks obs.Tee
+
+	if f.Metrics != "" {
 		path := f.Metrics
 		down = append(down, func() error {
 			w, closeOut, err := openOut(path)
@@ -107,6 +134,23 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 		})
 	}
 
+	if f.Report != "" {
+		builder := obs.NewReportBuilder(filepath.Base(os.Args[0]), os.Args[1:])
+		sinks = append(sinks, builder)
+		path := f.Report
+		down = append(down, func() error {
+			w, closeOut, err := openOut(path)
+			if err != nil {
+				return err
+			}
+			werr := builder.Report(reg).Write(w)
+			if cerr := closeOut(); werr == nil {
+				werr = cerr
+			}
+			return werr
+		})
+	}
+
 	if f.Trace != "" {
 		w, closeOut, err := openOut(f.Trace)
 		if err != nil {
@@ -114,13 +158,37 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			return nil, nil, err
 		}
 		sink := obs.NewJSONL(w)
-		ctx = obs.WithSink(ctx, sink)
+		sinks = append(sinks, sink)
 		down = append(down, func() error {
 			if err := sink.Err(); err != nil {
 				return fmt.Errorf("trace: %d events written, then: %w", sink.Count(), err)
 			}
 			return closeOut()
 		})
+	}
+
+	if f.Serve != "" {
+		srv := obshttp.New(reg, 0)
+		addr, err := srv.Start(f.Serve)
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (/metrics /trace /runs /debug/pprof/)\n", addr)
+		sinks = append(sinks, srv.Sink())
+		down = append(down, func() error {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return srv.Shutdown(sctx)
+		})
+	}
+
+	switch len(sinks) {
+	case 0:
+	case 1:
+		ctx = obs.WithSink(ctx, sinks[0])
+	default:
+		ctx = obs.WithSink(ctx, sinks)
 	}
 
 	if f.Pprof != "" {

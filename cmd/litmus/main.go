@@ -7,12 +7,16 @@
 // Usage:
 //
 //	litmus [-test NAME] [-models SC,TSO,...] [-workers N] [-timeout D]
-//	       [-budget N] [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	       [-budget N] [-trace FILE] [-metrics FILE] [-report FILE]
+//	       [-serve ADDR] [-pprof FILE]
 //
 // With -timeout or -budget, a check cut short renders as "unknown" and is
 // tallied separately; only genuine verdict mismatches affect the exit code.
 // -trace streams one JSONL event per check (and per search milestone);
-// -metrics snapshots the counters on exit.
+// -metrics snapshots the counters on exit. -report writes the structured
+// run report (per-check verdicts, work, prune attribution) that the CI
+// regression gate diffs with cmd/obsdiff; -serve exposes the run live over
+// HTTP (Prometheus /metrics, SSE /trace, /runs, pprof).
 package main
 
 import (

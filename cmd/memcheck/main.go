@@ -7,8 +7,8 @@
 //
 //	memcheck [-models SC,TSO,...] [-witness] [-explain] [-json]
 //	         [-workers N] [-timeout D] [-budget N]
-//	         [-trace FILE] [-metrics FILE] [-pprof FILE]
-//	         [history | -f file]
+//	         [-trace FILE] [-metrics FILE] [-report FILE] [-serve ADDR]
+//	         [-pprof FILE] [history | -f file]
 //
 // Membership checking is NP-hard, so -timeout and -budget bound each
 // check; a check cut short prints UNKNOWN with its reason and progress —

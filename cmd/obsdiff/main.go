@@ -1,0 +1,111 @@
+// Command obsdiff compares two structured run reports (written by the
+// shared -report flag) and decides whether the newer run regressed. Any
+// decided verdict that flips between the two reports is a hard failure —
+// the checkers changed their answer on the same input; a keyed check
+// disappearing, a decided check going unknown, and per-model verdict
+// counts shifting fail too. Work growth (candidates, nodes) and wall-time
+// growth fail only beyond configurable thresholds, so the same command
+// serves both the CI regression gate (verdict-exact, stat-tolerant) and
+// local perf triage.
+//
+// Usage:
+//
+//	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-json] baseline.json new.json
+//
+// Exit status: 0 when the new report passes, 1 on any hard problem,
+// 2 on bad usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main without the process exit, for tests.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	maxStat := fs.Float64("max-stat", 1.5,
+		"fail when a model's candidates or nodes grow beyond this ratio of the baseline (0 disables)")
+	minStat := fs.Int64("min-stat", 1000,
+		"ignore stat growth below this absolute delta (noise floor)")
+	maxTime := fs.Float64("max-time", 0,
+		"fail when wall time grows beyond this ratio of the baseline (0 disables; only meaningful on like hardware)")
+	jsonOut := fs.Bool("json", false, "print the problem list as JSON")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: obsdiff [flags] baseline.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+
+	baseline, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "obsdiff:", err)
+		return 2
+	}
+	current, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "obsdiff:", err)
+		return 2
+	}
+
+	problems := obs.DiffReports(baseline, current, obs.DiffOptions{
+		MaxStatRatio: *maxStat,
+		MinStat:      *minStat,
+		MaxTimeRatio: *maxTime,
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if problems == nil {
+			problems = []obs.Problem{}
+		}
+		enc.Encode(problems) //nolint:errcheck // stdout
+	} else {
+		for _, p := range problems {
+			fmt.Fprintln(stdout, p)
+		}
+	}
+
+	hard := 0
+	for _, p := range problems {
+		if p.Hard {
+			hard++
+		}
+	}
+	fmt.Fprintf(stdout, "obsdiff: %d checks vs %d, %d problems (%d hard)\n",
+		len(baseline.Checks), len(current.Checks), len(problems), hard)
+	if hard > 0 {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (*obs.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := obs.ReadReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

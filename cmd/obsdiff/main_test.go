@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeReport materializes a small report to disk, optionally flipping
+// one keyed verdict — the regression obsdiff exists to catch.
+func writeReport(t *testing.T, dir, name string, flip bool) string {
+	t.Helper()
+	b := obs.NewReportBuilder("litmus", nil)
+	v := "forbidden"
+	if flip {
+		v = "allowed"
+	}
+	b.Emit(obs.Event{Type: obs.EvLitmus, Test: "Fig1-SB", Model: "SC", Verdict: v})
+	b.Emit(obs.Event{Type: obs.EvLitmus, Test: "Fig1-SB", Model: "TSO", Verdict: "allowed"})
+	b.Emit(obs.Event{Type: obs.EvRunFinish, Model: "SC", Verdict: v, Candidates: 10, Nodes: 50})
+	b.Emit(obs.Event{Type: obs.EvRunFinish, Model: "TSO", Verdict: "allowed", Candidates: 12, Nodes: 60})
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := b.Report(nil).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIdenticalReportsPass(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", false)
+	cur := writeReport(t, dir, "cur.json", false)
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 problems (0 hard)") {
+		t.Errorf("summary line missing: %q", out.String())
+	}
+}
+
+func TestRunVerdictFlipFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", false)
+	cur := writeReport(t, dir, "cur.json", true)
+	var out, errb bytes.Buffer
+	if code := run([]string{base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "verdict-flip") || !strings.Contains(out.String(), "Fig1-SB/SC") {
+		t.Errorf("flip not reported: %q", out.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", false)
+	cur := writeReport(t, dir, "cur.json", true)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), `"kind": "verdict-flip"`) {
+		t.Errorf("JSON problems missing flip: %q", out.String())
+	}
+}
+
+func TestRunUsageAndIOErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out, &errb); code != 2 {
+		t.Errorf("missing files: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit = %d, want 2", code)
+	}
+}

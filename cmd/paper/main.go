@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	paper [-quick] [-workers N] [-timeout D] [-budget N]
-//	      [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	paper [-quick] [-workers N] [-timeout D] [-budget N] [-trace FILE]
+//	      [-metrics FILE] [-report FILE] [-serve ADDR] [-pprof FILE]
 //
 // -timeout and -budget bound every check and exploration (a claim whose
 // check is cut short FAILs rather than silently passing); -trace and

@@ -7,12 +7,16 @@
 // Usage:
 //
 //	relate [-random N] [-sims N] [-seed S] [-workers N] [-timeout D]
-//	       [-budget N] [-trace FILE] [-metrics FILE] [-pprof FILE]
+//	       [-budget N] [-trace FILE] [-metrics FILE] [-report FILE]
+//	       [-serve ADDR] [-pprof FILE]
 //
 // With -timeout or -budget, checks cut short land in the matrix's Unknown
 // column (never counted as rejections) and a summary line reports them.
 // -trace streams sweep and per-check events as JSONL; -metrics snapshots
-// the counters on exit.
+// the counters on exit. Long sweeps are where -serve earns its keep: it
+// serves live Prometheus /metrics, an SSE /trace tap and /runs while the
+// sweep runs, and -report captures the per-model verdict and work summary
+// for cmd/obsdiff.
 package main
 
 import (

@@ -1,0 +1,140 @@
+package obs
+
+import "sync"
+
+// Broadcast fans trace events out to any number of dynamically attached
+// subscribers without ever blocking the emitting hot path. Each subscriber
+// owns a bounded ring: when a subscriber falls behind, its oldest queued
+// events are overwritten and counted as drops (per subscriber, and into an
+// optional registry counter), so one slow SSE client can never stall the
+// checking engine or its sibling subscribers.
+//
+// Broadcast is an ordinary Sink, so it composes with Tee/Filter/Ring/JSONL:
+// the obshttp server tees it next to the -trace JSONL file and the run log.
+// With no subscribers attached, Emit is one mutex acquire over an empty
+// set — cheap enough to leave in a tee permanently.
+type Broadcast struct {
+	// Drops, when non-nil, accumulates every subscriber's drops — set it
+	// before events flow (it is read without the lock held).
+	Drops *Counter
+
+	mu    sync.Mutex
+	subs  map[*Subscriber]struct{}
+	total int64
+}
+
+// NewBroadcast returns an empty broadcast hub.
+func NewBroadcast() *Broadcast {
+	return &Broadcast{subs: make(map[*Subscriber]struct{})}
+}
+
+// Emit implements Sink: it offers the event to every current subscriber,
+// dropping (never blocking) at full subscriber rings.
+func (b *Broadcast) Emit(e Event) {
+	b.mu.Lock()
+	b.total++
+	for s := range b.subs {
+		s.push(e, b.Drops)
+	}
+	b.mu.Unlock()
+}
+
+// Total returns the number of events emitted through the hub.
+func (b *Broadcast) Total() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Subscribers returns the number of currently attached subscribers.
+func (b *Broadcast) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscribe attaches a new subscriber buffering up to capacity events
+// (minimum 1). The caller must Unsubscribe it when done.
+func (b *Broadcast) Subscribe(capacity int) *Subscriber {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Subscriber{
+		buf:    make([]Event, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe detaches s; it is idempotent, and events emitted after it
+// returns are no longer delivered to s.
+func (b *Broadcast) Unsubscribe(s *Subscriber) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Subscriber is one bounded tap on a Broadcast. Readers wait on Ready and
+// drain with Take; the hub writes through push and never blocks.
+type Subscriber struct {
+	mu      sync.Mutex
+	buf     []Event // ring storage
+	start   int     // index of the oldest queued event
+	n       int     // queued events
+	dropped int64   // cumulative evictions
+	pending int64   // evictions since the last Take
+	notify  chan struct{}
+}
+
+// push queues the event, evicting the oldest when full. Called with the
+// hub lock held; the per-subscriber lock bounds the critical section to a
+// few word writes.
+func (s *Subscriber) push(e Event, hubDrops *Counter) {
+	s.mu.Lock()
+	if s.n == len(s.buf) {
+		s.start = (s.start + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+		s.pending++
+		hubDrops.Add(1)
+	}
+	s.buf[(s.start+s.n)%len(s.buf)] = e
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Ready returns a channel that receives a token whenever new events are
+// queued. One token can cover many events: after each receive, drain with
+// Take.
+func (s *Subscriber) Ready() <-chan struct{} { return s.notify }
+
+// Take drains and returns the queued events (oldest first) along with the
+// number of events dropped since the previous Take.
+func (s *Subscriber) Take() (evs []Event, dropped int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		evs = make([]Event, 0, s.n)
+		for i := 0; i < s.n; i++ {
+			evs = append(evs, s.buf[(s.start+i)%len(s.buf)])
+		}
+		s.start, s.n = 0, 0
+	}
+	dropped, s.pending = s.pending, 0
+	return evs, dropped
+}
+
+// Dropped returns the cumulative number of events this subscriber lost to
+// ring overflow.
+func (s *Subscriber) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

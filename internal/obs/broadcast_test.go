@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingDropAccounting(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRing(3)
+	r.Drops = reg.Counter("ring.dropped")
+	for i := 1; i <= 5; i++ {
+		r.Emit(Event{Candidates: int64(i)})
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Errorf("Dropped = %d, want 2", got)
+	}
+	if got := reg.Counter("ring.dropped").Value(); got != 2 {
+		t.Errorf("registry drop counter = %d, want 2", got)
+	}
+	if got := r.Total(); got != 5 {
+		t.Errorf("Total = %d, want 5", got)
+	}
+	// Drops without a counter attached still count locally.
+	r2 := NewRing(1)
+	r2.Emit(Event{})
+	r2.Emit(Event{})
+	if got := r2.Dropped(); got != 1 {
+		t.Errorf("counter-less ring Dropped = %d, want 1", got)
+	}
+}
+
+func TestBroadcastDeliversInOrder(t *testing.T) {
+	b := NewBroadcast()
+	sub := b.Subscribe(16)
+	defer b.Unsubscribe(sub)
+	for i := 1; i <= 5; i++ {
+		b.Emit(Event{Candidates: int64(i)})
+	}
+	<-sub.Ready()
+	evs, dropped := sub.Take()
+	if dropped != 0 {
+		t.Errorf("dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.Candidates != int64(i+1) {
+			t.Errorf("event %d = %d, want %d (order lost)", i, e.Candidates, i+1)
+		}
+	}
+	if b.Total() != 5 || b.Subscribers() != 1 {
+		t.Errorf("Total=%d Subscribers=%d, want 5/1", b.Total(), b.Subscribers())
+	}
+}
+
+func TestBroadcastSlowSubscriberDrops(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBroadcast()
+	b.Drops = reg.Counter("bcast.dropped")
+	slow := b.Subscribe(2)
+	fast := b.Subscribe(64)
+	defer b.Unsubscribe(slow)
+	defer b.Unsubscribe(fast)
+
+	for i := 1; i <= 10; i++ {
+		b.Emit(Event{Candidates: int64(i)})
+	}
+
+	evs, dropped := slow.Take()
+	if len(evs) != 2 || dropped != 8 {
+		t.Errorf("slow subscriber Take = %d events, %d dropped; want 2/8", len(evs), dropped)
+	}
+	// The ring keeps the NEWEST events: the oldest were evicted.
+	if len(evs) == 2 && (evs[0].Candidates != 9 || evs[1].Candidates != 10) {
+		t.Errorf("slow subscriber kept %d,%d; want 9,10 (newest)", evs[0].Candidates, evs[1].Candidates)
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Errorf("slow.Dropped = %d, want 8", got)
+	}
+	if evs, dropped := fast.Take(); len(evs) != 10 || dropped != 0 {
+		t.Errorf("fast subscriber Take = %d events, %d dropped; want 10/0", len(evs), dropped)
+	}
+	if got := reg.Counter("bcast.dropped").Value(); got != 8 {
+		t.Errorf("hub drop counter = %d, want 8 (fast subscriber must not contribute)", got)
+	}
+	// pending resets after Take; cumulative Dropped does not.
+	b.Emit(Event{Candidates: 11})
+	if _, dropped := slow.Take(); dropped != 0 {
+		t.Errorf("post-Take dropped = %d, want 0", dropped)
+	}
+	if got := slow.Dropped(); got != 8 {
+		t.Errorf("cumulative Dropped after Take = %d, want 8", got)
+	}
+}
+
+func TestBroadcastUnsubscribeStopsDelivery(t *testing.T) {
+	b := NewBroadcast()
+	sub := b.Subscribe(4)
+	b.Emit(Event{Candidates: 1})
+	b.Unsubscribe(sub)
+	b.Unsubscribe(sub) // idempotent
+	b.Emit(Event{Candidates: 2})
+	evs, _ := sub.Take()
+	if len(evs) != 1 || evs[0].Candidates != 1 {
+		t.Errorf("detached subscriber received %v", evs)
+	}
+	if b.Subscribers() != 0 {
+		t.Errorf("Subscribers = %d, want 0", b.Subscribers())
+	}
+}
+
+// TestBroadcastConcurrent hammers the hub from parallel emitters while
+// subscribers churn and drain — run under -race, nothing may be lost for
+// a subscriber attached for the whole run with a big enough ring.
+func TestBroadcastConcurrent(t *testing.T) {
+	b := NewBroadcast()
+	b.Drops = NewRegistry().Counter("drops")
+	const emitters, perEmitter = 4, 500
+
+	stable := b.Subscribe(emitters*perEmitter + 1)
+	defer b.Unsubscribe(stable)
+
+	var wg sync.WaitGroup
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				b.Emit(Event{Type: EvCandidate, Candidates: int64(i)})
+			}
+		}()
+	}
+	// Churning subscribers join, drain a little, and leave mid-run.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := b.Subscribe(8)
+				s.Take()
+				b.Unsubscribe(s)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var got int
+	for {
+		evs, _ := stable.Take()
+		if len(evs) == 0 {
+			break
+		}
+		got += len(evs)
+	}
+	if got != emitters*perEmitter {
+		t.Errorf("stable subscriber saw %d events, want %d", got, emitters*perEmitter)
+	}
+	if stable.Dropped() != 0 {
+		t.Errorf("stable subscriber dropped %d with a sufficient ring", stable.Dropped())
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import "fmt"
+
+// DiffOptions configures what DiffReports treats as a regression beyond
+// the always-hard verdict flips.
+type DiffOptions struct {
+	// MaxStatRatio fails a model whose candidates or nodes grew beyond
+	// old×ratio (0 disables stat checking). Growth below MinStat absolute
+	// is ignored as noise.
+	MaxStatRatio float64
+	MinStat      int64
+	// MaxTimeRatio fails a run whose wall time grew beyond old×ratio
+	// (0 disables — wall time only compares on like hardware).
+	MaxTimeRatio float64
+}
+
+// Problem is one finding of a report comparison. Hard problems (verdict
+// flips, lost checks, threshold breaches) should fail a gate; soft ones
+// are informational drift.
+type Problem struct {
+	Kind   string `json:"kind"`
+	Hard   bool   `json:"hard"`
+	Detail string `json:"detail"`
+}
+
+func (p Problem) String() string {
+	sev := "note"
+	if p.Hard {
+		sev = "FAIL"
+	}
+	return fmt.Sprintf("[%s] %-17s %s", sev, p.Kind, p.Detail)
+}
+
+// DiffReports compares a new report against a baseline. Any decided
+// verdict that flips between the two is a hard problem — the checkers
+// changed their answer on the same input, which no performance win
+// excuses. A decided check going unknown (coverage loss), a keyed check
+// disappearing, and per-model decided-verdict counts shifting are also
+// hard; stat and time growth is hard only beyond the configured
+// thresholds. New checks and improvements (unknown → decided) are notes.
+func DiffReports(old, new *Report, opts DiffOptions) []Problem {
+	var out []Problem
+	add := func(hard bool, kind, format string, args ...any) {
+		out = append(out, Problem{Kind: kind, Hard: hard, Detail: fmt.Sprintf(format, args...)})
+	}
+	if old.Schema != new.Schema {
+		add(true, "schema-mismatch", "baseline schema %d vs new schema %d", old.Schema, new.Schema)
+		return out
+	}
+
+	// Keyed checks: verdict flips are the headline regression.
+	newByKey := make(map[string]CheckRecord, len(new.Checks))
+	for _, c := range new.Checks {
+		newByKey[checkKey(c)] = c
+	}
+	oldKeys := make(map[string]bool, len(old.Checks))
+	for _, oc := range old.Checks {
+		key := checkKey(oc)
+		oldKeys[key] = true
+		nc, ok := newByKey[key]
+		if !ok {
+			add(true, "missing-check", "%s: present in baseline, absent in new report", key)
+			continue
+		}
+		switch {
+		case oc.Verdict == nc.Verdict:
+		case oc.Verdict == "unknown":
+			add(false, "newly-decided", "%s: unknown in baseline, now %s", key, nc.Verdict)
+		case nc.Verdict == "unknown":
+			add(true, "coverage-loss", "%s: decided %s in baseline, now unknown", key, oc.Verdict)
+		default:
+			add(true, "verdict-flip", "%s: %s in baseline, now %s", key, oc.Verdict, nc.Verdict)
+		}
+	}
+	newChecks := 0
+	for _, c := range new.Checks {
+		if !oldKeys[checkKey(c)] {
+			newChecks++
+		}
+	}
+	if newChecks > 0 {
+		add(false, "new-checks", "%d checks in the new report have no baseline counterpart", newChecks)
+	}
+
+	// Per-model aggregates: catch flips in runs whose checks carry no
+	// stable key (relate sweeps), and stat growth beyond thresholds.
+	for _, name := range sortedNames(old.Models) {
+		om := old.Models[name]
+		nm, ok := new.Models[name]
+		if !ok {
+			add(true, "missing-model", "%s: in baseline, absent in new report", name)
+			continue
+		}
+		if om.Checks == nm.Checks && (om.Allowed != nm.Allowed || om.Forbidden != nm.Forbidden) {
+			add(true, "verdict-count", "%s: allowed/forbidden %d/%d in baseline, now %d/%d over the same %d checks (regenerate the baseline if the corpus changed intentionally)",
+				name, om.Allowed, om.Forbidden, nm.Allowed, nm.Forbidden, om.Checks)
+		}
+		if opts.MaxStatRatio > 0 {
+			statCheck := func(stat string, ov, nv int64) {
+				if ov <= 0 || nv-ov < opts.MinStat {
+					return
+				}
+				if ratio := float64(nv) / float64(ov); ratio > opts.MaxStatRatio {
+					add(true, "stat-regression", "%s: %s %d → %d (%.2fx > %.2fx threshold)",
+						name, stat, ov, nv, ratio, opts.MaxStatRatio)
+				}
+			}
+			statCheck("candidates", om.Candidates, nm.Candidates)
+			statCheck("nodes", om.Nodes, nm.Nodes)
+		}
+	}
+
+	// Budget outcome: a run that starts hitting its budget lost coverage
+	// even if no keyed check went unknown.
+	oldUnknown, newUnknown := sumValues(old.Unknowns), sumValues(new.Unknowns)
+	if newUnknown > oldUnknown {
+		add(true, "budget-outcome", "budget/deadline stops %d in baseline, now %d", oldUnknown, newUnknown)
+	}
+
+	if opts.MaxTimeRatio > 0 && old.WallMs > 0 {
+		if ratio := float64(new.WallMs) / float64(old.WallMs); ratio > opts.MaxTimeRatio {
+			add(true, "time-regression", "wall time %dms → %dms (%.2fx > %.2fx threshold)",
+				old.WallMs, new.WallMs, ratio, opts.MaxTimeRatio)
+		}
+	}
+	return out
+}
+
+// AnyHard reports whether the problem list contains a hard failure.
+func AnyHard(problems []Problem) bool {
+	for _, p := range problems {
+		if p.Hard {
+			return true
+		}
+	}
+	return false
+}
+
+func sumValues(m map[string]int64) int64 {
+	var n int64
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

@@ -120,11 +120,76 @@ func (h *Histogram) Sum() int64 {
 }
 
 // HistogramSnapshot is the exported state of a histogram: non-empty
-// buckets keyed by their inclusive upper bound.
+// buckets keyed by their inclusive upper bound, plus estimated quantiles
+// derived from the power-of-two buckets (linear interpolation within the
+// bucket the quantile rank lands in — order-of-magnitude estimates, same
+// fidelity as the buckets themselves).
 type HistogramSnapshot struct {
 	Count   int64            `json:"count"`
 	Sum     int64            `json:"sum"`
+	P50     int64            `json:"p50,omitempty"`
+	P95     int64            `json:"p95,omitempty"`
+	P99     int64            `json:"p99,omitempty"`
 	Buckets map[string]int64 `json:"buckets,omitempty"`
+
+	// points is the ordered per-bucket view (bucket index, count) behind
+	// the Buckets map; WritePrometheus needs the order a map loses. It is
+	// only populated on snapshots taken from a live histogram, not on
+	// JSON round-trips.
+	points []bucketPoint
+}
+
+// bucketPoint is one non-empty power-of-two bucket in index order.
+type bucketPoint struct {
+	idx int // bucket index: bits.Len64 of the observed value
+	n   int64
+}
+
+// bucketHi returns the inclusive upper bound of bucket i, clamped to the
+// int64 range.
+func bucketHi(i int) int64 {
+	switch {
+	case i == 0:
+		return 0
+	case i >= 64:
+		return int64(^uint64(0) >> 1)
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// bucketLo returns the inclusive lower bound of bucket i.
+func bucketLo(i int) int64 {
+	if i <= 1 {
+		return int64(i) // bucket 0 is {0}, bucket 1 is {1}
+	}
+	if i >= 64 {
+		return 1 << 62 // half of the clamped top bucket's range
+	}
+	return 1 << uint(i-1)
+}
+
+// estimateQuantile returns the q-quantile estimated from ordered bucket
+// counts: find the bucket the rank q·count falls in and interpolate
+// linearly across its value range.
+func estimateQuantile(points []bucketPoint, count int64, q float64) int64 {
+	if count == 0 || len(points) == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for _, p := range points {
+		if cum+float64(p.n) >= rank {
+			lo, hi := bucketLo(p.idx), bucketHi(p.idx)
+			frac := (rank - cum) / float64(p.n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += float64(p.n)
+	}
+	return bucketHi(points[len(points)-1].idx)
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -138,16 +203,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = make(map[string]int64)
 		}
 		// Bucket i covers [2^(i-1), 2^i - 1]; label by the upper bound.
-		var hi uint64
-		if i == 0 {
-			hi = 0
-		} else if i >= 64 {
-			hi = ^uint64(0) >> 1
-		} else {
-			hi = 1<<uint(i) - 1
-		}
-		s.Buckets[fmt.Sprintf("le_%d", hi)] = n
+		s.Buckets[fmt.Sprintf("le_%d", bucketHi(i))] = n
+		s.points = append(s.points, bucketPoint{idx: i, n: n})
 	}
+	s.P50 = estimateQuantile(s.points, s.Count, 0.50)
+	s.P95 = estimateQuantile(s.points, s.Count, 0.95)
+	s.P99 = estimateQuantile(s.points, s.Count, 0.99)
 	return s
 }
 
@@ -248,7 +309,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 		if h.Count > 0 {
 			mean = h.Sum / h.Count
 		}
-		lines = append(lines, fmt.Sprintf("%s count=%d sum=%d mean=%d", k, h.Count, h.Sum, mean))
+		lines = append(lines, fmt.Sprintf("%s count=%d sum=%d mean=%d p50=%d p95=%d p99=%d",
+			k, h.Count, h.Sum, mean, h.P50, h.P95, h.P99))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {

@@ -317,7 +317,9 @@ func TestWriteJSONAndText(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(text.String()), "\n")
-	want := []string{"a.count 1", "b.count 2", "g 5", "h count=1 sum=10 mean=10"}
+	// Observe(10) lands in the [8,15] bucket; the quantile estimate
+	// interpolates to the bucket ceiling for a single observation.
+	want := []string{"a.count 1", "b.count 2", "g 5", "h count=1 sum=10 mean=10 p50=15 p95=15 p99=15"}
 	if len(lines) != len(want) {
 		t.Fatalf("got %d lines %q, want %d", len(lines), lines, len(want))
 	}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry's current snapshot in the
+// Prometheus text exposition format (version 0.0.4): counters and gauges
+// as single samples, histograms as cumulative `_bucket{le="..."}` series
+// over the power-of-two bounds plus `_sum`/`_count`, and the estimated
+// p50/p95/p99 as `{quantile="..."}` samples of a sibling `_quantiles`
+// summary family. Metric names are sanitized to the Prometheus charset
+// (dots and every other illegal rune become underscores).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		n := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for _, p := range h.points {
+			cum += p.n
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", n, bucketHi(p.idx), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "# TYPE %s_quantiles summary\n", n)
+			fmt.Fprintf(&b, "%s_quantiles{quantile=\"0.5\"} %d\n", n, h.P50)
+			fmt.Fprintf(&b, "%s_quantiles{quantile=\"0.95\"} %d\n", n, h.P95)
+			fmt.Fprintf(&b, "%s_quantiles{quantile=\"0.99\"} %d\n", n, h.P99)
+			fmt.Fprintf(&b, "%s_quantiles_sum %d\n", n, h.Sum)
+			fmt.Fprintf(&b, "%s_quantiles_count %d\n", n, h.Count)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry metric name (dotted, free-form) onto the
+// Prometheus name charset [a-zA-Z0-9_:], prefixing an underscore when the
+// name would start with a digit.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestEstimateQuantile(t *testing.T) {
+	h := new(Histogram)
+	// 1000 observations uniform over [0, 999]: p50 ≈ 500, p95 ≈ 950,
+	// p99 ≈ 990 — the power-of-two buckets quantize, so allow a bucket's
+	// worth of slack.
+	for i := int64(0); i < 1000; i++ {
+		h.Observe(i)
+	}
+	s := h.snapshot()
+	within := func(name string, got, want, slack int64) {
+		if got < want-slack || got > want+slack {
+			t.Errorf("%s = %d, want %d ± %d", name, got, want, slack)
+		}
+	}
+	within("p50", s.P50, 500, 130)
+	within("p95", s.P95, 950, 130)
+	within("p99", s.P99, 990, 130)
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestEstimateQuantileEdgeCases(t *testing.T) {
+	if q := estimateQuantile(nil, 0, 0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", q)
+	}
+	h := new(Histogram)
+	h.Observe(0)
+	h.Observe(0)
+	s := h.snapshot()
+	if s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("all-zero histogram quantiles = %d/%d, want 0/0", s.P50, s.P99)
+	}
+	// A single large value: every quantile lands in its bucket.
+	h2 := new(Histogram)
+	h2.Observe(1 << 20)
+	s2 := h2.snapshot()
+	if s2.P50 < 1<<19 || s2.P50 > 1<<21 {
+		t.Errorf("single-value p50 = %d, want within [2^19, 2^21]", s2.P50)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"check.TSO.candidates":      "check_TSO_candidates",
+		"check.Causal+Coh.prune.po": "check_Causal_Coh_prune_po",
+		"check.TSO-ax.nodes":        "check_TSO_ax_nodes",
+		"9lives":                    "_9lives",
+		"already_fine:ok":           "already_fine:ok",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusParsable checks the exposition output line by line
+// against the text-format grammar: every non-comment line is
+// `name{labels} value`, every family has exactly one TYPE comment before
+// its samples, histogram buckets are cumulative and end at +Inf == count.
+func TestWritePrometheusParsable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("check.runs").Add(3)
+	reg.Counter("check.TSO.prune.po").Add(7)
+	reg.Gauge("check.TSO.frontier").Set(4)
+	h := reg.Histogram("check.TSO.duration_us")
+	for _, v := range []int64{3, 100, 2500, 90000} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?)$`)
+	typeLine := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary)$`)
+	seenTypes := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := typeLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			if seenTypes[m[1]] {
+				t.Fatalf("duplicate TYPE for %s", m[1])
+			}
+			seenTypes[m[1]] = true
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Fatalf("unparsable sample line: %q", line)
+		}
+	}
+	for _, family := range []string{"check_runs", "check_TSO_prune_po", "check_TSO_frontier", "check_TSO_duration_us", "check_TSO_duration_us_quantiles"} {
+		if !seenTypes[family] {
+			t.Errorf("family %s has no TYPE line; output:\n%s", family, out)
+		}
+	}
+
+	// Histogram buckets: cumulative, non-decreasing, +Inf equals count.
+	bucketRe := regexp.MustCompile(`check_TSO_duration_us_bucket\{le="([^"]+)"\} ([0-9]+)`)
+	matches := bucketRe.FindAllStringSubmatch(out, -1)
+	if len(matches) < 2 {
+		t.Fatalf("want multiple bucket lines, got %d", len(matches))
+	}
+	last := int64(-1)
+	for _, m := range matches {
+		n, _ := strconv.ParseInt(m[2], 10, 64)
+		if n < last {
+			t.Fatalf("buckets not cumulative: le=%s has %d after %d", m[1], n, last)
+		}
+		last = n
+	}
+	if matches[len(matches)-1][1] != "+Inf" || last != 4 {
+		t.Errorf("final bucket = le=%q %d, want +Inf 4", matches[len(matches)-1][1], last)
+	}
+	if !strings.Contains(out, "check_TSO_duration_us_count 4") {
+		t.Error("missing _count sample")
+	}
+	if !strings.Contains(out, fmt.Sprintf("check_TSO_duration_us_sum %d", int64(3+100+2500+90000))) {
+		t.Error("missing _sum sample")
+	}
+	if !strings.Contains(out, `check_TSO_duration_us_quantiles{quantile="0.5"}`) {
+		t.Error("missing p50 quantile sample")
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var reg *Registry
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("nil registry rendered %q", b.String())
+	}
+}

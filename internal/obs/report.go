@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ReportSchema is the version stamped into every Report; obsdiff refuses
+// to compare reports with mismatched schemas.
+const ReportSchema = 1
+
+// maxReportChecks bounds the keyed per-check list so a report over a huge
+// sweep stays a readable artifact; overflow is aggregated, not lost (the
+// per-model summaries and metrics cover every check), and flagged.
+const maxReportChecks = 10000
+
+// Report is the machine-readable artifact of one CLI run: what was
+// checked, what every check decided, where the work went (candidates,
+// nodes, memo hits, per-constraint prune attribution, frontier), how the
+// budget ended, how long it took, and where it ran. Reports are written by
+// the shared -report flag and compared by cmd/obsdiff — a verdict that
+// flips between two reports over the same corpus is a regression, full
+// stop; stat and time drifts are judged against thresholds.
+type Report struct {
+	Schema int       `json:"schema"`
+	Tool   string    `json:"tool"`
+	Args   []string  `json:"args,omitempty"`
+	Start  string    `json:"start"` // RFC3339
+	WallMs int64     `json:"wall_ms"`
+	Build  BuildInfo `json:"build"`
+
+	// Checks are keyed per-check verdicts (litmus test × model); only
+	// checks with a stable identity land here. TruncatedChecks reports
+	// how many were dropped past the cap.
+	Checks          []CheckRecord `json:"checks,omitempty"`
+	TruncatedChecks int64         `json:"truncated_checks,omitempty"`
+
+	// Models aggregates every membership check per model — including
+	// anonymous ones (relate sweeps classify hundreds of histories whose
+	// run_finish events carry no test name).
+	Models map[string]ModelSummary `json:"models,omitempty"`
+
+	// Unknowns tallies budget/deadline/cancellation stops by reason — the
+	// budget outcome of the run ({} when every check decided).
+	Unknowns map[string]int64 `json:"unknowns,omitempty"`
+
+	// Explore aggregates state-space explorations, when the run did any.
+	Explore *ExploreSummary `json:"explore,omitempty"`
+
+	// Metrics is the registry snapshot at the end of the run (prune
+	// attribution, memo hit/miss counters, duration histograms).
+	Metrics Snapshot `json:"metrics"`
+}
+
+// BuildInfo records where a report was produced, for reading regressions
+// in context (a wall-time delta between different CPUs is not a finding).
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	Host      string `json:"host,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// CheckRecord is one keyed check verdict: a litmus test under a model.
+type CheckRecord struct {
+	Test     string `json:"test"`
+	Model    string `json:"model"`
+	Verdict  string `json:"verdict"` // "allowed", "forbidden", "unknown"
+	Frontier int    `json:"frontier,omitempty"`
+}
+
+// ModelSummary aggregates every membership check one model ran.
+type ModelSummary struct {
+	Checks     int64 `json:"checks"`
+	Allowed    int64 `json:"allowed"`
+	Forbidden  int64 `json:"forbidden"`
+	Unknown    int64 `json:"unknown"`
+	Candidates int64 `json:"candidates"`
+	Nodes      int64 `json:"nodes"`
+	MemoHits   int64 `json:"memo_hits,omitempty"`
+	// Prunes attributes rejected work to the constraint that rejected it
+	// (po, ppo, wb, co, coherence, value, derived, cycle kinds, ...).
+	Prunes map[string]int64 `json:"prunes,omitempty"`
+}
+
+// ExploreSummary aggregates the run's state-space explorations.
+type ExploreSummary struct {
+	Runs        int64 `json:"runs"`
+	States      int64 `json:"states"`
+	Transitions int64 `json:"transitions"`
+	Violations  int64 `json:"violations"`
+}
+
+// ReportBuilder assembles a Report from the trace-event stream. It is a
+// Sink, so cliflags tees it next to the JSONL file and the live server; it
+// watches run_finish / litmus / budget_stop / explore_finish / violation
+// events and ignores the high-rate ones.
+type ReportBuilder struct {
+	tool  string
+	args  []string
+	start time.Time
+
+	mu        sync.Mutex
+	checks    []CheckRecord
+	truncated int64
+	models    map[string]*ModelSummary
+	unknowns  map[string]int64
+	explore   ExploreSummary
+}
+
+// NewReportBuilder starts a report for one CLI run; tool and args name the
+// invocation in the artifact.
+func NewReportBuilder(tool string, args []string) *ReportBuilder {
+	return &ReportBuilder{
+		tool:     tool,
+		args:     args,
+		start:    time.Now(),
+		models:   make(map[string]*ModelSummary),
+		unknowns: make(map[string]int64),
+	}
+}
+
+// Emit implements Sink.
+func (b *ReportBuilder) Emit(e Event) {
+	switch e.Type {
+	case EvRunFinish, EvLitmus, EvBudgetStop, EvExploreFinish, EvViolation:
+	default:
+		return // per-candidate / per-shard noise: not report material
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch e.Type {
+	case EvRunFinish:
+		m := b.models[e.Model]
+		if m == nil {
+			m = &ModelSummary{}
+			b.models[e.Model] = m
+		}
+		m.Checks++
+		switch e.Verdict {
+		case "allowed":
+			m.Allowed++
+		case "forbidden":
+			m.Forbidden++
+		default:
+			m.Unknown++
+		}
+		m.Candidates += e.Candidates
+		m.Nodes += e.Nodes
+	case EvLitmus:
+		if int64(len(b.checks)) >= maxReportChecks {
+			b.truncated++
+			return
+		}
+		b.checks = append(b.checks, CheckRecord{
+			Test: e.Test, Model: e.Model, Verdict: e.Verdict, Frontier: e.Frontier,
+		})
+	case EvBudgetStop:
+		reason := e.Reason
+		if reason == "" {
+			reason = "unspecified"
+		}
+		b.unknowns[reason]++
+	case EvExploreFinish:
+		b.explore.Runs++
+		b.explore.States += int64(e.States)
+		b.explore.Transitions += int64(e.Transitions)
+	case EvViolation:
+		b.explore.Violations++
+	}
+}
+
+// Report finalizes the artifact: it stamps the wall time and build info,
+// snapshots reg (which may be nil), and folds the registry's memo-hit and
+// prune counters into the per-model summaries.
+func (b *ReportBuilder) Report(reg *Registry) *Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := &Report{
+		Schema:          ReportSchema,
+		Tool:            b.tool,
+		Args:            b.args,
+		Start:           b.start.UTC().Format(time.RFC3339),
+		WallMs:          time.Since(b.start).Milliseconds(),
+		Build:           buildInfo(),
+		Checks:          append([]CheckRecord(nil), b.checks...),
+		TruncatedChecks: b.truncated,
+		Metrics:         reg.Snapshot(),
+	}
+	if len(b.models) > 0 {
+		r.Models = make(map[string]ModelSummary, len(b.models))
+		for name, m := range b.models {
+			s := *m
+			s.MemoHits = r.Metrics.Counters["check."+name+".memo_hits"]
+			prefix := "check." + name + ".prune."
+			for k, v := range r.Metrics.Counters {
+				if strings.HasPrefix(k, prefix) {
+					if s.Prunes == nil {
+						s.Prunes = make(map[string]int64)
+					}
+					s.Prunes[strings.TrimPrefix(k, prefix)] = v
+				}
+			}
+			r.Models[name] = s
+		}
+	}
+	if len(b.unknowns) > 0 {
+		r.Unknowns = make(map[string]int64, len(b.unknowns))
+		for k, v := range b.unknowns {
+			r.Unknowns[k] = v
+		}
+	}
+	if b.explore != (ExploreSummary{}) {
+		e := b.explore
+		r.Explore = &e
+	}
+	return r
+}
+
+// Write writes the finalized report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadReport parses a report written by Write.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// buildInfo collects the host and build identity of this process.
+func buildInfo() BuildInfo {
+	bi := BuildInfo{
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	if h, err := os.Hostname(); err == nil {
+		bi.Host = h
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				bi.Revision = s.Value
+			case "vcs.modified":
+				bi.Modified = s.Value == "true"
+			}
+		}
+	}
+	return bi
+}
+
+// checkKey is the stable "test/model" identity of a keyed check.
+func checkKey(c CheckRecord) string { return c.Test + "/" + c.Model }
+
+// sortedNames returns the map's keys sorted, for deterministic iteration.
+func sortedNames[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildReport assembles a small report through the public Sink surface —
+// the same path cliflags drives.
+func buildReport(t *testing.T, flip bool, extraNodes int64) *Report {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("check.TSO.memo_hits").Add(11)
+	reg.Counter("check.TSO.prune.po").Add(5)
+	reg.Counter("check.TSO.prune.value").Add(2)
+
+	b := NewReportBuilder("litmus", []string{"-workers", "1"})
+	b.Emit(Event{Type: EvCandidate}) // high-rate noise: must be ignored
+	b.Emit(Event{Type: EvRunFinish, Model: "TSO", Verdict: "allowed", Candidates: 10, Nodes: 100 + extraNodes})
+	b.Emit(Event{Type: EvRunFinish, Model: "TSO", Verdict: "forbidden", Candidates: 20, Nodes: 200})
+	b.Emit(Event{Type: EvRunFinish, Model: "SC", Verdict: "unknown"})
+	b.Emit(Event{Type: EvBudgetStop, Reason: "deadline"})
+	sbVerdict := "allowed"
+	if flip {
+		sbVerdict = "forbidden"
+	}
+	b.Emit(Event{Type: EvLitmus, Test: "Fig1-SB", Model: "TSO", Verdict: sbVerdict, Frontier: 4})
+	b.Emit(Event{Type: EvLitmus, Test: "Fig1-SB", Model: "SC", Verdict: "unknown"})
+	b.Emit(Event{Type: EvExploreFinish, States: 50, Transitions: 120})
+	b.Emit(Event{Type: EvViolation, Detail: "mutual exclusion"})
+	return b.Report(reg)
+}
+
+func TestReportBuilder(t *testing.T) {
+	r := buildReport(t, false, 0)
+	if r.Schema != ReportSchema || r.Tool != "litmus" {
+		t.Errorf("schema/tool = %d/%q", r.Schema, r.Tool)
+	}
+	if len(r.Checks) != 2 {
+		t.Fatalf("checks = %d, want 2 (litmus events only)", len(r.Checks))
+	}
+	tso := r.Models["TSO"]
+	if tso.Checks != 2 || tso.Allowed != 1 || tso.Forbidden != 1 ||
+		tso.Candidates != 30 || tso.Nodes != 300 {
+		t.Errorf("TSO summary = %+v", tso)
+	}
+	if tso.MemoHits != 11 {
+		t.Errorf("TSO memo hits = %d, want 11 (from registry)", tso.MemoHits)
+	}
+	if tso.Prunes["po"] != 5 || tso.Prunes["value"] != 2 {
+		t.Errorf("TSO prune attribution = %v", tso.Prunes)
+	}
+	if sc := r.Models["SC"]; sc.Unknown != 1 {
+		t.Errorf("SC summary = %+v, want 1 unknown", sc)
+	}
+	if r.Unknowns["deadline"] != 1 {
+		t.Errorf("unknowns = %v", r.Unknowns)
+	}
+	if r.Explore == nil || r.Explore.States != 50 || r.Explore.Violations != 1 {
+		t.Errorf("explore = %+v", r.Explore)
+	}
+	if r.Build.GoVersion == "" || r.Build.NumCPU < 1 {
+		t.Errorf("build info = %+v", r.Build)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := buildReport(t, false, 0)
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Checks) != len(r.Checks) || got.Models["TSO"].Candidates != 30 {
+		t.Errorf("round-trip lost data: %+v", got)
+	}
+}
+
+func TestDiffReportsClean(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, false, 0)
+	problems := DiffReports(old, cur, DiffOptions{MaxStatRatio: 1.5})
+	if AnyHard(problems) {
+		t.Errorf("identical reports produced hard problems: %v", problems)
+	}
+}
+
+func TestDiffReportsVerdictFlip(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, true, 0)
+	problems := DiffReports(old, cur, DiffOptions{})
+	if !AnyHard(problems) {
+		t.Fatalf("flip not detected: %v", problems)
+	}
+	found := false
+	for _, p := range problems {
+		if p.Kind == "verdict-flip" && strings.Contains(p.Detail, "Fig1-SB/TSO") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no verdict-flip problem for Fig1-SB/TSO: %v", problems)
+	}
+}
+
+func TestDiffReportsStatThreshold(t *testing.T) {
+	old := buildReport(t, false, 0)
+	grown := buildReport(t, false, 5000)
+	// Below the ratio → clean; above → hard; disabled → clean.
+	if ps := DiffReports(old, grown, DiffOptions{MaxStatRatio: 20, MinStat: 1}); AnyHard(ps) {
+		t.Errorf("20x threshold tripped by 17x growth: %v", ps)
+	}
+	ps := DiffReports(old, grown, DiffOptions{MaxStatRatio: 1.5, MinStat: 1})
+	if !AnyHard(ps) {
+		t.Errorf("1.5x threshold missed 17x node growth: %v", ps)
+	}
+	if ps := DiffReports(old, grown, DiffOptions{}); AnyHard(ps) {
+		t.Errorf("disabled stat checking still failed: %v", ps)
+	}
+	// MinStat suppresses small absolute growth regardless of ratio.
+	if ps := DiffReports(old, grown, DiffOptions{MaxStatRatio: 1.5, MinStat: 100000}); AnyHard(ps) {
+		t.Errorf("MinStat floor did not suppress: %v", ps)
+	}
+}
+
+func TestDiffReportsCoverageLoss(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, false, 0)
+	// Decided baseline check goes unknown: hard coverage loss.
+	cur.Checks[0].Verdict = "unknown"
+	ps := DiffReports(old, cur, DiffOptions{})
+	if !AnyHard(ps) || !hasKind(ps, "coverage-loss") {
+		t.Errorf("decided→unknown not flagged: %v", ps)
+	}
+	// The reverse direction is an improvement, not a failure.
+	ps = DiffReports(cur, old, DiffOptions{})
+	if hasKind(ps, "verdict-flip") {
+		t.Errorf("unknown→decided misread as a flip: %v", ps)
+	}
+	for _, p := range ps {
+		if p.Kind == "newly-decided" && p.Hard {
+			t.Errorf("newly-decided marked hard: %v", p)
+		}
+	}
+}
+
+func TestDiffReportsMissingCheckAndModel(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, false, 0)
+	cur.Checks = cur.Checks[:1]
+	delete(cur.Models, "SC")
+	// The SC run_finish still counted an unknown stop in cur.Unknowns; keep
+	// budget outcomes equal so only the structural problems fire.
+	ps := DiffReports(old, cur, DiffOptions{})
+	if !hasKind(ps, "missing-check") || !hasKind(ps, "missing-model") {
+		t.Errorf("missing check/model not flagged: %v", ps)
+	}
+}
+
+func TestDiffReportsBudgetOutcome(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, false, 0)
+	cur.Unknowns["budget"] = 3
+	ps := DiffReports(old, cur, DiffOptions{})
+	if !hasKind(ps, "budget-outcome") || !AnyHard(ps) {
+		t.Errorf("budget outcome growth not flagged: %v", ps)
+	}
+}
+
+func TestDiffReportsTimeThreshold(t *testing.T) {
+	old := buildReport(t, false, 0)
+	cur := buildReport(t, false, 0)
+	old.WallMs, cur.WallMs = 100, 500
+	if ps := DiffReports(old, cur, DiffOptions{}); hasKind(ps, "time-regression") {
+		t.Errorf("time checking should default off: %v", ps)
+	}
+	ps := DiffReports(old, cur, DiffOptions{MaxTimeRatio: 2})
+	if !hasKind(ps, "time-regression") {
+		t.Errorf("5x wall growth not flagged at 2x threshold: %v", ps)
+	}
+}
+
+func hasKind(ps []Problem, kind string) bool {
+	for _, p := range ps {
+		if p.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

@@ -52,13 +52,20 @@ func (j *JSONL) Err() error {
 
 // Ring is a bounded in-memory sink keeping the most recent events — the
 // flight recorder used by tests and by callers that only want the tail of
-// a long run (for example the events around a budget stop).
+// a long run (for example the events around a budget stop). Overwriting an
+// old event counts as a drop: Dropped reports the evictions, and an
+// optional Drops counter surfaces them in a metrics registry.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	total int64
-	full  bool
+	// Drops, when non-nil, is bumped once per evicted event. Set it before
+	// the ring starts receiving events (it is read without the ring lock).
+	Drops *Counter
+
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	total   int64
+	dropped int64
+	full    bool
 }
 
 // NewRing returns a ring sink retaining up to cap events (minimum 1).
@@ -72,7 +79,10 @@ func NewRing(capacity int) *Ring {
 // Emit implements Sink.
 func (r *Ring) Emit(e Event) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
+	if r.full {
+		r.dropped++
+		r.Drops.Add(1)
+	}
 	r.buf[r.next] = e
 	r.next++
 	r.total++
@@ -80,6 +90,15 @@ func (r *Ring) Emit(e Event) {
 		r.next = 0
 		r.full = true
 	}
+	r.mu.Unlock()
+}
+
+// Dropped returns the number of events evicted to make room for newer
+// ones (total emitted minus retained).
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events returns the retained events, oldest first.

@@ -1,0 +1,242 @@
+// Package obshttp is the live observability service: an embeddable HTTP
+// server that exposes a running check, sweep or exploration while it runs,
+// instead of only after it exits. PR 3's internal/obs layer made the
+// engine report into a registry and an event stream; this package puts a
+// scrape-and-stream surface on top of both:
+//
+//	GET /metrics       Prometheus text exposition of the live registry
+//	GET /metrics.json  the same snapshot as JSON (obs.WriteJSON)
+//	GET /trace         the trace-event stream as Server-Sent Events
+//	GET /runs          recently completed checks (bounded, oldest evicted)
+//	GET /debug/pprof/  the standard Go profiling endpoints
+//
+// The server is strictly opt-in (the CLIs start it only under -serve), and
+// its event path never blocks the engine: /trace subscribers tap an
+// obs.Broadcast whose per-subscriber rings drop on overflow, and /runs is
+// an obs.Ring behind an obs.Filter. Both report their drops into the
+// registry, so the scrape surface observes its own lossiness.
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Server is one observability service instance. Create it with New, feed
+// its Sink from the engine's context, Start it on an address, and Shut it
+// down when the run ends.
+type Server struct {
+	reg   *obs.Registry
+	bcast *obs.Broadcast
+	runs  *obs.Ring
+	sink  obs.Sink
+
+	hs       *http.Server
+	ln       net.Listener
+	done     chan struct{} // closed by Shutdown: unblocks SSE handlers
+	stopOnce sync.Once
+
+	// Heartbeat is the SSE keep-alive comment interval (exposed for
+	// tests; zero means the 15s default).
+	Heartbeat time.Duration
+}
+
+// runEventTypes is what /runs retains: one record per completed check,
+// exploration, sweep, or violation — never the per-candidate firehose.
+var runEventTypes = map[obs.EventType]bool{
+	obs.EvRunFinish:     true,
+	obs.EvLitmus:        true,
+	obs.EvExploreFinish: true,
+	obs.EvSweepFinish:   true,
+	obs.EvViolation:     true,
+}
+
+// New returns a server over the given registry (which may be nil when the
+// caller only wants the trace tap). The run log keeps the most recent
+// runsCap completed checks (minimum 1; 0 means the 1024 default).
+func New(reg *obs.Registry, runsCap int) *Server {
+	if runsCap == 0 {
+		runsCap = 1024
+	}
+	s := &Server{
+		reg:   reg,
+		bcast: obs.NewBroadcast(),
+		runs:  obs.NewRing(runsCap),
+		done:  make(chan struct{}),
+	}
+	if reg != nil {
+		s.bcast.Drops = reg.Counter("obs.http.trace_dropped")
+		s.runs.Drops = reg.Counter("obs.http.runs_evicted")
+	}
+	s.sink = obs.Tee{s.bcast, obs.Filter{Next: s.runs, Allow: runEventTypes}}
+	return s
+}
+
+// Sink returns the sink the engine should emit into (tee it with any
+// other sinks): it feeds both the /trace broadcast and the /runs log.
+func (s *Server) Sink() obs.Sink { return s.sink }
+
+// Handler returns the service's routing table, for embedding into an
+// existing server instead of Start.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background; it returns the bound address. Call Shutdown to stop.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.Handler()}
+	go s.hs.Serve(ln) //nolint:errcheck // always ErrServerClosed after Shutdown
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address after Start ("" before).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops the server: it releases every streaming handler (their
+// subscribers detach), then closes the listener and drains connections.
+// Idempotent; returns nil if Start was never called.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.done) })
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+// handleIndex is a plain-text map of the service.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, `observability service
+  /metrics       Prometheus text format (live registry snapshot)
+  /metrics.json  the same snapshot as JSON
+  /trace         trace events as Server-Sent Events (?types=litmus,run_finish filters)
+  /runs          recently completed checks as JSON
+  /debug/pprof/  Go profiling
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w) //nolint:errcheck // client went away
+}
+
+// handleRuns lists the retained completed-check events, oldest first.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	out := struct {
+		Evicted int64       `json:"evicted"`
+		Runs    []obs.Event `json:"runs"`
+	}{Evicted: s.runs.Dropped(), Runs: s.runs.Events()}
+	if out.Runs == nil {
+		out.Runs = []obs.Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client went away
+}
+
+// handleTrace streams trace events as Server-Sent Events: one `event:`
+// per trace event type with the JSON event as `data:`, a `drop` event
+// when the subscriber's ring overflowed, and comment heartbeats so dead
+// clients are detected. `?types=a,b` restricts the stream to those event
+// types; `?buffer=N` sizes the subscriber ring (default 1024).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var allow map[obs.EventType]bool
+	if q := r.URL.Query().Get("types"); q != "" {
+		allow = make(map[obs.EventType]bool)
+		for _, t := range strings.Split(q, ",") {
+			allow[obs.EventType(strings.TrimSpace(t))] = true
+		}
+	}
+	capacity := 1024
+	if q := r.URL.Query().Get("buffer"); q != "" {
+		fmt.Sscanf(q, "%d", &capacity) //nolint:errcheck // bad value keeps default
+	}
+
+	sub := s.bcast.Subscribe(capacity)
+	defer s.bcast.Unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprintf(w, ": stream open\n\n")
+	flusher.Flush()
+
+	heartbeat := s.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = 15 * time.Second
+	}
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.done:
+			fmt.Fprintf(w, "event: shutdown\ndata: {}\n\n")
+			flusher.Flush()
+			return
+		case <-ticker.C:
+			fmt.Fprintf(w, ": heartbeat\n\n")
+			flusher.Flush()
+		case <-sub.Ready():
+			evs, dropped := sub.Take()
+			if dropped > 0 {
+				fmt.Fprintf(w, "event: drop\ndata: {\"dropped\":%d}\n\n", dropped)
+			}
+			for _, e := range evs {
+				if allow != nil && !allow[e.Type] {
+					continue
+				}
+				data, err := json.Marshal(e)
+				if err != nil {
+					continue
+				}
+				fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, data)
+			}
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package obshttp
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// startServer boots a server on a free port and tears it down with the
+// test; it returns the server and its base URL.
+func startServer(t *testing.T, reg *obs.Registry) (*Server, string) {
+	t.Helper()
+	s := New(reg, 64)
+	s.Heartbeat = 50 * time.Millisecond
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, "http://" + addr
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", url, err)
+	}
+	return string(body), resp
+}
+
+func TestMetricsEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("check.runs").Add(2)
+	reg.Histogram("check.TSO.duration_us").Observe(1500)
+	_, base := startServer(t, reg)
+
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE check_runs counter", "check_runs 2",
+		"# TYPE check_TSO_duration_us histogram",
+		`check_TSO_duration_us_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	body, resp = get(t, base+"/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json content-type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if snap.Counters["check.runs"] != 2 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
+	}
+
+	if body, _ := get(t, base+"/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index page = %q", body)
+	}
+	if _, resp := get(t, base+"/debug/pprof/"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestRunsEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, base := startServer(t, reg)
+
+	s.Sink().Emit(obs.Event{Type: obs.EvCandidate})
+	s.Sink().Emit(obs.Event{Type: obs.EvRunFinish, Model: "TSO", Verdict: "allowed"})
+	s.Sink().Emit(obs.Event{Type: obs.EvLitmus, Test: "Fig1-SB", Model: "SC", Verdict: "forbidden"})
+
+	body, _ := get(t, base+"/runs")
+	var out struct {
+		Evicted int64       `json:"evicted"`
+		Runs    []obs.Event `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/runs not JSON: %v\n%s", err, body)
+	}
+	if len(out.Runs) != 2 {
+		t.Fatalf("/runs kept %d events, want 2 (candidate filtered out): %s", len(out.Runs), body)
+	}
+	if out.Runs[0].Type != obs.EvRunFinish || out.Runs[1].Test != "Fig1-SB" {
+		t.Errorf("/runs = %+v", out.Runs)
+	}
+}
+
+// sseClient reads one /trace stream, tallying data events and reported
+// drops until the body closes or the caller cancels.
+type sseClient struct {
+	events  []obs.Event
+	dropped int64
+}
+
+// readSSE consumes the stream until stop returns true or it ends.
+func (c *sseClient) readSSE(t *testing.T, body io.Reader, stop func(*sseClient) bool) {
+	t.Helper()
+	scanner := bufio.NewScanner(body)
+	var event string
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "drop":
+				var d struct {
+					Dropped int64 `json:"dropped"`
+				}
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					t.Errorf("bad drop payload %q: %v", data, err)
+				}
+				c.dropped += d.Dropped
+			case "shutdown":
+			default:
+				var e obs.Event
+				if err := json.Unmarshal([]byte(data), &e); err != nil {
+					t.Errorf("bad event payload %q: %v", data, err)
+					continue
+				}
+				c.events = append(c.events, e)
+			}
+			if stop != nil && stop(c) {
+				return
+			}
+		}
+	}
+}
+
+// subscribeTrace opens an SSE stream and waits until the server has
+// registered the subscriber, so subsequent emits are guaranteed delivery.
+func subscribeTrace(t *testing.T, s *Server, url string, wantSubs int) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.bcast.Subscribers() < wantSubs {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber %d never registered", wantSubs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return resp
+}
+
+func TestTraceStreamsSSE(t *testing.T) {
+	s, base := startServer(t, obs.NewRegistry())
+	resp := subscribeTrace(t, s, base+"/trace", 1)
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("/trace content-type = %q", ct)
+	}
+
+	s.Sink().Emit(obs.Event{Type: obs.EvRunStart, Model: "TSO", Ops: 4})
+	s.Sink().Emit(obs.Event{Type: obs.EvRunFinish, Model: "TSO", Verdict: "allowed", Nodes: 9})
+
+	var c sseClient
+	c.readSSE(t, resp.Body, func(c *sseClient) bool { return len(c.events) >= 2 })
+	if len(c.events) != 2 {
+		t.Fatalf("streamed %d events, want 2", len(c.events))
+	}
+	if c.events[0].Type != obs.EvRunStart || c.events[1].Verdict != "allowed" || c.events[1].Nodes != 9 {
+		t.Errorf("streamed events = %+v", c.events)
+	}
+}
+
+func TestTraceTypeFilter(t *testing.T) {
+	s, base := startServer(t, obs.NewRegistry())
+	resp := subscribeTrace(t, s, base+"/trace?types=run_finish", 1)
+	defer resp.Body.Close()
+
+	s.Sink().Emit(obs.Event{Type: obs.EvCandidate, Candidates: 1})
+	s.Sink().Emit(obs.Event{Type: obs.EvRunFinish, Model: "SC", Verdict: "forbidden"})
+
+	var c sseClient
+	c.readSSE(t, resp.Body, func(c *sseClient) bool { return len(c.events) >= 1 })
+	if len(c.events) != 1 || c.events[0].Type != obs.EvRunFinish {
+		t.Errorf("filtered stream = %+v", c.events)
+	}
+}
+
+// TestTraceSlowSubscriberAccounting pins the lossiness invariant over
+// HTTP: with a one-slot subscriber ring and a burst far faster than the
+// handler can drain, every emitted event is either delivered or counted
+// in a drop notice — none vanish silently.
+func TestTraceSlowSubscriberAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, base := startServer(t, reg)
+	resp := subscribeTrace(t, s, base+"/trace?buffer=1", 1)
+	defer resp.Body.Close()
+
+	const burst = 500
+	for i := 0; i < burst; i++ {
+		s.Sink().Emit(obs.Event{Type: obs.EvCandidate, Candidates: int64(i)})
+	}
+
+	var c sseClient
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.readSSE(t, resp.Body, func(c *sseClient) bool {
+			return int64(len(c.events))+c.dropped >= burst
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("accounting never reached the burst size")
+	}
+	if got := int64(len(c.events)) + c.dropped; got != burst {
+		t.Errorf("delivered %d + dropped %d = %d, want exactly %d",
+			len(c.events), c.dropped, got, burst)
+	}
+	if c.dropped == 0 {
+		t.Logf("note: no drops with buffer=1 over a %d burst (fast host)", burst)
+	}
+	if reg.Counter("obs.http.trace_dropped").Value() != c.dropped {
+		t.Errorf("registry drop counter %d != streamed drop total %d",
+			reg.Counter("obs.http.trace_dropped").Value(), c.dropped)
+	}
+}
+
+// TestConcurrentSubscribersJoinLeave churns SSE subscribers while an
+// emitter pumps events — the -race exercise for the broadcast path — and
+// then checks the server shuts down without leaking goroutines.
+func TestConcurrentSubscribersJoinLeave(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	s, base := startServer(t, reg)
+
+	stop := make(chan struct{})
+	var emitted int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Sink().Emit(obs.Event{Type: obs.EvRunFinish, Model: "SC", Verdict: "allowed"})
+				emitted++
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	const clients = 6
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	var cwg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		cwg.Add(1)
+		go func(i int) {
+			defer cwg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(20+10*i)*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, "GET", base+"/trace", nil)
+			resp, err := client.Do(req)
+			if err != nil {
+				return // joined after shutdown or cancelled mid-dial: fine
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck // ends on ctx cancel
+		}(i)
+	}
+	cwg.Wait()
+	close(stop)
+	wg.Wait()
+
+	if emitted == 0 {
+		t.Fatal("emitter made no progress")
+	}
+	// All subscribers must have detached once their clients went away.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.bcast.Subscribers() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscribers still attached after clients left", s.bcast.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	tr.CloseIdleConnections()
+
+	// Goroutine-leak check: the server, its handlers and the HTTP client
+	// plumbing must all wind down. Allow slack for runtime helpers.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestShutdownReleasesStreamingHandler proves Shutdown does not hang on
+// an active SSE connection (the handler returns on the done channel).
+func TestShutdownReleasesStreamingHandler(t *testing.T) {
+	s := New(obs.NewRegistry(), 8)
+	s.Heartbeat = 50 * time.Millisecond
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := subscribeTrace(t, s, fmt.Sprintf("http://%s/trace", addr), 1)
+	defer resp.Body.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown with live stream: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung on an active SSE handler")
+	}
+	// The client sees the stream end (shutdown event, then EOF).
+	var c sseClient
+	c.readSSE(t, resp.Body, nil)
+}

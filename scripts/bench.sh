@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo-root benchmark suite and append one normalized
+# JSON line (median ns/op per benchmark) to the perf trajectory file, so
+# performance history accumulates across commits instead of living in
+# one-off BENCH_*.json snapshots.
+#
+# Usage:
+#   ./scripts/bench.sh [trajectory-file]      # default: BENCH_TRAJECTORY.jsonl
+#
+# Environment:
+#   BENCH      benchmark regex          (default: ObsOverhead|BudgetOverhead)
+#   BENCHTIME  go test -benchtime value (default: 1s)
+#   COUNT      repetitions for medians  (default: 5)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_TRAJECTORY.jsonl}
+bench=${BENCH:-'ObsOverhead|BudgetOverhead'}
+benchtime=${BENCHTIME:-1s}
+count=${COUNT:-5}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
+
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+dirty=$(git diff --quiet 2>/dev/null && echo false || echo true)
+goversion=$(go env GOVERSION)
+date=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# Normalize: per benchmark name, the median ns/op over the COUNT runs.
+# Lines look like: BenchmarkObsOverhead/Fig1-SB/TSO/metrics-4  12345  987 ns/op ...
+benches=$(awk '$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    print name, $3
+}' "$raw" | sort -k1,1 -k2,2n | awk '
+function flush() {
+    if (n == 0) return
+    mid = int((n + 1) / 2)
+    med = (n % 2) ? v[mid] : (v[mid] + v[mid + 1]) / 2
+    printf "%s\"%s\":%g", sep, key, med
+    sep = ","; n = 0
+}
+$1 != key { flush(); key = $1 }
+{ v[++n] = $2 }
+END { flush() }')
+
+if [ -z "$benches" ]; then
+    echo "bench.sh: no benchmark results parsed (regex \"$bench\" matched nothing?)" >&2
+    exit 1
+fi
+
+printf '{"date":"%s","commit":"%s","dirty":%s,"go":"%s","benchtime":"%s","count":%s,"ns_op_median":{%s}}\n' \
+    "$date" "$commit" "$dirty" "$goversion" "$benchtime" "$count" "$benches" >> "$out"
+echo "bench.sh: appended $(printf '%s\n' "$benches" | tr ',' '\n' | wc -l) medians to $out" >&2
