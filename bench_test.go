@@ -456,6 +456,82 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// benchFastPathCase measures one membership question under both routes:
+// "auto" (the polynomial fast paths and enumeration pre-passes) and
+// "enumerate" (the pure enumeration oracle). The reference verdict is
+// computed once from the oracle and asserted on every iteration of both
+// routes, so the benchmark doubles as a differential check. The trajectory
+// gate in CI tracks the FastPath/... medians this emits.
+func benchFastPathCase(b *testing.B, name string, m model.Model, s *history.System) {
+	b.Helper()
+	ref, err := model.Router{Mode: model.RouteEnumerate}.AllowsCtx(context.Background(), m, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rt := range []model.Router{{Mode: model.RouteAuto}, {Mode: model.RouteEnumerate}} {
+		b.Run(name+"/"+rt.Mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v, err := rt.AllowsCtx(context.Background(), m, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.Allowed != ref.Allowed {
+					b.Fatalf("%s under %s route %s: allowed=%v, oracle says %v",
+						name, m.Name(), rt.Mode, v.Allowed, ref.Allowed)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastPath compares the routed fast paths against the enumeration
+// oracle on the checks they accelerate: the per-view models (SC, PRAM,
+// causal, coherence) where saturation plus greedy construction replaces
+// search, and the enumerating models (TSO, PC) where the forced-edge
+// pre-pass shrinks the candidate space. Corpus figures keep the workload
+// honest; the serializable and simulator-generated cases show the
+// polynomial paths at sizes where enumeration grows.
+func BenchmarkFastPath(b *testing.B) {
+	fromCorpus := func(test string) *history.System {
+		tc, err := litmus.ByName(test)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tc.History
+	}
+	benchFastPathCase(b, "SC/Fig1-SB", model.SC{}, fromCorpus("Fig1-SB"))
+	benchFastPathCase(b, "PRAM/Fig3-PRAM", model.PRAM{}, fromCorpus("Fig3-PRAM"))
+	benchFastPathCase(b, "Causal/Fig4-Causal", model.Causal{}, fromCorpus("Fig4-Causal"))
+	benchFastPathCase(b, "Coherence/CoRR", model.Coherence{}, fromCorpus("CoRR-single-writer"))
+	benchFastPathCase(b, "TSO/Fig2-WRC", model.TSO{}, fromCorpus("Fig2-WRC"))
+	benchFastPathCase(b, "PC/IRIW", model.PC{}, fromCorpus("IRIW"))
+
+	// A serializable 24-operation history: the greedy construction decides
+	// it in one pass where the solver searches.
+	bld := history.NewBuilder(2)
+	for i := 0; i < 12; i++ {
+		bld.Write(0, history.Loc(fmt.Sprintf("a%d", i%3)), history.Value(i+1))
+		bld.Read(1, history.Loc(fmt.Sprintf("a%d", i%3)), 0)
+	}
+	benchFastPathCase(b, "SC/serializable-24", model.SC{}, bld.System())
+
+	// A simulator-generated causal history: machine-made shapes rather than
+	// hand-picked litmus figures.
+	rng := rand.New(rand.NewSource(7))
+	sh := sim.RandomRun(sim.NewCausal(3), rng, sim.RandomRunConfig{
+		Ops: 12, MaxWrites: 6, PInternal: 0.4, DataLocs: []history.Loc{"x", "y"}})
+	benchFastPathCase(b, "Causal/sim-12", model.Causal{}, sh)
+
+	// Many concurrent writers: the TSO write-order enumeration is
+	// factorial in the writes; the pre-pass forces most of the order.
+	ms, err := history.Parse("p0: w(x)1 w(y)1 w(z)1\np1: w(x)2 w(y)2 w(z)2\np2: r(x)2 r(y)1 r(z)2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchFastPathCase(b, "TSO/many-writes", model.TSO{}, ms)
+}
+
 // BenchmarkCoherenceEnumeration shows PC's checking cost versus writes per
 // location (coherence candidates grow factorially with concurrent writers),
 // at each pool size.

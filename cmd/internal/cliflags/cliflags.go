@@ -1,6 +1,7 @@
 // Package cliflags registers the bounding and observability flags shared
 // by every command in this repository — -workers, -timeout, -budget,
-// -trace, -metrics, -report, -serve, -pprof — with one help text, and
+// -fastpath, -trace, -metrics, -report, -serve, -pprof — with one help
+// text, and
 // wires them into a context: the timeout and work budget bound every check
 // made under it, the trace sink receives structured JSONL events, the
 // metrics registry collects counters flushed as a JSON snapshot on exit,
@@ -44,6 +45,11 @@ type Flags struct {
 	// Budget bounds each check's work: max mutual-consistency candidates
 	// and max search nodes (0 = none).
 	Budget int64
+	// FastPath routes each model to its polynomial fast-path procedure
+	// when one exists (model.RouteAuto, the default); false pins every
+	// check to the exhaustive enumerator (model.RouteEnumerate), the
+	// differential oracle the fast paths are gated against.
+	FastPath bool
 	// Trace names the JSONL trace-event file ("-" = stderr).
 	Trace string
 	// Metrics names the exit metrics-snapshot file ("-" = stderr).
@@ -68,6 +74,8 @@ func Register(fs *flag.FlagSet) *Flags {
 		"wall-clock limit for the whole run (0 = none); exceeding it reports UNKNOWN, not an error")
 	fs.Int64Var(&f.Budget, "budget", 0,
 		"work budget per check: max candidates and max search nodes (0 = none)")
+	fs.BoolVar(&f.FastPath, "fastpath", true,
+		"route models to their polynomial fast-path checkers when one exists (false = always enumerate)")
 	fs.StringVar(&f.Trace, "trace", "",
 		"write structured trace events as JSONL to this file ('-' = stderr)")
 	fs.StringVar(&f.Metrics, "metrics", "",
@@ -106,6 +114,9 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 	}
 	if f.Budget > 0 {
 		ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: f.Budget, MaxNodes: f.Budget})
+	}
+	if !f.FastPath {
+		ctx = model.WithRoute(ctx, model.RouteEnumerate)
 	}
 
 	// -metrics, -report and -serve share one registry; the trace file, the

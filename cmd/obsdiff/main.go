@@ -8,9 +8,16 @@
 // serves both the CI regression gate (verdict-exact, stat-tolerant) and
 // local perf triage.
 //
+// With -bench the inputs are benchmark trajectory files instead
+// (JSONL appended by scripts/bench.sh): the last entry of each file is
+// compared, and a benchmark whose median ns/op grew beyond -max-bench —
+// or disappeared — fails the gate. -bench-filter restricts the gate to a
+// benchmark-name substring.
+//
 // Usage:
 //
-//	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-json] baseline.json new.json
+//	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-require-prune P]... [-json] baseline.json new.json
+//	obsdiff -bench [-max-bench R] [-bench-filter S] [-json] baseline.jsonl new.jsonl
 //
 // Exit status: 0 when the new report passes, 1 on any hard problem,
 // 2 on bad usage or unreadable input.
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/obs"
 )
@@ -29,6 +37,12 @@ import (
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (l *stringList) String() string     { return strings.Join(*l, ",") }
+func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
 
 // run is main without the process exit, for tests.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -40,9 +54,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"ignore stat growth below this absolute delta (noise floor)")
 	maxTime := fs.Float64("max-time", 0,
 		"fail when wall time grows beyond this ratio of the baseline (0 disables; only meaningful on like hardware)")
+	var requirePrune stringList
+	fs.Var(&requirePrune, "require-prune",
+		"fail when no model attributes a prune to this part in the new report (repeatable)")
+	benchMode := fs.Bool("bench", false,
+		"compare benchmark trajectory files (last JSONL entry each) instead of run reports")
+	maxBench := fs.Float64("max-bench", 1.25,
+		"with -bench: fail when a benchmark's median ns/op grows beyond this ratio of the baseline (0 disables)")
+	benchFilter := fs.String("bench-filter", "",
+		"with -bench: only gate benchmarks whose name contains this substring")
 	jsonOut := fs.Bool("json", false, "print the problem list as JSON")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: obsdiff [flags] baseline.json new.json")
+		fmt.Fprintln(stderr, "       obsdiff -bench [flags] baseline.jsonl new.jsonl")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,22 +77,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	baseline, err := readReport(fs.Arg(0))
-	if err != nil {
-		fmt.Fprintln(stderr, "obsdiff:", err)
-		return 2
+	var (
+		problems []obs.Problem
+		tally    string
+	)
+	if *benchMode {
+		baseline, err := readLastTrajectoryEntry(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "obsdiff:", err)
+			return 2
+		}
+		current, err := readLastTrajectoryEntry(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "obsdiff:", err)
+			return 2
+		}
+		problems = obs.DiffTrajectory(baseline, current, obs.TrajectoryOptions{
+			MaxBenchRatio: *maxBench,
+			Filter:        *benchFilter,
+		})
+		tally = fmt.Sprintf("entry %s vs %s, %d benchmarks vs %d",
+			baseline.Commit, current.Commit, len(baseline.Medians), len(current.Medians))
+	} else {
+		baseline, err := readReport(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "obsdiff:", err)
+			return 2
+		}
+		current, err := readReport(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "obsdiff:", err)
+			return 2
+		}
+		problems = obs.DiffReports(baseline, current, obs.DiffOptions{
+			MaxStatRatio:      *maxStat,
+			MinStat:           *minStat,
+			MaxTimeRatio:      *maxTime,
+			RequirePruneParts: requirePrune,
+		})
+		tally = fmt.Sprintf("%d checks vs %d", len(baseline.Checks), len(current.Checks))
 	}
-	current, err := readReport(fs.Arg(1))
-	if err != nil {
-		fmt.Fprintln(stderr, "obsdiff:", err)
-		return 2
-	}
-
-	problems := obs.DiffReports(baseline, current, obs.DiffOptions{
-		MaxStatRatio: *maxStat,
-		MinStat:      *minStat,
-		MaxTimeRatio: *maxTime,
-	})
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -89,8 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			hard++
 		}
 	}
-	fmt.Fprintf(stdout, "obsdiff: %d checks vs %d, %d problems (%d hard)\n",
-		len(baseline.Checks), len(current.Checks), len(problems), hard)
+	fmt.Fprintf(stdout, "obsdiff: %s, %d problems (%d hard)\n", tally, len(problems), hard)
 	if hard > 0 {
 		return 1
 	}
@@ -108,4 +155,20 @@ func readReport(path string) (*obs.Report, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, nil
+}
+
+func readLastTrajectoryEntry(path string) (obs.TrajectoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return obs.TrajectoryEntry{}, err
+	}
+	defer f.Close()
+	entries, err := obs.ReadTrajectory(f)
+	if err != nil {
+		return obs.TrajectoryEntry{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(entries) == 0 {
+		return obs.TrajectoryEntry{}, fmt.Errorf("%s: no trajectory entries", path)
+	}
+	return entries[len(entries)-1], nil
 }

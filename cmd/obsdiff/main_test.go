@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -71,6 +72,57 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `"kind": "verdict-flip"`) {
 		t.Errorf("JSON problems missing flip: %q", out.String())
+	}
+}
+
+// writeTrajectory writes a one-entry JSONL trajectory file.
+func writeTrajectory(t *testing.T, dir, name string, auto, enum float64) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	line := `{"date":"2026-08-01T00:00:00Z","commit":"abc1234","dirty":false,"go":"go1.24.0","benchtime":"1s","count":5,"ns_op_median":{"FastPath/SC/Fig1-SB/auto":` +
+		strconv.FormatFloat(auto, 'g', -1, 64) + `,"FastPath/SC/Fig1-SB/enumerate":` +
+		strconv.FormatFloat(enum, 'g', -1, 64) + `}}` + "\n"
+	if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBenchModePassesAndFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTrajectory(t, dir, "base.jsonl", 1000, 5000)
+	same := writeTrajectory(t, dir, "same.jsonl", 1100, 5200)
+	worse := writeTrajectory(t, dir, "worse.jsonl", 1600, 5200)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", base, same}, &out, &errb); code != 0 {
+		t.Fatalf("within-threshold: exit = %d; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-bench", base, worse}, &out, &errb); code != 1 {
+		t.Fatalf("1.6x regression: exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "bench-regression") {
+		t.Errorf("regression not reported: %q", out.String())
+	}
+	// The filter scopes the gate; a filter matching nothing fails loudly.
+	out.Reset()
+	if code := run([]string{"-bench", "-bench-filter", "NoSuchBench", base, worse}, &out, &errb); code != 1 {
+		t.Errorf("empty filter: exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+}
+
+func TestRunRequirePrune(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", false)
+	cur := writeReport(t, dir, "cur.json", false)
+	var out, errb bytes.Buffer
+	// Neither fixture report carries fastpath prune counters, so requiring
+	// the part must fail the new report.
+	if code := run([]string{"-require-prune", "fastpath", base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "prune-coverage") {
+		t.Errorf("prune-coverage not reported: %q", out.String())
 	}
 }
 

@@ -13,6 +13,12 @@ type DiffOptions struct {
 	// MaxTimeRatio fails a run whose wall time grew beyond old×ratio
 	// (0 disables — wall time only compares on like hardware).
 	MaxTimeRatio float64
+	// RequirePruneParts lists prune-attribution parts (e.g. "fastpath")
+	// that must appear with a nonzero count in some model of the NEW
+	// report. A required part that vanishes means the instrumentation —
+	// or the procedure it instruments — silently stopped running, which
+	// is a coverage loss no verdict comparison would catch.
+	RequirePruneParts []string
 }
 
 // Problem is one finding of a report comparison. Hard problems (verdict
@@ -108,6 +114,19 @@ func DiffReports(old, new *Report, opts DiffOptions) []Problem {
 			}
 			statCheck("candidates", om.Candidates, nm.Candidates)
 			statCheck("nodes", om.Nodes, nm.Nodes)
+		}
+	}
+
+	// Required prune parts: the gated report schema includes these
+	// attribution counters; their disappearance fails even when every
+	// verdict still matches.
+	for _, part := range opts.RequirePruneParts {
+		var total int64
+		for _, m := range new.Models {
+			total += m.Prunes[part]
+		}
+		if total == 0 {
+			add(true, "prune-coverage", "no model attributes any prune to required part %q in the new report", part)
 		}
 	}
 

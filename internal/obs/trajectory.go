@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TrajectoryEntry is one line of the benchmark trajectory file that
+// scripts/bench.sh appends to (BENCH_TRAJECTORY.jsonl): the median ns/op
+// per benchmark for one commit, plus enough provenance to judge whether
+// two entries are comparable at all.
+type TrajectoryEntry struct {
+	Date      string             `json:"date"`
+	Commit    string             `json:"commit"`
+	Dirty     bool               `json:"dirty"`
+	Go        string             `json:"go"`
+	Benchtime string             `json:"benchtime"`
+	Count     int                `json:"count"`
+	Medians   map[string]float64 `json:"ns_op_median"`
+}
+
+// ReadTrajectory parses a JSONL trajectory file: one entry per line,
+// blank lines skipped. Entries are returned oldest first, as appended.
+func ReadTrajectory(r io.Reader) ([]TrajectoryEntry, error) {
+	var out []TrajectoryEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e TrajectoryEntry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("trajectory line %d: %w", line, err)
+		}
+		if len(e.Medians) == 0 {
+			return nil, fmt.Errorf("trajectory line %d: no ns_op_median entries", line)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrajectoryOptions configures what DiffTrajectory treats as a
+// regression.
+type TrajectoryOptions struct {
+	// MaxBenchRatio fails a benchmark whose median ns/op grew beyond
+	// old×ratio (0 disables the ratio check; missing benchmarks still
+	// fail).
+	MaxBenchRatio float64
+	// Filter restricts the comparison to benchmarks whose name contains
+	// the substring ("" compares everything). The gate uses it to pin
+	// only the fast-path benchmarks while the file accumulates others.
+	Filter string
+}
+
+// DiffTrajectory compares a new trajectory entry against a baseline
+// entry. A benchmark present in the baseline but absent from the new
+// entry is a hard problem (the suite lost coverage); a median growing
+// beyond MaxBenchRatio is a hard problem; new benchmarks and differing
+// run configurations (benchtime, count, Go version) are notes — the
+// latter because medians from different configurations are weaker
+// evidence, not because they are wrong.
+func DiffTrajectory(old, new TrajectoryEntry, opts TrajectoryOptions) []Problem {
+	var out []Problem
+	add := func(hard bool, kind, format string, args ...any) {
+		out = append(out, Problem{Kind: kind, Hard: hard, Detail: fmt.Sprintf(format, args...)})
+	}
+	if old.Benchtime != new.Benchtime || old.Count != new.Count {
+		add(false, "bench-config", "baseline ran benchtime=%s count=%d, new ran benchtime=%s count=%d",
+			old.Benchtime, old.Count, new.Benchtime, new.Count)
+	}
+	if old.Go != new.Go {
+		add(false, "bench-config", "baseline ran %s, new ran %s", old.Go, new.Go)
+	}
+	matched := 0
+	for _, name := range sortedNames(old.Medians) {
+		if opts.Filter != "" && !strings.Contains(name, opts.Filter) {
+			continue
+		}
+		matched++
+		ov := old.Medians[name]
+		nv, ok := new.Medians[name]
+		if !ok {
+			add(true, "bench-missing", "%s: in baseline (%.4g ns/op), absent from new entry", name, ov)
+			continue
+		}
+		if opts.MaxBenchRatio > 0 && ov > 0 {
+			if ratio := nv / ov; ratio > opts.MaxBenchRatio {
+				add(true, "bench-regression", "%s: median %.4g → %.4g ns/op (%.2fx > %.2fx threshold)",
+					name, ov, nv, ratio, opts.MaxBenchRatio)
+			}
+		}
+	}
+	newBenches := 0
+	for name := range new.Medians {
+		if opts.Filter != "" && !strings.Contains(name, opts.Filter) {
+			continue
+		}
+		if _, ok := old.Medians[name]; !ok {
+			newBenches++
+		}
+	}
+	if newBenches > 0 {
+		add(false, "bench-new", "%d benchmarks in the new entry have no baseline counterpart", newBenches)
+	}
+	if matched == 0 {
+		add(true, "bench-missing", "no baseline benchmark matches filter %q — nothing gated", opts.Filter)
+	}
+	return out
+}

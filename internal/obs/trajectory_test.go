@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const trajectoryFixture = `{"date":"2026-08-01T00:00:00Z","commit":"aaaa111","dirty":false,"go":"go1.24.0","benchtime":"1s","count":5,"ns_op_median":{"FastPath/SC/Fig1-SB/auto":2700,"FastPath/SC/Fig1-SB/enumerate":2800,"ObsOverhead/Fig1-SB/TSO/metrics":9000}}
+
+{"date":"2026-08-02T00:00:00Z","commit":"bbbb222","dirty":true,"go":"go1.24.0","benchtime":"1s","count":5,"ns_op_median":{"FastPath/SC/Fig1-SB/auto":2650,"FastPath/SC/Fig1-SB/enumerate":2810,"ObsOverhead/Fig1-SB/TSO/metrics":9100}}
+`
+
+func TestReadTrajectory(t *testing.T) {
+	entries, err := ReadTrajectory(strings.NewReader(trajectoryFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (blank line skipped)", len(entries))
+	}
+	if entries[0].Commit != "aaaa111" || entries[1].Commit != "bbbb222" {
+		t.Errorf("commits = %q, %q", entries[0].Commit, entries[1].Commit)
+	}
+	if !entries[1].Dirty || entries[0].Dirty {
+		t.Errorf("dirty flags = %v, %v", entries[0].Dirty, entries[1].Dirty)
+	}
+	if got := entries[0].Medians["FastPath/SC/Fig1-SB/auto"]; got != 2700 {
+		t.Errorf("median = %g, want 2700", got)
+	}
+}
+
+func TestReadTrajectoryRejectsBadLines(t *testing.T) {
+	if _, err := ReadTrajectory(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed JSON line accepted")
+	}
+	if _, err := ReadTrajectory(strings.NewReader(`{"date":"d","commit":"c"}` + "\n")); err == nil {
+		t.Error("entry without medians accepted")
+	}
+}
+
+func mkEntry(medians map[string]float64) TrajectoryEntry {
+	return TrajectoryEntry{
+		Date: "2026-08-01T00:00:00Z", Commit: "abc", Go: "go1.24.0",
+		Benchtime: "1s", Count: 5, Medians: medians,
+	}
+}
+
+func TestDiffTrajectoryWithinThresholdPasses(t *testing.T) {
+	old := mkEntry(map[string]float64{"FastPath/a": 1000, "FastPath/b": 2000})
+	cur := mkEntry(map[string]float64{"FastPath/a": 1200, "FastPath/b": 1900})
+	problems := DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25})
+	if AnyHard(problems) {
+		t.Errorf("within-threshold drift flagged hard: %v", problems)
+	}
+}
+
+func TestDiffTrajectoryRegressionFails(t *testing.T) {
+	old := mkEntry(map[string]float64{"FastPath/a": 1000})
+	cur := mkEntry(map[string]float64{"FastPath/a": 1300})
+	problems := DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25})
+	if !AnyHard(problems) {
+		t.Fatalf("1.3x regression passed: %v", problems)
+	}
+	if problems[0].Kind != "bench-regression" {
+		t.Errorf("kind = %q, want bench-regression", problems[0].Kind)
+	}
+}
+
+func TestDiffTrajectoryMissingBenchmarkFails(t *testing.T) {
+	old := mkEntry(map[string]float64{"FastPath/a": 1000, "FastPath/b": 2000})
+	cur := mkEntry(map[string]float64{"FastPath/a": 1000})
+	problems := DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25})
+	found := false
+	for _, p := range problems {
+		if p.Kind == "bench-missing" && p.Hard {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("lost benchmark not flagged: %v", problems)
+	}
+}
+
+func TestDiffTrajectoryFilterScopesTheGate(t *testing.T) {
+	// The regression is outside the filter: the gate must ignore it.
+	old := mkEntry(map[string]float64{"FastPath/a": 1000, "ObsOverhead/x": 1000})
+	cur := mkEntry(map[string]float64{"FastPath/a": 1010, "ObsOverhead/x": 5000})
+	problems := DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25, Filter: "FastPath"})
+	if AnyHard(problems) {
+		t.Errorf("out-of-filter regression gated: %v", problems)
+	}
+	// A filter matching nothing is a configuration error, not a pass.
+	problems = DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25, Filter: "NoSuchBench"})
+	if !AnyHard(problems) {
+		t.Errorf("empty filter match passed: %v", problems)
+	}
+}
+
+func TestDiffTrajectoryConfigDriftIsSoft(t *testing.T) {
+	old := mkEntry(map[string]float64{"FastPath/a": 1000})
+	cur := mkEntry(map[string]float64{"FastPath/a": 1000})
+	cur.Benchtime, cur.Go = "200ms", "go1.25.0"
+	problems := DiffTrajectory(old, cur, TrajectoryOptions{MaxBenchRatio: 1.25})
+	if AnyHard(problems) {
+		t.Errorf("config drift flagged hard: %v", problems)
+	}
+	if len(problems) != 2 {
+		t.Errorf("want 2 soft bench-config notes, got %v", problems)
+	}
+}

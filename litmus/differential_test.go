@@ -1,0 +1,72 @@
+package litmus
+
+import (
+	"context"
+	"testing"
+
+	"repro/model"
+)
+
+// TestFastPathMatchesEnumeratorOnCorpus is the differential-oracle matrix
+// CI pins the fast paths against: every corpus history × every model ×
+// {1, 4} workers, checked under RouteAuto (the fast paths and pre-passes)
+// and under RouteEnumerate (the pure enumeration oracle). The two must
+// agree exactly — same error presence, same verdict — and every fast-path
+// witness must independently verify. A disagreement here is a soundness
+// bug in a fast path, never a corpus problem.
+func TestFastPathMatchesEnumeratorOnCorpus(t *testing.T) {
+	fast := model.Router{Mode: model.RouteAuto}
+	oracle := model.Router{Mode: model.RouteEnumerate}
+	ctx := context.Background()
+	for _, lt := range Corpus() {
+		for _, m := range model.All() {
+			for _, workers := range []int{1, 4} {
+				wm := model.WithWorkers(m, workers)
+				fv, ferr := fast.AllowsCtx(ctx, wm, lt.History)
+				ev, eerr := oracle.AllowsCtx(ctx, wm, lt.History)
+				if (ferr == nil) != (eerr == nil) {
+					t.Errorf("%s under %s workers=%d: fast err=%v, enumerator err=%v",
+						lt.Name, m.Name(), workers, ferr, eerr)
+					continue
+				}
+				if ferr != nil {
+					continue // both reject the history's shape identically
+				}
+				if !fv.Decided() || !ev.Decided() {
+					t.Errorf("%s under %s workers=%d: unbudgeted check undecided (fast=%v, enum=%v)",
+						lt.Name, m.Name(), workers, fv.Unknown, ev.Unknown)
+					continue
+				}
+				if fv.Allowed != ev.Allowed {
+					t.Errorf("%s under %s workers=%d: fast allowed=%v, enumerator allowed=%v",
+						lt.Name, m.Name(), workers, fv.Allowed, ev.Allowed)
+				}
+				if fv.Allowed {
+					if err := model.VerifyWitness(m, lt.History, fv.Witness); err != nil {
+						t.Errorf("%s under %s workers=%d: fast-path witness fails verification: %v",
+							lt.Name, m.Name(), workers, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathMatchesCorpusExpectations: the routed checks must also agree
+// with the corpus's pinned ground truth, not merely with the enumerator —
+// a belt-and-braces guard against a correlated bug in both procedures.
+func TestFastPathMatchesCorpusExpectations(t *testing.T) {
+	ctx := model.WithRoute(context.Background(), model.RouteAuto)
+	for _, lt := range Corpus() {
+		rs, err := RunCtx(ctx, lt, model.All())
+		if err != nil {
+			t.Fatalf("%s: %v", lt.Name, err)
+		}
+		for _, r := range rs {
+			if !r.Match() {
+				t.Errorf("%s under %s: fast-path allowed=%v, corpus expects %v",
+					r.Test, r.Model, r.Allowed, r.Expected)
+			}
+		}
+	}
+}

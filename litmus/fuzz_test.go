@@ -1,8 +1,11 @@
 package litmus
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"repro/model"
 )
 
 // FuzzReadTest: the litmus file parser must never panic, and accepted
@@ -27,6 +30,53 @@ func FuzzReadTest(f *testing.F) {
 		}
 		if back.Name != tc.Name || back.History.String() != tc.History.String() {
 			t.Fatal("round trip changed the test")
+		}
+	})
+}
+
+// FuzzFastPathDifferential feeds parser-accepted histories to every model
+// under both routes and demands identical outcomes: the fast paths
+// (RouteAuto) and the enumeration oracle (RouteEnumerate) must agree on
+// error presence and, whenever both decide within the budget, on the
+// verdict. This extends the corpus differential matrix to arbitrary
+// machine-generated histories.
+func FuzzFastPathDifferential(f *testing.F) {
+	f.Add("name: sb\n---\np0: w(x)1 r(y)0\np1: w(y)1 r(x)0")
+	f.Add("name: coh\n---\np0: w(x)1 r(x)1 r(x)2\np1: w(x)2 r(x)2 r(x)1")
+	f.Add("name: mp\n---\np0: w(x)1 w(y)1\np1: r(y)1 r(x)1")
+	f.Add("name: init\n---\np0: w(x)1\np1: r(x)1 r(x)0")
+	f.Add("name: rc\n---\np0: W(s)1 w(x)1 W(s)2\np1: R(s)2 r(x)1")
+	f.Fuzz(func(t *testing.T, text string) {
+		tc, err := ReadTest(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		if tc.History.NumOps() > 10 {
+			return // keep the enumeration oracle tractable per input
+		}
+		// The budget bounds pathological inputs; disagreements are only
+		// meaningful when both routes decide under it.
+		budget := model.Budget{MaxCandidates: 1 << 14, MaxNodes: 1 << 20}
+		for _, m := range model.All() {
+			fctx := model.WithBudget(model.WithRoute(context.Background(), model.RouteAuto), budget)
+			ectx := model.WithBudget(model.WithRoute(context.Background(), model.RouteEnumerate), budget)
+			fv, ferr := model.AllowsCtx(fctx, m, tc.History)
+			ev, eerr := model.AllowsCtx(ectx, m, tc.History)
+			if (ferr == nil) != (eerr == nil) {
+				t.Fatalf("%s: fast err=%v, enumerator err=%v", m.Name(), ferr, eerr)
+			}
+			if ferr != nil {
+				continue
+			}
+			if fv.Decided() && ev.Decided() && fv.Allowed != ev.Allowed {
+				t.Fatalf("%s: fast allowed=%v, enumerator allowed=%v on\n%s",
+					m.Name(), fv.Allowed, ev.Allowed, tc.History)
+			}
+			if fv.Decided() && fv.Allowed {
+				if err := model.VerifyWitness(m, tc.History, fv.Witness); err != nil {
+					t.Fatalf("%s: fast-path witness fails verification: %v", m.Name(), err)
+				}
+			}
 		}
 	})
 }

@@ -35,6 +35,16 @@ func hardHistory(t *testing.T, writers int) *history.System {
 	return s
 }
 
+// enumerating pins a context to the pure-enumeration oracle. The budget
+// tests below need the 12!-scale candidate space to actually be walked:
+// under the default RouteAuto the forced-edge pre-pass proves hardHistory
+// forbidden in polynomial time, which is correct but leaves nothing for a
+// deadline or work budget to starve. Fast-path budget soundness has its own
+// tests in fastpath_budget_test.go.
+func enumerating(ctx context.Context) context.Context {
+	return model.WithRoute(ctx, model.RouteEnumerate)
+}
+
 // TestDeadlineReturnsUnknownPromptly is the headline robustness check: a
 // 12!-scale (≈479 million candidate) unsatisfiable membership question
 // under a 100ms deadline must come back Unknown(model.DeadlineExceeded) within
@@ -44,7 +54,7 @@ func TestDeadlineReturnsUnknownPromptly(t *testing.T) {
 	const deadline = 100 * time.Millisecond
 	for _, workers := range []int{1, 4} {
 		m := model.TSO{Workers: workers}
-		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		ctx, cancel := context.WithTimeout(enumerating(context.Background()), deadline)
 		start := time.Now()
 		v, err := m.AllowsCtx(ctx, s)
 		elapsed := time.Since(start)
@@ -74,7 +84,7 @@ func TestBudgetExhaustionReturnsUnknown(t *testing.T) {
 	s := hardHistory(t, 10)
 	for _, workers := range []int{1, 4} {
 		m := model.TSO{Workers: workers}
-		ctx := model.WithBudget(context.Background(), model.Budget{MaxCandidates: 1000})
+		ctx := model.WithBudget(enumerating(context.Background()), model.Budget{MaxCandidates: 1000})
 		v, err := m.AllowsCtx(ctx, s)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
@@ -94,7 +104,7 @@ func TestBudgetExhaustionReturnsUnknown(t *testing.T) {
 func TestNodeBudgetExhaustion(t *testing.T) {
 	s := hardHistory(t, 10)
 	m := model.TSO{}
-	ctx := model.WithBudget(context.Background(), model.Budget{MaxNodes: 2000})
+	ctx := model.WithBudget(enumerating(context.Background()), model.Budget{MaxNodes: 2000})
 	v, err := m.AllowsCtx(ctx, s)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +227,7 @@ func TestWorkerPanicContained(t *testing.T) {
 
 	s := hardHistory(t, 6) // 720 candidates: well past the parallel threshold
 	m := model.TSO{Workers: 4}
-	_, err := m.AllowsCtx(context.Background(), s)
+	_, err := m.AllowsCtx(enumerating(context.Background()), s)
 	if err == nil {
 		t.Fatal("expected a contained panic error, got success")
 	}

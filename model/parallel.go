@@ -52,6 +52,15 @@ type run struct {
 	workers int
 	probe   *obs.Probe
 	endTask func()
+	// route is the context's RouteMode, resolved once: RouteAuto engages
+	// the polynomial fast paths and enumeration pre-passes (fastpath.go),
+	// RouteEnumerate keeps the check on the pure enumeration oracle.
+	route RouteMode
+	// arena recycles the candidate-local Relation clones the enumerating
+	// checkers build per candidate (prec = base ∪ chain); the solver copies
+	// the precedence into its own bitmasks, so a released buffer is free
+	// for the next candidate on any worker.
+	arena sync.Pool
 	// frontier is raised (atomic max, flushed once per view search) to the
 	// deepest partial linearization any solver of this check reached — the
 	// constraint frontier reported by forbidden and Unknown verdicts.
@@ -65,11 +74,31 @@ type run struct {
 // calls then pay nothing over the pre-budget code (and report zero
 // Progress); likewise an un-instrumented context leaves the probe nil.
 func newRun(ctx context.Context, name string, workers int, s *history.System) *run {
-	r := &run{ctx: ctx, workers: workers}
+	r := &run{ctx: ctx, workers: workers, route: RouteFromContext(ctx)}
 	r.probe = obs.Start(ctx, name, s.NumOps(), s.NumProcs())
 	r.ctx, r.endTask = obs.TaskRegion(ctx, "check", name)
 	r.arm()
 	return r
+}
+
+// cloneRel returns a copy of src drawn from the run's arena, to be handed
+// back with releaseRel once the candidate it serves has been tested.
+func (r *run) cloneRel(src *order.Relation) *order.Relation {
+	if v := r.arena.Get(); v != nil {
+		rel := v.(*order.Relation)
+		rel.CopyFrom(src)
+		return rel
+	}
+	return src.Clone()
+}
+
+// releaseRel recycles a candidate-local relation. Callers must not retain
+// rel afterwards; the view solver copies what it needs, so release is safe
+// immediately after solveViews returns.
+func (r *run) releaseRel(rel *order.Relation) {
+	if rel != nil {
+		r.arena.Put(rel)
+	}
 }
 
 // instrumented reports whether the check carries a live probe; checkers

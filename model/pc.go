@@ -48,7 +48,14 @@ func (m PC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	po := order.Program(s)
 	ppo := order.PartialProgram(s)
 	r := newRun(ctx, "PC", m.Workers, s)
-	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+	candRel, decided, err := r.coherencePrepass(s, po, ppo)
+	if err != nil {
+		return r.finish(nil, err)
+	}
+	if decided {
+		return r.finish(nil, nil)
+	}
+	witness, err := r.searchCoherence(s, candRel, func(coh *order.Coherence) (*Witness, error) {
 		sem, err := order.SemiCausal(s, coh)
 		if err != nil {
 			return nil, err
@@ -58,7 +65,7 @@ func (m PC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 			return nil, nil // incompatible coherence order; try next
 		}
 		cohRel := coh.Relation(s)
-		prec := sem.Clone()
+		prec := r.cloneRel(sem)
 		prec.Union(cohRel)
 		var parts []search.Part
 		if r.instrumented() {
@@ -66,12 +73,50 @@ func (m PC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 				{Name: "coherence", Rel: cohRel}, {Name: "sem", Rel: sem}}
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}
 		return &Witness{Views: views, Coherence: coherenceWitness(coh)}, nil
 	})
 	return r.finish(witness, err)
+}
+
+// coherencePrepass is the shared RouteAuto pre-pass of the coherence-
+// enumerating checkers (PC, PCG): saturate each processor's view problem
+// under base and fold the forced same-location write→write edges — which
+// every view, and therefore the shared coherence order, must respect —
+// into the relation the per-location candidate extensions are generated
+// from. decided=true means a forced cycle already forbids the history. On
+// RouteEnumerate (or ambiguous reads-from) the returned relation is po
+// itself and the enumeration is unpruned.
+func (r *run) coherencePrepass(s *history.System, po, base *order.Relation) (candRel *order.Relation, decided bool, err error) {
+	if !r.fastpath() {
+		return po, false, nil
+	}
+	// With at most one write per location, every per-location order is a
+	// singleton: there is nothing to prune and the enumeration below is
+	// already trivial, so the saturation pass would be pure overhead.
+	prunable := false
+	for _, loc := range s.Locs() {
+		if len(s.WritesTo(loc)) > 1 {
+			prunable = true
+			break
+		}
+	}
+	if !prunable {
+		return po, false, nil
+	}
+	forced, decided, err := r.forcedWriteEdges(s, base, true)
+	if err != nil || decided {
+		return po, decided, err
+	}
+	if forced == nil {
+		return po, false, nil
+	}
+	candRel = po.Clone()
+	candRel.Union(forced)
+	return candRel, false, nil
 }
 
 // PCG is Goodman's processor consistency (Goodman 1989, as formalized by
@@ -102,15 +147,23 @@ func (m PCG) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) 
 	}
 	po := order.Program(s)
 	r := newRun(ctx, "PCG", m.Workers, s)
-	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
+	candRel, decided, err := r.coherencePrepass(s, po, po)
+	if err != nil {
+		return r.finish(nil, err)
+	}
+	if decided {
+		return r.finish(nil, nil)
+	}
+	witness, err := r.searchCoherence(s, candRel, func(coh *order.Coherence) (*Witness, error) {
 		cohRel := coh.Relation(s)
-		prec := po.Clone()
+		prec := r.cloneRel(po)
 		prec.Union(cohRel)
 		var parts []search.Part
 		if r.instrumented() {
 			parts = []search.Part{{Name: "po", Rel: po}, {Name: "coherence", Rel: cohRel}}
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -182,7 +235,7 @@ func (m CausalLabeledCoherent) AllowsCtx(ctx context.Context, s *history.System)
 		sizes[i] = len(c)
 	}
 	witness, err := r.searchProducts(sizes, func(idx []int) (*Witness, error) {
-		prec := co.Clone()
+		prec := r.cloneRel(co)
 		coh := make(map[history.Loc]history.View, len(locs))
 		for i, loc := range locs {
 			seq := candidates[i][idx[i]]
@@ -198,6 +251,7 @@ func (m CausalLabeledCoherent) AllowsCtx(ctx context.Context, s *history.System)
 			parts = append(causalParts(s, co), search.Part{Name: "coherence", Rel: chain})
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -242,13 +296,14 @@ func (m CausalCoherent) AllowsCtx(ctx context.Context, s *history.System) (Verdi
 	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		cohRel := coh.Relation(s)
-		prec := co.Clone()
+		prec := r.cloneRel(co)
 		prec.Union(cohRel)
 		var parts []search.Part
 		if r.instrumented() {
 			parts = append(causalParts(s, co), search.Part{Name: "coherence", Rel: cohRel})
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}

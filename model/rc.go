@@ -105,8 +105,9 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		cohRel := coh.Relation(s)
-		prec0 := base.Clone()
+		prec0 := r.cloneRel(base)
 		prec0.Union(cohRel)
+		defer r.releaseRel(prec0)
 		var parts []search.Part
 		if r.instrumented() {
 			parts = append(baseParts[:len(baseParts):len(baseParts)],
@@ -134,7 +135,7 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 			r.probe.Constraint("sem-cycle", "labeled-subhistory semi-causal order is cyclic under this coherence order")
 			return nil, nil
 		}
-		prec := prec0.Clone()
+		prec := r.cloneRel(prec0)
 		var sem *order.Relation
 		if parts != nil {
 			sem = order.New(s.NumOps())
@@ -149,6 +150,7 @@ func rcAllows(ctx context.Context, name string, s *history.System, labeledSC boo
 			parts = append(parts, search.Part{Name: "sem", Rel: sem})
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}
@@ -182,7 +184,7 @@ func rcscLabeledSearch(r *run, s *history.System, labeled []history.OpID, po *or
 			r.probe.Constraint("labeled-vs-coherence", "labeled serialization contradicts the coherence order")
 			return true
 		}
-		prec := prec0.Clone()
+		prec := r.cloneRel(prec0)
 		addChain(prec, t)
 		candParts := parts
 		if candParts != nil {
@@ -192,6 +194,7 @@ func rcscLabeledSearch(r *run, s *history.System, labeled []history.OpID, po *or
 				search.Part{Name: "labeled-order", Rel: chain})
 		}
 		views, err := r.solveViews(s, prec, candParts)
+		r.releaseRel(prec)
 		if err != nil {
 			innerErr = err
 			return false

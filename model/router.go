@@ -1,0 +1,94 @@
+package model
+
+import (
+	"context"
+	"fmt"
+
+	"repro/history"
+)
+
+// RouteMode selects which family of decision procedures a check uses.
+// Routing travels on the context (WithRoute) for the same reason budgets
+// do: it must cross the whole stack — litmus runs, relate sweeps, explorer
+// expansions — without threading a parameter through every layer.
+type RouteMode uint8
+
+const (
+	// RouteAuto — the default — dispatches each model to its cheapest
+	// sound procedure: the polynomial fast paths for SC, PRAM, causal and
+	// coherence, the forced-edge pre-pass ahead of TSO/PC/PCG enumeration,
+	// and plain enumeration everywhere else. Verdicts are identical to
+	// RouteEnumerate on every input; only the work differs.
+	RouteAuto RouteMode = iota
+	// RouteEnumerate forces the pure enumeration procedures — the
+	// differential oracle the fast paths are pinned against in CI.
+	RouteEnumerate
+)
+
+// String renders the mode for CLI output and test names.
+func (m RouteMode) String() string {
+	switch m {
+	case RouteAuto:
+		return "auto"
+	case RouteEnumerate:
+		return "enumerate"
+	}
+	return fmt.Sprintf("RouteMode(%d)", uint8(m))
+}
+
+type routeKey struct{}
+
+// WithRoute attaches a route mode to the context; every AllowsCtx call
+// under the returned context uses it. Contexts without a mode default to
+// RouteAuto.
+func WithRoute(ctx context.Context, mode RouteMode) context.Context {
+	return context.WithValue(ctx, routeKey{}, mode)
+}
+
+// RouteFromContext returns the route mode attached by WithRoute, or
+// RouteAuto when none is attached.
+func RouteFromContext(ctx context.Context) RouteMode {
+	if m, ok := ctx.Value(routeKey{}).(RouteMode); ok {
+		return m
+	}
+	return RouteAuto
+}
+
+// Router checks histories under a fixed route mode. It is a thin,
+// explicit alternative to WithRoute for callers that hold both procedures
+// side by side — the differential tests and benchmarks compare
+// Router{RouteAuto} against Router{RouteEnumerate} on identical inputs.
+type Router struct {
+	Mode RouteMode
+}
+
+// AllowsCtx checks m against s with the router's mode attached, observing
+// the context's deadline, cancellation and budget exactly like the
+// package-level AllowsCtx.
+func (rt Router) AllowsCtx(ctx context.Context, m Model, s *history.System) (Verdict, error) {
+	return AllowsCtx(WithRoute(ctx, rt.Mode), m, s)
+}
+
+// Procedure names the decision procedure the router dispatches m to under
+// RouteAuto. The table is documentation made executable — README's
+// model→procedure table is generated from the same switch — and the
+// differential tests iterate All() against it to keep the two in sync.
+func Procedure(m Model) string {
+	switch m.(type) {
+	case SC:
+		return "saturate + greedy construction (pruned search fallback)"
+	case PRAM:
+		return "per-process saturate + greedy construction"
+	case Causal:
+		return "per-process saturate + greedy construction over causal order"
+	case Coherence:
+		return "per-location saturate + greedy construction"
+	case TSO:
+		return "forced-edge pre-pass + write-order enumeration"
+	case PC:
+		return "forced-edge pre-pass + coherence enumeration"
+	case PCG:
+		return "forced-edge pre-pass + coherence enumeration"
+	}
+	return "enumeration"
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"context"
+	"errors"
 
 	"repro/history"
 	"repro/internal/search"
@@ -31,11 +32,23 @@ func (SC) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	}
 	po := order.Program(s)
 	r := newRun(ctx, "SC", 1, s)
-	var parts []search.Part
-	if r.instrumented() {
-		parts = []search.Part{{Name: "po", Rel: po}}
+	var (
+		v   history.View
+		ok  bool
+		err error
+	)
+	if r.fastpath() {
+		v, ok, err = r.fastFindView(s, s.Ops(), po, "po",
+			func() string { return "the common serialization" })
 	}
-	v, ok, err := search.FindView(r.problem(s, s.Ops(), po, parts))
+	if !r.fastpath() || errors.Is(err, errFastPathUnavailable) {
+		// Enumeration oracle, or ambiguous reads-from: plain memoized search.
+		var parts []search.Part
+		if r.instrumented() {
+			parts = []search.Part{{Name: "po", Rel: po}}
+		}
+		v, ok, err = search.FindView(r.problem(s, s.Ops(), po, parts))
+	}
 	if err != nil || !ok {
 		return r.finish(nil, err)
 	}
@@ -68,6 +81,15 @@ func (PRAM) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	}
 	po := order.Program(s)
 	r := newRun(ctx, "PRAM", 1, s)
+	if r.fastpath() {
+		views, err := r.fastViews(s, po, "po")
+		if err == nil || !errors.Is(err, errFastPathUnavailable) {
+			if err != nil || views == nil {
+				return r.finish(nil, err)
+			}
+			return r.finish(&Witness{Views: views}, nil)
+		}
+	}
 	var parts []search.Part
 	if r.instrumented() {
 		parts = []search.Part{{Name: "po", Rel: po}}
@@ -109,6 +131,15 @@ func (Causal) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error)
 		// causally follows it) admits no views at all.
 		r.probe.Constraint("causal-cycle", "causal order (po ∪ wb)+ is cyclic")
 		return r.finish(nil, nil)
+	}
+	if r.fastpath() {
+		// order.Causal already resolved reads-from, so the fast path
+		// always applies: saturate forced edges on top of →co per view.
+		views, err := r.fastViews(s, co, "causal")
+		if err != nil || views == nil {
+			return r.finish(nil, err)
+		}
+		return r.finish(&Witness{Views: views}, nil)
 	}
 	var parts []search.Part
 	if r.instrumented() {
@@ -161,7 +192,18 @@ func (Coherence) AllowsCtx(ctx context.Context, s *history.System) (Verdict, err
 	sers := make(map[history.Loc]history.View)
 	for _, loc := range s.Locs() {
 		ops := s.OpsOn(loc)
-		v, ok, err := search.FindView(r.problem(s, ops, po, parts))
+		var (
+			v   history.View
+			ok  bool
+			err error
+		)
+		if r.fastpath() {
+			v, ok, err = r.fastFindView(s, ops, po, "po",
+				func() string { return "location " + string(loc) })
+		}
+		if !r.fastpath() || errors.Is(err, errFastPathUnavailable) {
+			v, ok, err = search.FindView(r.problem(s, ops, po, parts))
+		}
 		if err != nil || !ok {
 			return r.finish(nil, err)
 		}

@@ -46,22 +46,46 @@ func (m TSO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) 
 	writes := s.Writes()
 
 	r := newRun(ctx, "TSO", m.Workers, s)
-	witness, err := r.searchLinearExtensions(len(writes), func(a, b int) bool {
+	before := func(a, b int) bool {
 		return po.Has(writes[a], writes[b])
-	}, func(ord []int) (*Witness, error) {
+	}
+	var forced *order.Relation
+	if r.fastpath() {
+		// Pre-pass: every forced write→write edge of any processor's view
+		// is an edge of the agreed global write order, so it prunes the
+		// linear-extension space up front; a forced cycle forbids outright.
+		f, decided, err := r.forcedWriteEdges(s, ppo, false)
+		if err != nil {
+			return r.finish(nil, err)
+		}
+		if decided {
+			return r.finish(nil, nil)
+		}
+		if forced = f; forced != nil {
+			before = func(a, b int) bool {
+				return po.Has(writes[a], writes[b]) || forced.Has(writes[a], writes[b])
+			}
+		}
+	}
+	witness, err := r.searchLinearExtensions(len(writes), before, func(ord []int) (*Witness, error) {
 		wseq := make([]history.OpID, len(ord))
 		for i, k := range ord {
 			wseq[i] = writes[k]
 		}
-		prec := ppo.Clone()
+		prec := r.cloneRel(ppo)
 		addChain(prec, wseq)
 		var parts []search.Part
 		if r.instrumented() {
 			chain := order.New(s.NumOps())
 			addChain(chain, wseq)
-			parts = []search.Part{{Name: "ppo", Rel: ppo}, {Name: "write-order", Rel: chain}}
+			parts = []search.Part{{Name: "ppo", Rel: ppo}}
+			if forced != nil {
+				parts = append(parts, search.Part{Name: "fastpath", Rel: forced})
+			}
+			parts = append(parts, search.Part{Name: "write-order", Rel: chain})
 		}
 		views, err := r.solveViews(s, prec, parts)
+		r.releaseRel(prec)
 		if err != nil || views == nil {
 			return nil, err
 		}

@@ -77,7 +77,7 @@ func (m WO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 	}
 	witness, err := r.searchCoherence(s, po, func(coh *order.Coherence) (*Witness, error) {
 		cohRel := coh.Relation(s)
-		prec0 := base.Clone()
+		prec0 := r.cloneRel(base)
 		prec0.Union(cohRel)
 		var parts []search.Part
 		if r.instrumented() {
@@ -85,6 +85,7 @@ func (m WO) AllowsCtx(ctx context.Context, s *history.System) (Verdict, error) {
 				search.Part{Name: "coherence", Rel: cohRel})
 		}
 		w, err := rcscLabeledSearch(r, s, labeled, po, coh, prec0, parts)
+		r.releaseRel(prec0)
 		if err != nil || w == nil {
 			return nil, err
 		}

@@ -59,6 +59,25 @@ func (r *Relation) Clone() *Relation {
 	return c
 }
 
+// Reset removes every pair, keeping the allocation for reuse.
+func (r *Relation) Reset() {
+	for i := range r.rows {
+		r.rows[i] = 0
+	}
+}
+
+// CopyFrom makes r an exact copy of other, reusing r's storage when the
+// two relations range over the same operation count. Checkers that clone a
+// base relation once per enumerated candidate use it to recycle buffers
+// through an arena instead of allocating a fresh matrix each time.
+func (r *Relation) CopyFrom(other *Relation) {
+	if r.n != other.n || len(r.rows) != len(other.rows) {
+		r.n, r.words = other.n, other.words
+		r.rows = make([]uint64, len(other.rows))
+	}
+	copy(r.rows, other.rows)
+}
+
 // Union adds every pair of other into r. The relations must range over the
 // same operation count.
 func (r *Relation) Union(other *Relation) {

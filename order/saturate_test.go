@@ -1,0 +1,134 @@
+package order
+
+import (
+	"testing"
+
+	"repro/history"
+)
+
+func parseSat(t *testing.T, text string) *history.System {
+	t.Helper()
+	s, err := history.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return s
+}
+
+// opID resolves the operation with the given kind/location/value, so tests
+// do not depend on the parser's ID assignment order.
+func opID(t *testing.T, s *history.System, kind history.Kind, loc history.Loc, val history.Value) history.OpID {
+	t.Helper()
+	for _, id := range s.Ops() {
+		o := s.Op(id)
+		if o.Kind == kind && o.Loc == loc && o.Value == val {
+			return id
+		}
+	}
+	t.Fatalf("no operation %v(%s)%d in history", kind, loc, val)
+	return history.NoOp
+}
+
+// TestSaturateForcedReadsFromAndCoRW: the reader's view of
+// p0: w(x)1 w(x)2 / p1: r(x)1 must force w(x)1 → r(x)1 (reads-from) and,
+// because w(x)1 → w(x)2 is program order, r(x)1 → w(x)2 (read→write
+// coherence: w(x)2 between the writer and the read would bury value 1).
+func TestSaturateForcedReadsFromAndCoRW(t *testing.T) {
+	s := parseSat(t, "p0: w(x)1 w(x)2\np1: r(x)1")
+	w1 := opID(t, s, history.Write, "x", 1)
+	w2 := opID(t, s, history.Write, "x", 2)
+	r1 := opID(t, s, history.Read, "x", 1)
+
+	rel := Program(s)
+	acyclic, rounds, err := SaturateForced(s, s.ViewOps(1), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acyclic {
+		t.Fatal("reported cyclic; the history is SC-allowed")
+	}
+	if rounds < 1 {
+		t.Errorf("rounds = %d, want ≥ 1", rounds)
+	}
+	if !rel.Has(w1, r1) {
+		t.Error("missing reads-from edge w(x)1 → r(x)1")
+	}
+	if !rel.Has(r1, w2) {
+		t.Error("missing read→write coherence edge r(x)1 → w(x)2")
+	}
+}
+
+// TestSaturateForcedCoWR: in p0's view of p0: w(x)1 r(x)2 / p1: w(x)2 the
+// read observed w(x)2 while w(x)1 precedes the read in program order, so
+// w(x)1 → w(x)2 is forced (write→read coherence: w(x)1 between w(x)2 and
+// the read would change its value).
+func TestSaturateForcedCoWR(t *testing.T) {
+	s := parseSat(t, "p0: w(x)1 r(x)2\np1: w(x)2")
+	w1 := opID(t, s, history.Write, "x", 1)
+	w2 := opID(t, s, history.Write, "x", 2)
+
+	rel := Program(s)
+	acyclic, _, err := SaturateForced(s, s.ViewOps(0), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acyclic {
+		t.Fatal("reported cyclic; a legal view exists (w1 w2 r2)")
+	}
+	if !rel.Has(w1, w2) {
+		t.Error("missing write→read coherence edge w(x)1 → w(x)2")
+	}
+}
+
+// TestSaturateForcedDetectsForcedCycle: p1 reads 1 then the initial 0 from
+// the same location; the initial read forces r(x)0 before w(x)1, program
+// order forces r(x)1 before r(x)0, and reads-from forces w(x)1 before
+// r(x)1 — a cycle, so p1 has no legal view under any model with δp ⊇ own
+// operations.
+func TestSaturateForcedDetectsForcedCycle(t *testing.T) {
+	s := parseSat(t, "p0: w(x)1\np1: r(x)1 r(x)0")
+	rel := Program(s)
+	acyclic, _, err := SaturateForced(s, s.ViewOps(1), rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acyclic {
+		t.Fatal("missed the forced cycle w(x)1 → r(x)1 → r(x)0 → w(x)1")
+	}
+}
+
+// TestSaturateForcedAmbiguousRead: a read whose value no write stores (and
+// which is not the initial value) cannot be resolved; SaturateForced must
+// surface the resolution error so callers fall back to plain search.
+func TestSaturateForcedAmbiguousRead(t *testing.T) {
+	s := parseSat(t, "p0: w(x)1\np1: r(x)2")
+	rel := Program(s)
+	if _, _, err := SaturateForced(s, s.ViewOps(1), rel); err == nil {
+		t.Fatal("expected a resolution error for r(x)2 with no writer")
+	}
+}
+
+// TestSaturateForcedResultIsClosed: the saturated relation must be
+// transitively closed — callers hand it directly to the view solver, whose
+// pruning assumes closure.
+func TestSaturateForcedResultIsClosed(t *testing.T) {
+	s := parseSat(t, "p0: w(x)1 w(y)1\np1: r(y)1 r(x)1")
+	rel := Program(s)
+	acyclic, _, err := SaturateForced(s, s.ViewOps(1), rel)
+	if err != nil || !acyclic {
+		t.Fatalf("acyclic=%v err=%v, want true, nil", acyclic, err)
+	}
+	n := s.NumOps()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if !rel.Has(history.OpID(a), history.OpID(b)) {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				if rel.Has(history.OpID(b), history.OpID(c)) && !rel.Has(history.OpID(a), history.OpID(c)) {
+					t.Fatalf("not closed: %d→%d and %d→%d but no %d→%d", a, b, b, c, a, c)
+				}
+			}
+		}
+	}
+}

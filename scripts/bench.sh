@@ -8,14 +8,14 @@
 #   ./scripts/bench.sh [trajectory-file]      # default: BENCH_TRAJECTORY.jsonl
 #
 # Environment:
-#   BENCH      benchmark regex          (default: ObsOverhead|BudgetOverhead)
+#   BENCH      benchmark regex          (default: ObsOverhead|BudgetOverhead|FastPath)
 #   BENCHTIME  go test -benchtime value (default: 1s)
 #   COUNT      repetitions for medians  (default: 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_TRAJECTORY.jsonl}
-bench=${BENCH:-'ObsOverhead|BudgetOverhead'}
+bench=${BENCH:-'ObsOverhead|BudgetOverhead|FastPath'}
 benchtime=${BENCHTIME:-1s}
 count=${COUNT:-5}
 
