@@ -1,13 +1,17 @@
 // Package cliflags registers the bounding and observability flags shared
 // by every command in this repository — -workers, -timeout, -budget,
-// -fastpath, -trace, -metrics, -report, -serve, -pprof — with one help
-// text, and
+// -fastpath, -trace, -metrics, -report, -serve, -drain-timeout, -degrade,
+// -faults, -pprof — with one help text, and
 // wires them into a context: the timeout and work budget bound every check
 // made under it, the trace sink receives structured JSONL events, the
 // metrics registry collects counters flushed as a JSON snapshot on exit,
 // -report writes a structured run report (obs.Report) for cmd/obsdiff, and
-// -serve starts the live observability HTTP service (Prometheus /metrics,
-// SSE /trace, /runs, pprof) for the duration of the run.
+// -serve starts the live observability HTTP service for the duration of
+// the run — Prometheus /metrics, SSE /trace, /runs, pprof, plus the
+// checking service itself: POST /check with tiered admission control,
+// bounded by -drain-timeout at shutdown and shedding per -degrade.
+// -faults (or FAULT_INJECT in the environment) arms the internal/fault
+// chaos points for the whole run.
 //
 // Usage, from a command's main:
 //
@@ -30,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obshttp"
 	"repro/model"
@@ -58,8 +63,20 @@ type Flags struct {
 	// obs.Report JSON artifact cmd/obsdiff compares across runs.
 	Report string
 	// Serve is the listen address of the live observability HTTP service
-	// ("" = off; ":0" picks a free port, printed to stderr).
+	// ("" = off; ":0" picks a free port, printed to stderr). The service
+	// also exposes POST /check — membership checking over HTTP with
+	// admission control — plus /healthz and /readyz.
 	Serve string
+	// DrainTimeout bounds -serve's graceful shutdown: how long queued and
+	// in-flight POST /check work may finish before being hard-cancelled.
+	DrainTimeout time.Duration
+	// Degrade selects the service's shed mode: over-capacity checks
+	// answer 200 Unknown{reason:"shed"} instead of 429 Too Many Requests.
+	Degrade bool
+	// Faults arms fault-injection points for chaos runs, e.g.
+	// "svc.worker=delay:50ms@p:0.1" (see internal/fault; also readable
+	// from the FAULT_INJECT environment variable).
+	Faults string
 	// Pprof names the CPU-profile file; with a ".trace" suffix a Go
 	// runtime execution trace is written instead.
 	Pprof string
@@ -83,7 +100,13 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Report, "report", "",
 		"write a structured run report (verdicts, work, prune attribution, wall time) as JSON to this file on exit ('-' = stderr); compare reports with cmd/obsdiff")
 	fs.StringVar(&f.Serve, "serve", "",
-		"serve live observability HTTP on this address while the run lasts (':0' picks a free port): /metrics (Prometheus), /metrics.json, /trace (SSE), /runs, /debug/pprof/")
+		"serve live observability HTTP on this address while the run lasts (':0' picks a free port): POST /check, /metrics (Prometheus), /metrics.json, /trace (SSE), /runs, /healthz, /readyz, /debug/pprof/")
+	fs.DurationVar(&f.DrainTimeout, "drain-timeout", 5*time.Second,
+		"graceful-shutdown bound for -serve: how long queued and in-flight POST /check work may finish before being hard-cancelled")
+	fs.BoolVar(&f.Degrade, "degrade", false,
+		"shed over-capacity POST /check work as 200 Unknown{reason:\"shed\"} instead of 429 Too Many Requests")
+	fs.StringVar(&f.Faults, "faults", "",
+		"arm fault-injection points for chaos runs, e.g. 'svc.worker=delay:50ms@p:0.1,pool.drain=panic:chaos@nth:100' (see internal/fault)")
 	fs.StringVar(&f.Pprof, "pprof", "",
 		"write a CPU profile to this file (a .trace suffix writes a Go execution trace for `go tool trace` instead)")
 	return f
@@ -104,6 +127,20 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			if err := down[i](); err != nil {
 				fmt.Fprintln(os.Stderr, "cliflags:", err)
 			}
+		}
+	}
+
+	// Fault injection arms first (FAULT_INJECT env, then the -faults
+	// flag), so every later layer — including the -serve service — runs
+	// under the requested chaos.
+	if err := fault.Init(); err != nil {
+		teardown()
+		return nil, nil, fmt.Errorf("FAULT_INJECT: %w", err)
+	}
+	if f.Faults != "" {
+		if err := fault.Apply(f.Faults); err != nil {
+			teardown()
+			return nil, nil, fmt.Errorf("-faults: %w", err)
 		}
 	}
 
@@ -180,15 +217,23 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 
 	if f.Serve != "" {
 		srv := obshttp.New(reg, 0)
+		srv.EnableCheck(obshttp.CheckOptions{
+			Workers:      f.Workers,
+			Degrade:      f.Degrade,
+			DrainTimeout: f.DrainTimeout,
+			Enumerate:    !f.FastPath,
+		})
 		addr, err := srv.Start(f.Serve)
 		if err != nil {
 			teardown()
 			return nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (/metrics /trace /runs /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (POST /check, /metrics /trace /runs /healthz /readyz /debug/pprof/)\n", addr)
 		sinks = append(sinks, srv.Sink())
 		down = append(down, func() error {
-			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			// The shutdown budget covers the service drain (bounded by
+			// -drain-timeout inside) plus connection teardown.
+			sctx, cancel := context.WithTimeout(context.Background(), f.DrainTimeout+5*time.Second)
 			defer cancel()
 			return srv.Shutdown(sctx)
 		})

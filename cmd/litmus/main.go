@@ -8,7 +8,8 @@
 //
 //	litmus [-test NAME] [-models SC,TSO,...] [-workers N] [-timeout D]
 //	       [-budget N] [-trace FILE] [-metrics FILE] [-report FILE]
-//	       [-serve ADDR] [-pprof FILE]
+//	       [-serve ADDR] [-drain-timeout D] [-degrade] [-faults SPEC]
+//	       [-pprof FILE]
 //
 // With -timeout or -budget, a check cut short renders as "unknown" and is
 // tallied separately; only genuine verdict mismatches affect the exit code.
@@ -16,7 +17,8 @@
 // -metrics snapshots the counters on exit. -report writes the structured
 // run report (per-check verdicts, work, prune attribution) that the CI
 // regression gate diffs with cmd/obsdiff; -serve exposes the run live over
-// HTTP (Prometheus /metrics, SSE /trace, /runs, pprof).
+// HTTP (Prometheus /metrics, SSE /trace, /runs, pprof) and serves checks
+// itself via POST /check (drained on shutdown within -drain-timeout).
 package main
 
 import (

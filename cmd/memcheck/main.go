@@ -8,7 +8,14 @@
 //	memcheck [-models SC,TSO,...] [-witness] [-explain] [-json]
 //	         [-workers N] [-timeout D] [-budget N]
 //	         [-trace FILE] [-metrics FILE] [-report FILE] [-serve ADDR]
+//	         [-drain-timeout D] [-degrade] [-faults SPEC]
 //	         [-pprof FILE] [history | -f file]
+//
+// -serve additionally exposes the checker itself over HTTP: POST /check
+// accepts histories (single or batch) under tiered admission control,
+// /healthz and /readyz report liveness and readiness, and shutdown drains
+// in-flight checks bounded by -drain-timeout. -faults arms the
+// internal/fault chaos points for resilience experiments.
 //
 // Membership checking is NP-hard, so -timeout and -budget bound each
 // check; a check cut short prints UNKNOWN with its reason and progress —

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHitFiresActionsInOrder(t *testing.T) {
+	defer Reset()
+	var gotWorker int
+	var gotItem any
+	Set(PoolGo, Fault{Fn: func(w int, item any) { gotWorker, gotItem = w, item }})
+	Hit(PoolGo, 3, "shard")
+	if gotWorker != 3 || gotItem != "shard" {
+		t.Errorf("hook saw (%d, %v), want (3, shard)", gotWorker, gotItem)
+	}
+	if n := Hits(PoolGo); n != 1 {
+		t.Errorf("Hits = %d, want 1", n)
+	}
+
+	Set(PoolGo, Fault{Panic: "boom"})
+	func() {
+		defer func() {
+			if v := recover(); v != "boom" {
+				t.Errorf("recovered %v, want boom", v)
+			}
+		}()
+		Hit(PoolGo, 0, nil)
+	}()
+}
+
+func TestCheckReturnsInjectedError(t *testing.T) {
+	defer Reset()
+	if err := Check(SvcAdmit, 0, nil); err != nil {
+		t.Fatalf("unarmed Check = %v", err)
+	}
+	Set(SvcAdmit, Fault{Err: ErrInjected})
+	if err := Check(SvcAdmit, 0, nil); !errors.Is(err, ErrInjected) {
+		t.Errorf("Check = %v, want ErrInjected", err)
+	}
+	// Hit at the same point ignores the error action.
+	Hit(SvcAdmit, 0, nil)
+}
+
+func TestTriggers(t *testing.T) {
+	defer Reset()
+
+	Set(PoolDrain, Fault{Err: ErrInjected, Nth: 3})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Check(PoolDrain, 0, i) != nil {
+			fired++
+			if i != 2 {
+				t.Errorf("nth:3 fired on hit %d", i+1)
+			}
+		}
+	}
+	if fired != 1 {
+		t.Errorf("nth:3 fired %d times, want 1", fired)
+	}
+
+	Set(PoolDrain, Fault{Err: ErrInjected, Every: 2})
+	fired = 0
+	for i := 0; i < 10; i++ {
+		if Check(PoolDrain, 0, i) != nil {
+			fired++
+		}
+	}
+	if fired != 5 {
+		t.Errorf("every:2 fired %d/10 times, want 5", fired)
+	}
+
+	// Probabilistic trigger: deterministic per seed, roughly proportional.
+	Set(PoolDrain, Fault{Err: ErrInjected, Prob: 0.5, Seed: 42})
+	fired = 0
+	for i := 0; i < 1000; i++ {
+		if Check(PoolDrain, 0, i) != nil {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Errorf("p:0.5 fired %d/1000 times", fired)
+	}
+	Set(PoolDrain, Fault{Err: ErrInjected, Prob: 0.5, Seed: 42})
+	again := 0
+	for i := 0; i < 1000; i++ {
+		if Check(PoolDrain, 0, i) != nil {
+			again++
+		}
+	}
+	if again != fired {
+		t.Errorf("same seed fired %d then %d times — not deterministic", fired, again)
+	}
+}
+
+func TestDelayAction(t *testing.T) {
+	defer Reset()
+	Set(SvcWorker, Fault{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	Hit(SvcWorker, 0, nil)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Errorf("delay fault slept %v, want >= 20ms", d)
+	}
+}
+
+func TestApplySpec(t *testing.T) {
+	defer Reset()
+	err := Apply("svc.worker=panic:chaos@nth:2, pool.drain=delay:1ms@every:3,svc.admit=error:full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Hit(SvcWorker, 0, nil) // first hit: no fire
+	func() {
+		defer func() {
+			if v := recover(); v != "chaos" {
+				t.Errorf("recovered %v, want chaos", v)
+			}
+		}()
+		Hit(SvcWorker, 0, nil) // second hit fires
+	}()
+	if err := Check(SvcAdmit, 0, nil); err == nil || !errors.Is(err, ErrInjected) {
+		t.Errorf("error:full action = %v, want an ErrInjected-matching error", err)
+	} else if got := err.Error(); got != "fault: full" {
+		t.Errorf("error message = %q", got)
+	}
+
+	for _, bad := range []string{
+		"nope",                     // no '='
+		"bogus.point=panic",        // unknown point
+		"svc.worker=explode",       // unknown action
+		"svc.worker=delay",         // delay without duration
+		"svc.worker=panic@often",   // malformed trigger
+		"svc.worker=panic@nth:0",   // non-positive nth
+		"svc.worker=panic@p:1.5",   // probability out of range
+		"svc.worker=panic@every:x", // non-numeric every
+	} {
+		if err := Apply(bad); err == nil {
+			t.Errorf("Apply(%q) succeeded, want error", bad)
+		}
+	}
+	Reset()
+	if Hits(SvcWorker) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestConcurrentHitAndSetClear(t *testing.T) {
+	defer Reset()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				Set(PoolIndexed, Fault{Every: 1000000})
+				Clear(PoolIndexed)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 10000; i++ {
+			Hit(PoolIndexed, 0, i)
+		}
+	}()
+	wg.Wait()
+}

@@ -82,6 +82,11 @@ type Event struct {
 	Us int64 `json:"us"`
 	// Type is the event kind (see the Ev* constants).
 	Type EventType `json:"type"`
+	// Req is the request ID of the service check the event belongs to
+	// (the obshttp POST /check path threads it through so one check can
+	// be correlated across /trace and /runs); empty for engine-internal
+	// events.
+	Req string `json:"req,omitempty"`
 	// Model is the memory model being checked, when the event belongs to a
 	// model check.
 	Model string `json:"model,omitempty"`
@@ -130,6 +135,11 @@ func stamp(e Event) Event {
 	e.Us = now()
 	return e
 }
+
+// Stamp fills the event's timestamp from the shared monotonic process
+// clock — for emitters outside this package (the obshttp checking
+// service) whose events must interleave with the engine's on one axis.
+func Stamp(e Event) Event { return stamp(e) }
 
 type sinkKey struct{}
 type registryKey struct{}

@@ -1,0 +1,292 @@
+package obshttp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// The chaos suite injects panics, delays and errors at every fault point
+// on the /check path — handler, admission, enqueue, worker, explain,
+// drain, and pool containment underneath — and asserts the three service
+// invariants hold under each:
+//
+//  1. Verdicts never flip: every decided verdict matches the fault-free
+//     baseline run (faults may withhold answers, never change them).
+//  2. Accounting balances: admitted + shed + failed == received, with
+//     received equal to the number of requests actually sent.
+//  3. Nothing leaks: shutdown completes and the goroutine count returns
+//     to the pre-scenario level.
+
+// chaosCorpus is the differential corpus: history × model pairs whose
+// fault-free verdicts are all decided.
+var chaosCorpus = []struct {
+	hist, model string
+}{
+	{"w(x)1 r(y)0 | w(y)1 r(x)0", "SC"},
+	{"w(x)1 r(y)0 | w(y)1 r(x)0", "TSO"},
+	{"w(x)1 r(y)0 | w(y)1 r(x)0", "PC"},
+	{"w(x)1 w(y)1 | r(y)1 r(x)0", "SC"},
+	{"w(x)1 w(y)1 | r(y)1 r(x)0", "Causal"},
+	{"w(x)1 w(x)2 | r(x)2 r(x)1", "Coherence"},
+}
+
+func corpusKey(hist, mdl string) string { return mdl + " :: " + hist }
+
+// chaosBaseline runs the corpus on a fault-free server and returns the
+// decided verdict per pair.
+func chaosBaseline(t *testing.T) map[string]string {
+	t.Helper()
+	fault.Reset()
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 4})
+	verdicts := make(map[string]string)
+	for _, c := range chaosCorpus {
+		body := fmt.Sprintf(`{"history":%q,"model":%q,"explain":true}`, c.hist, c.model)
+		res, resp := postCheck(t, base, body, nil)
+		if resp.StatusCode != http.StatusOK || (res.Verdict != "allowed" && res.Verdict != "forbidden") {
+			t.Fatalf("baseline %s/%s: status %d verdict %q reason %q — the corpus must decide fault-free",
+				c.model, c.hist, resp.StatusCode, res.Verdict, res.Reason)
+		}
+		verdicts[corpusKey(c.hist, c.model)] = res.Verdict
+	}
+	checkAccounting(t, reg)
+	return verdicts
+}
+
+// waitGoroutines polls until the goroutine count falls back to the
+// pre-scenario level (plus runtime slack), dumping stacks on timeout.
+func waitGoroutines(t *testing.T, scenario string, before int) {
+	t.Helper()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("%s: goroutines leaked: %d before, %d after shutdown\n%s",
+				scenario, before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestChaosFaultMatrix is the fault-injection suite: every service and
+// pool fault point, under panic, delay and error actions, with the three
+// invariants asserted per scenario.
+func TestChaosFaultMatrix(t *testing.T) {
+	defer fault.Reset()
+	baseline := chaosBaseline(t)
+
+	scenarios := []struct {
+		name  string
+		point string
+		f     fault.Fault
+	}{
+		{"handler-error", fault.SvcHandler, fault.Fault{Err: fault.ErrInjected, Every: 3}},
+		{"admit-error", fault.SvcAdmit, fault.Fault{Err: fault.ErrInjected, Every: 2}},
+		{"enqueue-panic", fault.SvcEnqueue, fault.Fault{Panic: "enqueue chaos", Every: 4}},
+		{"enqueue-delay", fault.SvcEnqueue, fault.Fault{Delay: 2 * time.Millisecond, Every: 2}},
+		{"worker-panic", fault.SvcWorker, fault.Fault{Panic: "worker chaos", Every: 3}},
+		{"worker-panic-prob", fault.SvcWorker, fault.Fault{Panic: "worker chaos", Prob: 0.3, Seed: 7}},
+		{"worker-delay", fault.SvcWorker, fault.Fault{Delay: 5 * time.Millisecond, Every: 2}},
+		{"explain-error", fault.SvcExplain, fault.Fault{Err: fault.ErrInjected, Every: 2}},
+		{"pool-worker-panic", fault.PoolDrain, fault.Fault{Panic: "pool chaos", Nth: 4}},
+		{"pool-launch-panic", fault.PoolGo, fault.Fault{Panic: "launch chaos", Nth: 2}},
+		{"drain-delay", fault.SvcDrain, fault.Fault{Delay: 20 * time.Millisecond}},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			// Arm the fault before the server exists, so points that fire
+			// at fleet launch (fault.PoolGo) are exercised too. The fault
+			// stays armed through shutdown — drain must survive it.
+			fault.Reset()
+			fault.Set(sc.point, sc.f)
+			defer fault.Reset()
+
+			reg := obs.NewRegistry()
+			s := New(reg, 256)
+			s.EnableCheck(CheckOptions{Workers: 3, QueueDepth: 16})
+			addr, err := s.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := "http://" + addr
+
+			const rounds = 2
+			sent := rounds * len(chaosCorpus)
+			results := make([]checkResult, sent)
+			var wg sync.WaitGroup
+			for r := 0; r < rounds; r++ {
+				for i, c := range chaosCorpus {
+					wg.Add(1)
+					go func(slot int, hist, mdl string) {
+						defer wg.Done()
+						body := fmt.Sprintf(`{"history":%q,"model":%q,"explain":true}`, hist, mdl)
+						res, _ := postCheck(t, base, body, nil)
+						results[slot] = res
+					}(r*len(chaosCorpus)+i, c.hist, c.model)
+				}
+			}
+			wg.Wait()
+
+			// Invariant 1: no decided verdict differs from the baseline.
+			for i, res := range results {
+				c := chaosCorpus[i%len(chaosCorpus)]
+				if res.Verdict == "allowed" || res.Verdict == "forbidden" {
+					if want := baseline[corpusKey(c.hist, c.model)]; res.Verdict != want {
+						t.Errorf("%s/%s: verdict flipped to %q (baseline %q) under %s",
+							c.model, c.hist, res.Verdict, want, sc.name)
+					}
+				}
+			}
+
+			// Shutdown must complete with the fault still armed.
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown under %s: %v", sc.name, err)
+			}
+			cancel()
+
+			// Invariant 2: every request is classified exactly once.
+			if rec, _, _, _ := checkAccounting(t, reg); rec != int64(sent) {
+				t.Errorf("received %d, sent %d", rec, sent)
+			}
+
+			// Invariant 3: the fleet, handlers and connections wind down.
+			waitGoroutines(t, sc.name, before)
+		})
+	}
+}
+
+// TestChaosSaturationStorm hammers a tiny queue from many clients at
+// once: a mix of verdicts and sheds comes back, nobody hangs, and the
+// books still balance.
+func TestChaosSaturationStorm(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	s := New(reg, 256)
+	s.EnableCheck(CheckOptions{Workers: 1, QueueDepth: 2})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	const clients = 24
+	var wg sync.WaitGroup
+	statuses := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"history":%q,"model":"SC","tier":"small"}`, figure1SB)
+			res, _ := postCheck(t, base, body, nil)
+			statuses[slot] = res.Status
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for _, st := range statuses {
+		switch st {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("storm status %d, want 200 or 429", st)
+		}
+	}
+	if ok == 0 {
+		t.Error("storm: no check got through")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown after storm: %v", err)
+	}
+	cancel()
+
+	rec, _, shedN, _ := checkAccounting(t, reg)
+	if rec != clients {
+		t.Errorf("received %d, sent %d", rec, clients)
+	}
+	if int(shedN) != shed {
+		t.Errorf("shed counter %d, shed responses %d", shedN, shed)
+	}
+	waitGoroutines(t, "saturation-storm", before)
+}
+
+// TestChaosShutdownMidRequest races Shutdown against a burst of incoming
+// checks: every request is answered (a verdict, a shed, or a clean
+// draining 503) and accounted.
+func TestChaosShutdownMidRequest(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	before := runtime.NumGoroutine()
+
+	reg := obs.NewRegistry()
+	s := New(reg, 256)
+	s.EnableCheck(CheckOptions{Workers: 2, QueueDepth: 8})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	const burst = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	answered := 0
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"history":%q,"model":"TSO"}`, figure1SB)
+			// The listener may already be gone mid-burst; a transport
+			// error is an acceptable answer to a request that raced the
+			// listener close — it is never a hang.
+			resp, err := http.Post(base+"/check", "application/json", strings.NewReader(body))
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			mu.Lock()
+			answered++
+			mu.Unlock()
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown mid-burst: %v", err)
+	}
+	cancel()
+	wg.Wait()
+
+	// Accounting covers exactly the requests the handler saw — balanced,
+	// and no more than were sent.
+	rec, _, _, _ := checkAccounting(t, reg)
+	if rec > burst {
+		t.Errorf("received %d, sent %d", rec, burst)
+	}
+	waitGoroutines(t, "shutdown-mid-request", before)
+	_ = answered // diagnostic only: zero answered is legal if shutdown won every race
+}

@@ -1,0 +1,705 @@
+package obshttp
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/history"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/model"
+)
+
+// This file is the checking service: POST /check accepts histories (single
+// or batch), runs them through model.AllowsCtx on a shared bounded worker
+// fleet, and returns verdicts with optional witness explanations. Deciding
+// membership is NP-hard, so the service is overloadable by construction and
+// is built around admission control rather than hope:
+//
+//   - Every check is admitted into a bounded queue under a per-tier budget
+//     (small/default/heavy: candidate and node caps plus a deadline that
+//     starts at admission, so queue wait counts against it).
+//   - When the queue is full the service answers immediately — 429 with
+//     Retry-After by default, or (in degrade mode) a 200 whose verdict is
+//     Unknown with reason "shed". Shedding never flips a verdict: the
+//     answer is withheld, exactly as PR 2's budgets withhold it.
+//   - Graceful shutdown drains the queue: admission closes (503, /readyz
+//     flips), queued and in-flight checks finish within the drain deadline,
+//     and past the deadline in-flight checks are hard-cancelled (they
+//     return Unknown promptly — budgets made every checker cancellable).
+//   - Request accounting is an invariant, not a best effort: every check
+//     received is classified exactly once as admitted (ran to a verdict),
+//     shed (bounced by admission or drain), or failed (malformed, checker
+//     error, or contained panic), so admitted + shed + failed == received
+//     holds in the obs registry at every quiescent point. The chaos suite
+//     injects panics, delays and errors at every fault point on this path
+//     and asserts exactly that, plus verdict stability and zero goroutine
+//     leaks.
+type checkRequest struct {
+	// History is the system execution history in the paper's notation
+	// (one processor per line or '|'-separated).
+	History string `json:"history"`
+	// Model names the memory model to check against (model.ByName).
+	Model string `json:"model"`
+	// Tier selects the admission budget: "small", "default" (the default)
+	// or "heavy".
+	Tier string `json:"tier,omitempty"`
+	// Explain asks for the witness explanation (model/explain.go JSON) on
+	// decided verdicts.
+	Explain bool `json:"explain,omitempty"`
+	// Degrade overrides the server's shed mode for this check: true sheds
+	// as a 200 Unknown{reason: shed}, false as 429 + Retry-After.
+	Degrade *bool `json:"degrade,omitempty"`
+}
+
+// checkBatch is the batch form of the request body: {"checks": [...]}.
+type checkBatch struct {
+	Checks []checkRequest `json:"checks"`
+}
+
+// checkResult is one check's outcome. Status is the per-check HTTP-style
+// status (it becomes the response status for single-check requests).
+type checkResult struct {
+	ID     string `json:"id"`
+	Model  string `json:"model,omitempty"`
+	Tier   string `json:"tier,omitempty"`
+	Status int    `json:"status"`
+	// Verdict is "allowed", "forbidden" or "unknown"; empty when the
+	// check failed outright (see Error).
+	Verdict string `json:"verdict,omitempty"`
+	// Reason qualifies an "unknown" verdict: the engine's reasons
+	// ("deadline exceeded", "budget exhausted", "canceled") or the
+	// service's ("shed", "draining").
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Candidates/Nodes/Frontier are the check's progress counters.
+	Candidates int64 `json:"candidates,omitempty"`
+	Nodes      int64 `json:"nodes,omitempty"`
+	Frontier   int   `json:"frontier,omitempty"`
+	// WallUs is the wall-clock time from admission to verdict.
+	WallUs int64 `json:"wall_us,omitempty"`
+	// Explanation is the model/explain.go JSON when requested and
+	// available; ExplainError reports why it is missing despite Explain.
+	Explanation  json.RawMessage `json:"explanation,omitempty"`
+	ExplainError string          `json:"explain_error,omitempty"`
+}
+
+// Tier is one admission-control budget class: how much NP-hard work a
+// single check may buy, and how long it may take end to end (the deadline
+// clock starts at admission, so time spent queued counts).
+type Tier struct {
+	Name          string
+	MaxCandidates int64
+	MaxNodes      int64
+	Deadline      time.Duration
+}
+
+// Tiers returns the service's admission tiers. The zero name maps to
+// "default".
+func Tiers() []Tier {
+	return []Tier{
+		{Name: "small", MaxCandidates: 1 << 10, MaxNodes: 1 << 14, Deadline: 250 * time.Millisecond},
+		{Name: "default", MaxCandidates: 1 << 16, MaxNodes: 1 << 20, Deadline: 2 * time.Second},
+		{Name: "heavy", MaxCandidates: 1 << 20, MaxNodes: 1 << 24, Deadline: 10 * time.Second},
+	}
+}
+
+// tierByName resolves a request's tier field.
+func tierByName(name string) (Tier, error) {
+	if name == "" {
+		name = "default"
+	}
+	for _, t := range Tiers() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Tier{}, fmt.Errorf("unknown tier %q (have small, default, heavy)", name)
+}
+
+// CheckOptions configures the checking service a Server enables with
+// EnableCheck.
+type CheckOptions struct {
+	// Workers sizes the shared checking fleet (pool.Size convention:
+	// <= 0 means one per CPU). Each check itself runs sequentially; the
+	// fleet is where the parallelism lives.
+	Workers int
+	// QueueDepth bounds the admission queue (default 64). A full queue
+	// sheds, it never grows.
+	QueueDepth int
+	// Degrade selects the default shed mode: true answers over-capacity
+	// checks 200 Unknown{reason: shed} instead of 429. Per-request
+	// "degrade" overrides it.
+	Degrade bool
+	// DrainTimeout bounds graceful shutdown: how long Shutdown waits for
+	// queued and in-flight checks before hard-cancelling them (default
+	// 5s).
+	DrainTimeout time.Duration
+	// Enumerate pins every check to the exhaustive enumerator
+	// (model.RouteEnumerate) instead of the fast-path router.
+	Enumerate bool
+}
+
+// checker is the service core behind POST /check: the bounded queue, the
+// worker fleet, and the request accounting.
+type checker struct {
+	jobs chan *job
+	// pending tracks every job the fleet owns (id -> *job), so a
+	// pool-level fault that kills a worker before the job's own recover
+	// runs can still be classified and answered — no request is ever
+	// lost between enqueue and finish.
+	pending sync.Map
+
+	mu       sync.RWMutex // guards draining vs. enqueue (send-on-closed)
+	draining bool
+
+	ctx    context.Context // fleet context; cancelled = hard stop
+	cancel context.CancelFunc
+
+	fleetDone chan struct{}
+	inflight  atomic.Int64
+
+	degrade      bool
+	enumerate    bool
+	drainTimeout time.Duration
+
+	sink obs.Sink
+
+	received, admitted, shed, failed *obs.Counter
+	queueDepth, inflightG            *obs.Gauge
+	waitUs, runUs                    *obs.Histogram
+}
+
+// job is one admitted check traveling from handler to fleet.
+type job struct {
+	id      string
+	req     checkRequest
+	sys     *history.System
+	m       model.Model
+	tier    Tier
+	ctx     context.Context // budget + deadline, started at admission
+	cancel  context.CancelFunc
+	enq     time.Time
+	done    chan checkResult // buffered: the fleet never blocks on a gone client
+	degrade bool
+}
+
+// String renders a job as its request ID — it is what pool.Drain's
+// *PanicError reports as the shard, which is how the fleet maps a
+// pool-level fault back to the job it killed.
+func (j *job) String() string { return j.id }
+
+// EnableCheck turns on the POST /check serving path with its admission
+// queue and worker fleet. Call it after New and before Handler/Start;
+// Shutdown drains the fleet. Calling it twice replaces nothing — the
+// first call wins.
+func (s *Server) EnableCheck(opts CheckOptions) {
+	if s.check != nil {
+		return
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = obs.WithRegistry(ctx, s.reg)
+	if opts.Enumerate {
+		ctx = model.WithRoute(ctx, model.RouteEnumerate)
+	}
+	c := &checker{
+		jobs:         make(chan *job, opts.QueueDepth),
+		ctx:          ctx,
+		cancel:       cancel,
+		fleetDone:    make(chan struct{}),
+		degrade:      opts.Degrade,
+		enumerate:    opts.Enumerate,
+		drainTimeout: opts.DrainTimeout,
+		sink:         s.sink,
+		received:     s.reg.Counter("svc.check.received"),
+		admitted:     s.reg.Counter("svc.check.admitted"),
+		shed:         s.reg.Counter("svc.check.shed"),
+		failed:       s.reg.Counter("svc.check.failed"),
+		queueDepth:   s.reg.Gauge("svc.check.queue_depth"),
+		inflightG:    s.reg.Gauge("svc.check.inflight"),
+		waitUs:       s.reg.Histogram("svc.check.wait_us"),
+		runUs:        s.reg.Histogram("svc.check.run_us"),
+	}
+	s.check = c
+	workers := pool.Size(opts.Workers)
+	go func() {
+		defer close(c.fleetDone)
+		for {
+			// The fleet reuses pool.Drain; runJob recovers every payload
+			// panic itself, so the only panics pool's containment sees
+			// are faults injected at pool's own points (fault.PoolGo,
+			// fault.PoolDrain). Those cancel the fleet — so classify the
+			// job the panic killed (its id is the PanicError's shard)
+			// and restart, rather than abandoning the queue.
+			err := pool.Drain(c.ctx, workers, c.jobs, c.process)
+			if err == nil || c.ctx.Err() != nil {
+				break
+			}
+			var pe *pool.PanicError
+			if errors.As(err, &pe) && pe.Shard != "" {
+				if v, ok := c.pending.Load(pe.Shard); ok {
+					j := v.(*job)
+					j.cancel()
+					c.finish(j, checkResult{
+						ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
+						Status: http.StatusInternalServerError,
+						Error:  pe.Error(),
+					}, "failed")
+				}
+			}
+			time.Sleep(time.Millisecond) // a persistent fault must not spin the restart loop hot
+		}
+		// Hard-cancel path: workers may have exited on c.ctx with checks
+		// still queued. The queue is closed by then (drain closes it
+		// before cancelling), so flush and account for what is left —
+		// nothing admitted to the queue goes missing.
+		for j := range c.jobs {
+			c.queueDepth.Set(int64(len(c.jobs)))
+			j.cancel()
+			c.finish(j, checkResult{
+				ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
+				Status:  http.StatusServiceUnavailable,
+				Verdict: "unknown", Reason: "draining",
+			}, "shed")
+		}
+		// Belt and braces: anything still pending (a pool fault whose
+		// shard did not resolve) is classified rather than leaked.
+		c.pending.Range(func(_, v any) bool {
+			j := v.(*job)
+			j.cancel()
+			c.finish(j, checkResult{
+				ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
+				Status: http.StatusInternalServerError,
+				Error:  "check lost to a worker fault",
+			}, "failed")
+			return true
+		})
+	}()
+}
+
+// reqSeq and reqPrefix generate process-unique request IDs for requests
+// that arrive without an X-Request-ID header.
+var reqSeq atomic.Int64
+var reqPrefix = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req"
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqPrefix, reqSeq.Add(1))
+}
+
+// handleCheck is POST /check: parse one check or a batch, admit each into
+// the queue, and collect verdicts. The per-request ID (X-Request-ID, or
+// generated) is echoed in the response header, carried on every result,
+// and threaded into the trace events so a check correlates across /trace
+// and /runs.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	c := s.check
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = newRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
+	if err := fault.Check(fault.SvcHandler, 0, reqID); err != nil {
+		c.received.Add(1)
+		c.failed.Add(1)
+		c.emitFinish(checkResult{ID: reqID, Status: http.StatusInternalServerError, Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, checkResult{
+			ID: reqID, Status: http.StatusInternalServerError, Error: err.Error(),
+		})
+		return
+	}
+
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var raw json.RawMessage
+	if err := json.NewDecoder(body).Decode(&raw); err != nil {
+		c.received.Add(1)
+		c.failed.Add(1)
+		c.emitFinish(checkResult{ID: reqID, Status: http.StatusBadRequest, Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, checkResult{
+			ID: reqID, Status: http.StatusBadRequest, Error: "bad request body: " + err.Error(),
+		})
+		return
+	}
+
+	// A body with a "checks" array is a batch; anything else must be a
+	// single check object.
+	var batch checkBatch
+	single := true
+	if err := json.Unmarshal(raw, &batch); err == nil && batch.Checks != nil {
+		single = false
+	} else {
+		var one checkRequest
+		if err := json.Unmarshal(raw, &one); err != nil {
+			c.received.Add(1)
+			c.failed.Add(1)
+			c.emitFinish(checkResult{ID: reqID, Status: http.StatusBadRequest, Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, checkResult{
+				ID: reqID, Status: http.StatusBadRequest, Error: "bad check object: " + err.Error(),
+			})
+			return
+		}
+		batch.Checks = []checkRequest{one}
+	}
+
+	results := make([]checkResult, len(batch.Checks))
+	for i, req := range batch.Checks {
+		id := reqID
+		if !single {
+			id = fmt.Sprintf("%s.%d", reqID, i)
+		}
+		results[i] = c.do(r.Context(), id, req)
+	}
+
+	if single {
+		res := results[0]
+		if res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfter(results[0].Tier))
+		}
+		writeJSON(w, res.Status, res)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID      string        `json:"id"`
+		Results []checkResult `json:"results"`
+	}{ID: reqID, Results: results})
+}
+
+// retryAfter suggests a retry delay in whole seconds: the tier's deadline
+// rounded up — by then the head of the queue has either finished or been
+// cut off.
+func retryAfter(tierName string) string {
+	t, err := tierByName(tierName)
+	if err != nil {
+		t, _ = tierByName("")
+	}
+	secs := int(math.Ceil(t.Deadline.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
+// do runs one check end to end: classify-once accounting, admission,
+// enqueue, wait. Every path out of this function (and out of the fleet,
+// for admitted checks) classifies the check exactly once as admitted,
+// shed, or failed.
+func (c *checker) do(ctx context.Context, id string, req checkRequest) (res checkResult) {
+	c.received.Add(1)
+	counted := false
+	count := func(counter *obs.Counter) {
+		counter.Add(1)
+		counted = true
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			// A fault injected on the handler path (admission hook,
+			// enqueue hook) must not leak an unaccounted request or kill
+			// the connection.
+			res = checkResult{ID: id, Model: req.Model, Status: http.StatusInternalServerError,
+				Error: fmt.Sprintf("panic: %v", v)}
+			if !counted {
+				c.failed.Add(1)
+			}
+			c.emitFinish(res)
+		}
+	}()
+
+	degrade := c.degrade
+	if req.Degrade != nil {
+		degrade = *req.Degrade
+	}
+
+	fail := func(status int, err error) checkResult {
+		count(c.failed)
+		res := checkResult{ID: id, Model: req.Model, Status: status, Error: err.Error()}
+		c.emitFinish(res)
+		return res
+	}
+
+	tier, err := tierByName(req.Tier)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	sys, err := history.Parse(req.History)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	m, err := model.ByName(req.Model)
+	if err != nil {
+		return fail(http.StatusBadRequest, err)
+	}
+	// Fleet-level parallelism only: each check runs its checker
+	// sequentially, so one heavy check cannot commandeer every CPU.
+	m = model.WithWorkers(m, 1)
+
+	c.emit(obs.Event{Type: obs.EvRunStart, Req: id, Model: m.Name(),
+		Ops: sys.NumOps(), Procs: sys.NumProcs(), Detail: "svc tier=" + tier.Name})
+
+	// shed classifies an over-capacity check: Unknown{shed} at 200 in
+	// degrade mode, 429/503 otherwise — never an unbounded queue.
+	shed := func(status int, reason string) checkResult {
+		count(c.shed)
+		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+			Status: status, Verdict: "unknown", Reason: reason}
+		if degrade {
+			res.Status = http.StatusOK
+		}
+		c.emitFinish(res)
+		return res
+	}
+
+	if err := fault.Check(fault.SvcAdmit, 0, id); err != nil {
+		return shed(http.StatusTooManyRequests, "shed")
+	}
+
+	jctx, jcancel := context.WithDeadline(c.ctx, time.Now().Add(tier.Deadline))
+	jctx = model.WithBudget(jctx, model.Budget{MaxCandidates: tier.MaxCandidates, MaxNodes: tier.MaxNodes})
+	j := &job{
+		id: id, req: req, sys: sys, m: m, tier: tier,
+		ctx: jctx, cancel: jcancel,
+		enq: time.Now(), done: make(chan checkResult, 1), degrade: degrade,
+	}
+
+	switch c.enqueue(j) {
+	case admitOK:
+	case admitDraining:
+		jcancel()
+		return shed(http.StatusServiceUnavailable, "draining")
+	case admitFull:
+		jcancel()
+		return shed(http.StatusTooManyRequests, "shed")
+	}
+	counted = true // the fleet owns classification from here
+
+	select {
+	case res := <-j.done:
+		return res
+	case <-ctx.Done():
+		// The client went away; the fleet still runs the check to a
+		// verdict and classifies it (nothing in the queue is abandoned).
+		return checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+			Status: statusClientClosedRequest, Verdict: "unknown", Reason: "canceled"}
+	case <-j.ctx.Done():
+		// The tier deadline (or a shutdown hard-cancel) passed while the
+		// check was queued or running. The fleet owes the verdict and
+		// normally delivers it within a polling stride — give it a grace
+		// window, then answer rather than hang the connection (a fleet
+		// wedged by an injected stall classifies the job at drain time).
+		select {
+		case res := <-j.done:
+			return res
+		case <-ctx.Done():
+			return checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+				Status: statusClientClosedRequest, Verdict: "unknown", Reason: "canceled"}
+		case <-time.After(handlerGrace):
+			return checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+				Status: http.StatusGatewayTimeout, Verdict: "unknown", Reason: "deadline exceeded"}
+		}
+	}
+}
+
+// handlerGrace is how long past its deadline a handler waits for the
+// fleet's verdict before answering 504 on its own. The check itself is
+// still classified by the fleet, so accounting stays balanced.
+const handlerGrace = time.Second
+
+// statusClientClosedRequest is nginx's 499: the client disconnected
+// before the verdict was ready. The check itself still completes and is
+// accounted.
+const statusClientClosedRequest = 499
+
+type admitResult int
+
+const (
+	admitOK admitResult = iota
+	admitFull
+	admitDraining
+)
+
+// enqueue offers j to the bounded queue without ever blocking: a full
+// queue is the caller's problem (shed), not the fleet's. The read lock
+// excludes the drain path's close(jobs), so admission during shutdown is
+// a clean "draining" answer rather than a send on a closed channel.
+func (c *checker) enqueue(j *job) admitResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.draining {
+		return admitDraining
+	}
+	fault.Hit(fault.SvcEnqueue, 0, j.id)
+	c.pending.Store(j.id, j)
+	select {
+	case c.jobs <- j:
+		c.queueDepth.Set(int64(len(c.jobs)))
+		return admitOK
+	default:
+		c.pending.Delete(j.id)
+		return admitFull
+	}
+}
+
+// process is the fleet worker payload: run the check, classify it,
+// answer the waiting handler. Panics are recovered in runJob, so one
+// poisoned request never takes the fleet down.
+func (c *checker) process(w int, j *job) {
+	defer j.cancel()
+	c.queueDepth.Set(int64(len(c.jobs)))
+	c.inflightG.Set(c.inflight.Add(1))
+	defer func() { c.inflightG.Set(c.inflight.Add(-1)) }()
+	c.waitUs.Observe(time.Since(j.enq).Microseconds())
+
+	start := time.Now()
+	res := c.runJob(w, j)
+	res.WallUs = time.Since(j.enq).Microseconds()
+	c.runUs.Observe(time.Since(start).Microseconds())
+
+	kind := "admitted"
+	if res.Error != "" && res.Verdict == "" {
+		kind = "failed"
+	}
+	c.finish(j, res, kind)
+}
+
+// finish classifies a fleet-owned check exactly once, emits its terminal
+// event, and releases the handler.
+func (c *checker) finish(j *job, res checkResult, kind string) {
+	c.pending.Delete(j.id)
+	switch kind {
+	case "admitted":
+		c.admitted.Add(1)
+	case "shed":
+		c.shed.Add(1)
+	default:
+		c.failed.Add(1)
+	}
+	c.emitFinish(res)
+	j.done <- res
+}
+
+// runJob executes one admitted check under its tier budget, with every
+// panic contained to this check.
+func (c *checker) runJob(w int, j *job) (res checkResult) {
+	res = checkResult{ID: j.id, Model: j.m.Name(), Tier: j.tier.Name, Status: http.StatusOK}
+	defer func() {
+		if v := recover(); v != nil {
+			res = checkResult{ID: j.id, Model: j.m.Name(), Tier: j.tier.Name,
+				Status: http.StatusInternalServerError, Error: fmt.Sprintf("panic: %v", v)}
+		}
+	}()
+	fault.Hit(fault.SvcWorker, w, j.id)
+
+	v, err := model.AllowsCtx(j.ctx, j.m, j.sys)
+	if err != nil {
+		// The question itself was malformed for this checker (oversized
+		// history, ambiguous reads-from) — a client error, not overload.
+		res.Status = http.StatusUnprocessableEntity
+		res.Error = err.Error()
+		return res
+	}
+	res.Candidates = v.Progress.Candidates
+	res.Nodes = v.Progress.Nodes
+	res.Frontier = v.Progress.Frontier
+	switch {
+	case !v.Decided():
+		res.Verdict = "unknown"
+		res.Reason = v.Unknown.String()
+	case v.Allowed:
+		res.Verdict = "allowed"
+	default:
+		res.Verdict = "forbidden"
+	}
+	if j.req.Explain && v.Decided() {
+		// Explanation failures (including injected ones) lose the
+		// explanation, never the verdict.
+		if err := fault.Check(fault.SvcExplain, w, j.id); err != nil {
+			res.ExplainError = err.Error()
+		} else if e, err := model.Explain(j.m, j.sys, v); err != nil {
+			res.ExplainError = err.Error()
+		} else if data, err := e.JSON(); err != nil {
+			res.ExplainError = err.Error()
+		} else {
+			res.Explanation = data
+		}
+	}
+	return res
+}
+
+// drain shuts the service down gracefully: close admission, let the
+// fleet finish the queue, and past the drain deadline hard-cancel
+// whatever is left (checks return Unknown promptly — every checker is
+// cancellable). It returns nil when the drain completed within the
+// deadline.
+func (c *checker) drain(ctx context.Context) error {
+	if c.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.drainTimeout)
+		defer cancel()
+	}
+	c.mu.Lock()
+	already := c.draining
+	if !already {
+		c.draining = true
+		close(c.jobs)
+	}
+	c.mu.Unlock()
+	fault.Hit(fault.SvcDrain, 0, nil)
+
+	select {
+	case <-c.fleetDone:
+		return nil
+	case <-ctx.Done():
+		// Deadline passed with work still in flight: hard-cancel and wait
+		// for the fleet to wind down (prompt — cancellation is polled at
+		// budget stride).
+		c.cancel()
+		<-c.fleetDone
+		return fmt.Errorf("obshttp: drain deadline exceeded; in-flight checks were cancelled")
+	}
+}
+
+// emit sends a service event into the server's sink (broadcast + runs
+// ring), if one is attached.
+func (c *checker) emit(e obs.Event) {
+	if c.sink != nil {
+		c.sink.Emit(obs.Stamp(e))
+	}
+}
+
+// emitFinish renders a terminal checkResult as the run-finish trace
+// event, carrying the request ID for /trace–/runs correlation.
+func (c *checker) emitFinish(res checkResult) {
+	c.emit(obs.Event{Type: obs.EvRunFinish, Req: res.ID, Model: res.Model,
+		Verdict: res.Verdict, Reason: res.Reason, Detail: res.Error,
+		Candidates: res.Candidates, Nodes: res.Nodes, Frontier: res.Frontier})
+}
+
+// writeJSON writes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,571 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/history"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// figure1SB is the paper's Figure 1 store-buffering history: forbidden
+// under SC, allowed under the weaker models.
+const figure1SB = "w(x)1 r(y)0 | w(y)1 r(x)0"
+
+// startCheckServer boots a server with the checking service enabled.
+func startCheckServer(t *testing.T, opts CheckOptions) (*Server, string, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	s.EnableCheck(opts)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, "http://" + addr, reg
+}
+
+// postCheck POSTs a raw JSON body to /check and decodes the single-check
+// response.
+func postCheck(t *testing.T, base, body string, hdr map[string]string) (checkResult, *http.Response) {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/check", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /check: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res checkResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("response not a checkResult: %v\n%s", err, data)
+	}
+	return res, resp
+}
+
+// checkAccounting asserts the service invariant admitted+shed+failed ==
+// received and returns the counters.
+func checkAccounting(t *testing.T, reg *obs.Registry) (received, admitted, shed, failed int64) {
+	t.Helper()
+	received = reg.Counter("svc.check.received").Value()
+	admitted = reg.Counter("svc.check.admitted").Value()
+	shed = reg.Counter("svc.check.shed").Value()
+	failed = reg.Counter("svc.check.failed").Value()
+	if admitted+shed+failed != received {
+		t.Errorf("accounting broken: received=%d admitted=%d shed=%d failed=%d",
+			received, admitted, shed, failed)
+	}
+	return received, admitted, shed, failed
+}
+
+// waitGauge polls a gauge until it reaches want or the deadline passes.
+func waitGauge(t *testing.T, reg *obs.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Gauge(name).Value() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("gauge %s = %d, want %d", name, reg.Gauge(name).Value(), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCheckVerdicts(t *testing.T) {
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 2})
+
+	for _, tc := range []struct {
+		model, tier, verdict string
+	}{
+		{"SC", "", "forbidden"},
+		{"TSO", "small", "allowed"},
+		{"PC", "default", "allowed"},
+		{"Causal", "heavy", "allowed"},
+	} {
+		body := fmt.Sprintf(`{"history":%q,"model":%q,"tier":%q}`, figure1SB, tc.model, tc.tier)
+		res, resp := postCheck(t, base, body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %+v", tc.model, resp.StatusCode, res)
+		}
+		if res.Verdict != tc.verdict {
+			t.Errorf("%s: verdict %q (reason %q), want %q", tc.model, res.Verdict, res.Reason, tc.verdict)
+		}
+		if res.ID == "" {
+			t.Errorf("%s: no request ID assigned", tc.model)
+		}
+		wantTier := tc.tier
+		if wantTier == "" {
+			wantTier = "default"
+		}
+		if res.Tier != wantTier {
+			t.Errorf("%s: tier %q, want %q", tc.model, res.Tier, wantTier)
+		}
+	}
+
+	if rec, adm, _, _ := checkAccounting(t, reg); rec != 4 || adm != 4 {
+		t.Errorf("received=%d admitted=%d, want 4/4", rec, adm)
+	}
+}
+
+func TestCheckRejectsBadInput(t *testing.T) {
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 1})
+
+	for name, body := range map[string]string{
+		"bad history": `{"history":"w(x","model":"SC"}`,
+		"bad model":   `{"history":"w(x)1","model":"Nope"}`,
+		"bad tier":    `{"history":"w(x)1","model":"SC","tier":"gigantic"}`,
+		"not JSON":    `{"history":`,
+		"wrong shape": `[1,2,3]`,
+	} {
+		res, resp := postCheck(t, base, body, nil)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if res.Error == "" {
+			t.Errorf("%s: no error message in %+v", name, res)
+		}
+		if res.Verdict != "" {
+			t.Errorf("%s: verdict %q on a failed check", name, res.Verdict)
+		}
+	}
+
+	// GET on the POST-only route is a method error, not a check.
+	resp, err := http.Get(base + "/check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /check status %d, want 405", resp.StatusCode)
+	}
+
+	if rec, _, _, failed := checkAccounting(t, reg); rec != 5 || failed != 5 {
+		t.Errorf("received=%d failed=%d, want 5/5", rec, failed)
+	}
+}
+
+func TestCheckBatch(t *testing.T) {
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 2})
+
+	body := fmt.Sprintf(`{"checks":[
+		{"history":%q,"model":"SC"},
+		{"history":%q,"model":"TSO"},
+		{"history":"w(x","model":"SC"}
+	]}`, figure1SB, figure1SB)
+	req, _ := http.NewRequest("POST", base+"/check", strings.NewReader(body))
+	req.Header.Set("X-Request-ID", "batch-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d, want 200", resp.StatusCode)
+	}
+	var out struct {
+		ID      string        `json:"id"`
+		Results []checkResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "batch-7" {
+		t.Errorf("batch id %q, want batch-7", out.ID)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(out.Results))
+	}
+	for i, want := range []struct {
+		id, verdict string
+		status      int
+	}{
+		{"batch-7.0", "forbidden", http.StatusOK},
+		{"batch-7.1", "allowed", http.StatusOK},
+		{"batch-7.2", "", http.StatusBadRequest},
+	} {
+		got := out.Results[i]
+		if got.ID != want.id || got.Verdict != want.verdict || got.Status != want.status {
+			t.Errorf("result[%d] = {id:%q verdict:%q status:%d}, want %+v", i, got.ID, got.Verdict, got.Status, want)
+		}
+	}
+
+	if rec, adm, _, failed := checkAccounting(t, reg); rec != 3 || adm != 2 || failed != 1 {
+		t.Errorf("received=%d admitted=%d failed=%d, want 3/2/1", rec, adm, failed)
+	}
+}
+
+// TestCheckExplain asks for the witness explanation and replays it through
+// model.ValidateExplanation — the service returns evidence, not just a verdict.
+func TestCheckExplain(t *testing.T) {
+	_, base, _ := startCheckServer(t, CheckOptions{Workers: 1})
+
+	for _, tc := range []struct{ mdl, hist, verdict string }{
+		{"SC", "w(x)1 | r(x)1", "allowed"},
+		{"SC", figure1SB, "forbidden"},
+	} {
+		body := fmt.Sprintf(`{"history":%q,"model":%q,"explain":true}`, tc.hist, tc.mdl)
+		res, _ := postCheck(t, base, body, nil)
+		if res.Verdict != tc.verdict {
+			t.Fatalf("%s %q: verdict %q, want %q", tc.mdl, tc.hist, res.Verdict, tc.verdict)
+		}
+		if len(res.Explanation) == 0 {
+			t.Fatalf("%s %q: no explanation (explain_error %q)", tc.mdl, tc.hist, res.ExplainError)
+		}
+		var e model.Explanation
+		if err := json.Unmarshal(res.Explanation, &e); err != nil {
+			t.Fatalf("explanation not valid JSON: %v", err)
+		}
+		sys, err := history.Parse(tc.hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := model.ByName(tc.mdl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := model.ValidateExplanation(m, sys, &e); err != nil {
+			t.Errorf("%s %q: explanation does not validate: %v", tc.mdl, tc.hist, err)
+		}
+	}
+}
+
+// TestCheckRequestIDCorrelation sends a check with an explicit X-Request-ID
+// and finds the same ID on the header echo, the result, and the /runs
+// record (satellite: /trace–/runs correlation).
+func TestCheckRequestIDCorrelation(t *testing.T) {
+	_, base, _ := startCheckServer(t, CheckOptions{Workers: 1})
+
+	body := fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB)
+	res, resp := postCheck(t, base, body, map[string]string{"X-Request-ID": "corr-42"})
+	if got := resp.Header.Get("X-Request-ID"); got != "corr-42" {
+		t.Errorf("X-Request-ID echo = %q, want corr-42", got)
+	}
+	if res.ID != "corr-42" {
+		t.Errorf("result ID = %q, want corr-42", res.ID)
+	}
+
+	// Without the header the service generates a unique ID.
+	res2, resp2 := postCheck(t, base, body, nil)
+	if res2.ID == "" || res2.ID == res.ID {
+		t.Errorf("generated ID = %q", res2.ID)
+	}
+	if resp2.Header.Get("X-Request-ID") != res2.ID {
+		t.Errorf("generated ID not echoed: header %q vs result %q", resp2.Header.Get("X-Request-ID"), res2.ID)
+	}
+
+	// The run log retains the run-finish event carrying the request ID.
+	runsBody, _ := get(t, base+"/runs")
+	var runs struct {
+		Runs []obs.Event `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(runsBody), &runs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range runs.Runs {
+		if e.Type == obs.EvRunFinish && e.Req == "corr-42" {
+			found = true
+			if e.Verdict != "forbidden" {
+				t.Errorf("/runs event for corr-42 has verdict %q", e.Verdict)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("/runs has no run_finish with req=corr-42:\n%s", runsBody)
+	}
+}
+
+// TestCheckTierDeadline pins a worker delay longer than the small tier's
+// deadline: the verdict degrades to Unknown{deadline exceeded}, it never
+// flips or errors.
+func TestCheckTierDeadline(t *testing.T) {
+	defer fault.Reset()
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 1})
+
+	fault.Set(fault.SvcWorker, fault.Fault{Delay: 400 * time.Millisecond})
+	body := fmt.Sprintf(`{"history":%q,"model":"SC","tier":"small"}`, figure1SB)
+	res, resp := postCheck(t, base, body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %+v", resp.StatusCode, res)
+	}
+	if res.Verdict != "unknown" || res.Reason != "deadline exceeded" {
+		t.Errorf("verdict %q reason %q, want unknown / deadline exceeded", res.Verdict, res.Reason)
+	}
+	if rec, adm, _, _ := checkAccounting(t, reg); rec != 1 || adm != 1 {
+		t.Errorf("received=%d admitted=%d, want 1/1 (a deadline stop is still admitted)", rec, adm)
+	}
+}
+
+// saturate wedges the single fleet worker on a gate and fills the
+// one-deep queue, so the next admission decision is deterministic. It
+// returns the gate (close to release) and channels carrying the two
+// occupying results.
+func saturate(t *testing.T, base string, reg *obs.Registry) (gate chan struct{}, occupied []chan checkResult) {
+	t.Helper()
+	gate = make(chan struct{})
+	fault.Set(fault.SvcWorker, fault.Fault{Fn: func(int, any) { <-gate }})
+
+	body := fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB)
+	for i := 0; i < 2; i++ {
+		ch := make(chan checkResult, 1)
+		occupied = append(occupied, ch)
+		go func() {
+			res, _ := postCheck(t, base, body, nil)
+			ch <- res
+		}()
+		if i == 0 {
+			waitGauge(t, reg, "svc.check.inflight", 1)
+		} else {
+			waitGauge(t, reg, "svc.check.queue_depth", 1)
+		}
+	}
+	return gate, occupied
+}
+
+// TestCheckSaturation fills the queue and proves the admission answer:
+// immediate 429 with Retry-After, nothing queued unboundedly, and the
+// occupying checks still reach verdicts once the fleet frees up.
+func TestCheckSaturation(t *testing.T) {
+	defer fault.Reset()
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 1, QueueDepth: 1})
+	gate, occupied := saturate(t, base, reg)
+
+	body := fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB)
+	start := time.Now()
+	res, resp := postCheck(t, base, body, nil)
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity status %d, want 429: %+v", resp.StatusCode, res)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	if res.Verdict != "unknown" || res.Reason != "shed" {
+		t.Errorf("shed result = verdict %q reason %q", res.Verdict, res.Reason)
+	}
+	// The tier deadline is 2s; a shed must answer immediately, not after
+	// queueing (acceptance: reject within the tier deadline, never hang).
+	if elapsed > time.Second {
+		t.Errorf("shed took %v, want immediate", elapsed)
+	}
+
+	// Per-request degrade overrides the server's 429 mode.
+	res, resp = postCheck(t, base, fmt.Sprintf(`{"history":%q,"model":"SC","degrade":true}`, figure1SB), nil)
+	if resp.StatusCode != http.StatusOK || res.Verdict != "unknown" || res.Reason != "shed" {
+		t.Errorf("degrade shed = status %d verdict %q reason %q, want 200/unknown/shed",
+			resp.StatusCode, res.Verdict, res.Reason)
+	}
+
+	close(gate)
+	for i, ch := range occupied {
+		select {
+		case r := <-ch:
+			if r.Verdict != "forbidden" {
+				t.Errorf("occupying check %d: verdict %q (reason %q), want forbidden", i, r.Verdict, r.Reason)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("occupying check %d never answered", i)
+		}
+	}
+	fault.Clear(fault.SvcWorker)
+
+	if rec, adm, shed, _ := checkAccounting(t, reg); rec != 4 || adm != 2 || shed != 2 {
+		t.Errorf("received=%d admitted=%d shed=%d, want 4/2/2", rec, adm, shed)
+	}
+}
+
+// TestCheckDegradeMode turns on server-wide degrade: over-capacity checks
+// answer 200 Unknown{shed}, and a per-request degrade:false restores 429.
+func TestCheckDegradeMode(t *testing.T) {
+	defer fault.Reset()
+	_, base, reg := startCheckServer(t, CheckOptions{Workers: 1, QueueDepth: 1, Degrade: true})
+	gate, occupied := saturate(t, base, reg)
+
+	res, resp := postCheck(t, base, fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB), nil)
+	if resp.StatusCode != http.StatusOK || res.Verdict != "unknown" || res.Reason != "shed" {
+		t.Errorf("degrade-mode shed = status %d verdict %q reason %q, want 200/unknown/shed",
+			resp.StatusCode, res.Verdict, res.Reason)
+	}
+
+	res, resp = postCheck(t, base, fmt.Sprintf(`{"history":%q,"model":"SC","degrade":false}`, figure1SB), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("degrade:false override status %d, want 429: %+v", resp.StatusCode, res)
+	}
+
+	close(gate)
+	for _, ch := range occupied {
+		<-ch
+	}
+	fault.Clear(fault.SvcWorker)
+	checkAccounting(t, reg)
+}
+
+// TestCheckGracefulDrain starts a shutdown with one check running and one
+// queued: /readyz flips to 503, new admissions answer 503 "draining", and
+// both owned checks still reach real verdicts before Shutdown returns.
+func TestCheckGracefulDrain(t *testing.T) {
+	defer fault.Reset()
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	s.EnableCheck(CheckOptions{Workers: 1, QueueDepth: 4, DrainTimeout: 10 * time.Second})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	if _, resp := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	if _, resp := get(t, base+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/readyz status %d before drain", resp.StatusCode)
+	}
+
+	gate, occupied := saturate(t, base, reg)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Drain begun: readiness fails while liveness holds.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		body, resp := get(t, base+"/readyz")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(body, "draining") {
+				t.Errorf("/readyz body %q", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, resp := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d during drain", resp.StatusCode)
+	}
+
+	// Admission is closed: a new check is shed as "draining".
+	res, resp := postCheck(t, base, fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || res.Reason != "draining" {
+		t.Errorf("check during drain = status %d reason %q, want 503/draining", resp.StatusCode, res.Reason)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 during drain without Retry-After")
+	}
+
+	// Release the fleet: the drain completes gracefully and the owned
+	// checks get their real verdicts.
+	close(gate)
+	for i, ch := range occupied {
+		select {
+		case r := <-ch:
+			if r.Verdict != "forbidden" {
+				t.Errorf("drained check %d: verdict %q reason %q, want forbidden", i, r.Verdict, r.Reason)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("drained check %d never answered", i)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("graceful shutdown returned %v", err)
+	}
+	fault.Clear(fault.SvcWorker)
+
+	if rec, adm, shed, _ := checkAccounting(t, reg); rec != 3 || adm != 2 || shed != 1 {
+		t.Errorf("received=%d admitted=%d shed=%d, want 3/2/1", rec, adm, shed)
+	}
+}
+
+// TestCheckDrainDeadline holds the fleet wedged past the drain deadline:
+// Shutdown hard-cancels, the in-flight check comes back Unknown{canceled}
+// (never a flipped verdict), the queued check is shed, and Shutdown
+// reports the cut-short drain.
+func TestCheckDrainDeadline(t *testing.T) {
+	defer fault.Reset()
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	s.EnableCheck(CheckOptions{Workers: 1, QueueDepth: 4, DrainTimeout: 200 * time.Millisecond})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	gate, occupied := saturate(t, base, reg)
+
+	shutdownErr := make(chan error, 1)
+	shutdownStart := time.Now()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- s.Shutdown(ctx)
+	}()
+
+	// Hold the gate past the drain deadline, then release: the fleet winds
+	// down on its cancelled context.
+	time.Sleep(400 * time.Millisecond)
+	close(gate)
+
+	if err := <-shutdownErr; err == nil {
+		t.Error("shutdown after a cut-short drain returned nil, want the drain-deadline error")
+	} else if !strings.Contains(err.Error(), "drain deadline") {
+		t.Errorf("shutdown error = %v", err)
+	}
+	if took := time.Since(shutdownStart); took > 5*time.Second {
+		t.Errorf("shutdown took %v despite the 200ms drain deadline", took)
+	}
+
+	got := map[string]int{}
+	for i, ch := range occupied {
+		select {
+		case r := <-ch:
+			if r.Verdict != "unknown" {
+				t.Errorf("check %d survived a hard cancel with verdict %q — shedding must withhold, not flip", i, r.Verdict)
+			}
+			got[r.Reason]++
+		case <-time.After(10 * time.Second):
+			t.Fatalf("check %d never answered after hard cancel", i)
+		}
+	}
+	// The in-flight check is canceled mid-run; the queued one is either
+	// shed at the drain flush or — the worker's exit races its next
+	// receive — picked up and canceled immediately. Both are withheld
+	// answers; neither may hang or decide.
+	if got["canceled"]+got["draining"] != 2 || got["canceled"] < 1 {
+		t.Errorf("hard-cancel reasons = %v, want canceled plus canceled-or-draining", got)
+	}
+	fault.Clear(fault.SvcWorker)
+
+	if rec, adm, shed, _ := checkAccounting(t, reg); rec != 2 || adm+shed != 2 {
+		t.Errorf("received=%d admitted=%d shed=%d, want 2 received all admitted-or-shed", rec, adm, shed)
+	}
+}

@@ -1,9 +1,11 @@
-// Package obshttp is the live observability service: an embeddable HTTP
-// server that exposes a running check, sweep or exploration while it runs,
-// instead of only after it exits. PR 3's internal/obs layer made the
-// engine report into a registry and an event stream; this package puts a
-// scrape-and-stream surface on top of both:
+// Package obshttp is the serving surface of the checking engine: an
+// embeddable HTTP server that exposes a running check live — and, with
+// EnableCheck, serves membership checking itself:
 //
+//	POST /check        run a history (or batch) through a model checker,
+//	                   under admission control (see check.go)
+//	GET /healthz       liveness (200 while the process runs)
+//	GET /readyz        readiness (503 once shutdown/drain begins)
 //	GET /metrics       Prometheus text exposition of the live registry
 //	GET /metrics.json  the same snapshot as JSON (obs.WriteJSON)
 //	GET /trace         the trace-event stream as Server-Sent Events
@@ -14,7 +16,10 @@
 // its event path never blocks the engine: /trace subscribers tap an
 // obs.Broadcast whose per-subscriber rings drop on overflow, and /runs is
 // an obs.Ring behind an obs.Filter. Both report their drops into the
-// registry, so the scrape surface observes its own lossiness.
+// registry, so the scrape surface observes its own lossiness. The /check
+// path is built around graceful degradation — bounded queue, load
+// shedding, drain on shutdown — and is chaos-tested through the
+// internal/fault points wired along it.
 package obshttp
 
 import (
@@ -26,6 +31,7 @@ import (
 	"net/http/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -33,17 +39,20 @@ import (
 
 // Server is one observability service instance. Create it with New, feed
 // its Sink from the engine's context, Start it on an address, and Shut it
-// down when the run ends.
+// down when the run ends. EnableCheck additionally turns on the POST
+// /check serving path.
 type Server struct {
 	reg   *obs.Registry
 	bcast *obs.Broadcast
 	runs  *obs.Ring
 	sink  obs.Sink
+	check *checker
 
 	hs       *http.Server
 	ln       net.Listener
 	done     chan struct{} // closed by Shutdown: unblocks SSE handlers
 	stopOnce sync.Once
+	draining atomic.Bool // set at Shutdown entry: /readyz flips to 503
 
 	// Heartbeat is the SSE keep-alive comment interval (exposed for
 	// tests; zero means the 15s default).
@@ -62,10 +71,15 @@ var runEventTypes = map[obs.EventType]bool{
 
 // New returns a server over the given registry (which may be nil when the
 // caller only wants the trace tap). The run log keeps the most recent
-// runsCap completed checks (minimum 1; 0 means the 1024 default).
+// runsCap completed checks: 0 means the 1024 default, and any negative
+// value clamps to the minimum of 1 — a nonsensical cap disables
+// retention rather than panicking or growing unboundedly.
 func New(reg *obs.Registry, runsCap int) *Server {
 	if runsCap == 0 {
 		runsCap = 1024
+	}
+	if runsCap < 0 {
+		runsCap = 1
 	}
 	s := &Server{
 		reg:   reg,
@@ -90,6 +104,11 @@ func (s *Server) Sink() obs.Sink { return s.sink }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.check != nil {
+		mux.HandleFunc("POST /check", s.handleCheck)
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /trace", s.handleTrace)
@@ -123,15 +142,45 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Shutdown stops the server: it releases every streaming handler (their
-// subscribers detach), then closes the listener and drains connections.
-// Idempotent; returns nil if Start was never called.
+// Shutdown stops the server gracefully: /readyz flips to 503 first (load
+// balancers stop routing), the checking service — when enabled — drains
+// its queued and in-flight checks bounded by its drain deadline, every
+// streaming handler is released (their subscribers detach), and finally
+// the listener closes and connections drain. Idempotent; returns nil if
+// Start was never called and no drain was cut short.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.stopOnce.Do(func() { close(s.done) })
-	if s.hs == nil {
-		return nil
+	s.draining.Store(true)
+	var derr error
+	if s.check != nil {
+		derr = s.check.drain(ctx)
 	}
-	return s.hs.Shutdown(ctx)
+	s.stopOnce.Do(func() { close(s.done) })
+	if s.hs != nil {
+		if herr := s.hs.Shutdown(ctx); derr == nil {
+			derr = herr
+		}
+	}
+	return derr
+}
+
+// handleHealthz is liveness: 200 for as long as the process can answer.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while the service accepts work, 503 the
+// moment shutdown begins — liveness and readiness diverge exactly during
+// the drain window.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 // handleIndex is a plain-text map of the service.
@@ -142,8 +191,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics.json  the same snapshot as JSON
   /trace         trace events as Server-Sent Events (?types=litmus,run_finish filters)
   /runs          recently completed checks as JSON
+  /healthz       liveness
+  /readyz        readiness (503 while draining)
   /debug/pprof/  Go profiling
 `)
+	if s.check != nil {
+		fmt.Fprintf(w, `  POST /check    check a history (or {"checks":[...]} batch) against a model:
+                 {"history":"w(x)1 r(y)0 | w(y)1 r(x)0","model":"SC","tier":"small","explain":true}
+`)
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

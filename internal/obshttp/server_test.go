@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -368,4 +369,166 @@ func TestShutdownReleasesStreamingHandler(t *testing.T) {
 	// The client sees the stream end (shutdown event, then EOF).
 	var c sseClient
 	c.readSSE(t, resp.Body, nil)
+}
+
+// TestHealthAndReadyEndpoints covers the liveness/readiness split: both
+// 200 while serving, and after Shutdown begins readiness fails while
+// liveness still answers (queried through the handler directly — the
+// listener is gone by then).
+func TestHealthAndReadyEndpoints(t *testing.T) {
+	s, base := startServer(t, obs.NewRegistry())
+
+	if body, resp := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", resp.StatusCode, body)
+	}
+	if body, resp := get(t, base+"/readyz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %d %q", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	h := s.Handler()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable || !strings.Contains(rr.Body.String(), "draining") {
+		t.Errorf("/readyz after shutdown = %d %q, want 503 draining", rr.Code, rr.Body.String())
+	}
+	if ra := rr.Header().Get("Retry-After"); ra == "" {
+		t.Error("/readyz 503 without Retry-After")
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != http.StatusOK {
+		t.Errorf("/healthz after shutdown = %d, want 200 (liveness is not readiness)", rr.Code)
+	}
+}
+
+// TestNewRunsCapClamp pins New's runsCap handling: zero selects the
+// default, and a negative cap clamps to a one-slot log instead of
+// panicking in the ring.
+func TestNewRunsCapClamp(t *testing.T) {
+	s := New(obs.NewRegistry(), -7)
+	for i := 0; i < 3; i++ {
+		s.Sink().Emit(obs.Event{Type: obs.EvRunFinish, Nodes: int64(i)})
+	}
+	evs := s.runs.Events()
+	if len(evs) != 1 || evs[0].Nodes != 2 {
+		t.Errorf("negative cap kept %+v, want just the newest event", evs)
+	}
+	if d := s.runs.Dropped(); d != 2 {
+		t.Errorf("negative cap evicted %d, want 2", d)
+	}
+
+	s = New(obs.NewRegistry(), 0)
+	for i := 0; i < 1500; i++ {
+		s.Sink().Emit(obs.Event{Type: obs.EvRunFinish})
+	}
+	if n := len(s.runs.Events()); n != 1024 {
+		t.Errorf("default cap kept %d events, want 1024", n)
+	}
+}
+
+// TestBroadcastChurnDuringShutdown races subscriber churn (direct and
+// over HTTP) and a concurrent Shutdown against a steady subscriber, and
+// asserts the lossiness invariant end to end: for a subscriber attached
+// the whole time, delivered + dropped == emitted, exactly.
+func TestBroadcastChurnDuringShutdown(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, 8)
+	s.Heartbeat = 10 * time.Millisecond
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	steady := s.bcast.Subscribe(64) // small on purpose: drops must be counted, not avoided
+	defer s.bcast.Unsubscribe(steady)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Direct churners: subscribe, take a little, unsubscribe, repeat.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sub := s.bcast.Subscribe(4)
+					sub.Take()
+					s.bcast.Unsubscribe(sub)
+				}
+			}
+		}()
+	}
+	// HTTP churners: /trace streams that come and go; transport errors
+	// are expected once the listener closes mid-churn.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					resp, err := http.Get(base + "/trace")
+					if err != nil {
+						continue
+					}
+					buf := make([]byte, 64)
+					resp.Body.Read(buf) //nolint:errcheck // any read suffices
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+
+	// Emitter: a counted stream through the server's own sink, with a
+	// Shutdown racing it midway.
+	const total = 5000
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		for i := 0; i < total; i++ {
+			s.Sink().Emit(obs.Event{Type: obs.EvCandidate, Candidates: int64(i)})
+			if i == total/2 {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := s.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown mid-emit: %v", err)
+				}
+				cancel()
+			}
+		}
+	}()
+
+	<-emitDone
+	close(stop)
+	wg.Wait()
+
+	var delivered int64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evs, _ := steady.Take()
+		delivered += int64(len(evs))
+		if delivered+steady.Dropped() >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := delivered + steady.Dropped(); got != total {
+		t.Errorf("steady subscriber saw delivered %d + dropped %d = %d, want exactly %d",
+			delivered, steady.Dropped(), got, total)
+	}
 }

@@ -10,8 +10,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/pool"
-	"repro/internal/pool/faultpoint"
 )
 
 // collectParallel gathers every extension the parallel enumerator yields,
@@ -198,12 +198,12 @@ func TestProductsParallelEarlyStop(t *testing.T) {
 // *pool.PanicError naming the shard, and not claim exhaustion.
 func TestParallelWorkerPanicContained(t *testing.T) {
 	var fired atomic.Bool
-	faultpoint.Set(faultpoint.Drain, func(worker int, item any) {
+	fault.Set(fault.PoolDrain, fault.Fault{Fn: func(worker int, item any) {
 		if fired.CompareAndSwap(false, true) {
 			panic("injected shard fault")
 		}
-	})
-	defer faultpoint.Clear(faultpoint.Drain)
+	}})
+	defer fault.Clear(fault.PoolDrain)
 
 	ok, err := LinearExtensionsParallel(context.Background(), 4, 9,
 		func(a, b int) bool { return false },

@@ -18,9 +18,10 @@
 // *PanicError naming the worker and the work item ("shard") it was
 // processing, and — in Indexed and Drain — cancels its sibling workers so
 // the pool winds down promptly instead of finishing a doomed computation.
-// Test-only fault injection lives in internal/pool/faultpoint; the hooks
-// are compiled in (one atomic load when unused) so tests exercise the
-// exact production containment path.
+// Fault injection lives in internal/fault (points fault.PoolGo,
+// fault.PoolIndexed, fault.PoolDrain); the hooks are compiled in (one
+// atomic load when unused) so tests and chaos runs exercise the exact
+// production containment path.
 package pool
 
 import (
@@ -31,8 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
-	"repro/internal/pool/faultpoint"
 )
 
 // Size resolves a worker-count knob to a concrete pool size: values <= 0
@@ -113,7 +114,7 @@ func Go(workers int, fn func(worker int)) error {
 					first.set(&PanicError{Worker: w, Value: v, Stack: debug.Stack()})
 				}
 			}()
-			faultpoint.Hit(faultpoint.Go, w, w)
+			fault.Hit(fault.PoolGo, w, w)
 			fn(w)
 		}()
 	}
@@ -168,7 +169,7 @@ func runIndex(w, i int, fn func(i int)) (err error) {
 			err = &PanicError{Worker: w, Shard: fmt.Sprintf("index %d", i), Value: v, Stack: debug.Stack()}
 		}
 	}()
-	faultpoint.Hit(faultpoint.Indexed, w, i)
+	fault.Hit(fault.PoolIndexed, w, i)
 	fn(i)
 	return nil
 }
@@ -227,7 +228,7 @@ func runItem[T any](w int, item T, fn func(worker int, item T)) (err error) {
 			err = &PanicError{Worker: w, Shard: fmt.Sprintf("%v", item), Value: v, Stack: debug.Stack()}
 		}
 	}()
-	faultpoint.Hit(faultpoint.Drain, w, item)
+	fault.Hit(fault.PoolDrain, w, item)
 	fn(w, item)
 	return nil
 }

@@ -9,7 +9,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/pool/faultpoint"
+	"repro/internal/fault"
 )
 
 func TestSize(t *testing.T) {
@@ -281,12 +281,12 @@ func TestFeedProducerPanicClosesChannel(t *testing.T) {
 // fault hooks, exactly as the model-layer fault tests do.
 func TestFaultpointInjection(t *testing.T) {
 	var fired atomic.Bool
-	faultpoint.Set(faultpoint.Indexed, func(worker int, item any) {
+	fault.Set(fault.PoolIndexed, fault.Fault{Fn: func(worker int, item any) {
 		if item.(int) == 7 && fired.CompareAndSwap(false, true) {
 			panic("injected")
 		}
-	})
-	defer faultpoint.Clear(faultpoint.Indexed)
+	}})
+	defer fault.Clear(fault.PoolIndexed)
 
 	err := Indexed(3, 100, func(int) {})
 	var pe *PanicError
@@ -298,7 +298,7 @@ func TestFaultpointInjection(t *testing.T) {
 	}
 
 	// After Clear the hook must be gone.
-	faultpoint.Clear(faultpoint.Indexed)
+	fault.Clear(fault.PoolIndexed)
 	if err := Indexed(3, 100, func(int) {}); err != nil {
 		t.Errorf("cleared hook still fired: %v", err)
 	}

@@ -10,8 +10,8 @@ import (
 	"time"
 
 	"repro/history"
+	"repro/internal/fault"
 	"repro/internal/pool"
-	"repro/internal/pool/faultpoint"
 	"repro/litmus"
 	"repro/model"
 )
@@ -218,12 +218,12 @@ func TestWitnessBeforeBudgetIsSound(t *testing.T) {
 // fail with a structured *pool.PanicError naming the faulting shard.
 func TestWorkerPanicContained(t *testing.T) {
 	var once atomic.Bool
-	faultpoint.Set(faultpoint.Drain, func(worker int, item any) {
+	fault.Set(fault.PoolDrain, fault.Fault{Fn: func(worker int, item any) {
 		if once.CompareAndSwap(false, true) {
 			panic("injected checker fault")
 		}
-	})
-	defer faultpoint.Clear(faultpoint.Drain)
+	}})
+	defer fault.Clear(fault.PoolDrain)
 
 	s := hardHistory(t, 6) // 720 candidates: well past the parallel threshold
 	m := model.TSO{Workers: 4}
