@@ -1,0 +1,90 @@
+// BenchmarkCacheHit measures what the content-addressed verdict cache
+// buys: serving a relabeled variant of an already-solved history (the full
+// hit path — canonicalize, hash, LRU lookup, verdict relabel) against
+// re-running the engine solve. The asserted floor keeps the cache honest:
+// a hit must stay at least 10x cheaper than the solve it replaces, or the
+// canonicalization overhead has eaten the point of caching.
+package repro_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/history"
+	"repro/internal/vcache"
+	"repro/model"
+)
+
+// cacheBenchHistory is where caching pays: an 18-write, 3-processor
+// history under a model with no polynomial fast path (weak ordering
+// routes to the enumerator), so the uncached solve costs milliseconds.
+// The three processors have deliberately distinct shapes (different
+// read/write mixes per position), so canonicalization sees no tied
+// processor signatures and the hit path stays in the tens of
+// microseconds. Corpus litmus tests are the wrong subject here — they
+// are small enough that every solve is cheaper than canonicalizing a
+// symmetric history, which is exactly why the service keeps the cache
+// off for trivially cheap tiers.
+const cacheBenchHistory = `p0: w(x1)1 r(x1)0 r(x1)0 w(x0)2 w(x2)3 w(x0)4 r(x1)0 w(x0)5
+p1: w(x0)6 w(x1)7 r(x1)0 w(x2)8 r(x1)0 r(x2)0 r(x1)0 r(x0)0
+p2: r(x1)0 w(x2)9 r(x0)0 r(x0)0 w(x1)10 w(x0)11 w(x0)12 r(x1)0`
+
+func BenchmarkCacheHit(b *testing.B) {
+	hist, err := history.Parse(cacheBenchHistory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := model.ByName("WO")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A relabeled orbit-mate of the cached history: the hit path must do
+	// its full work (no byte-identical shortcut).
+	variant, err := history.RelabelRandom(hist, rand.New(rand.NewSource(3)))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var hitNs, solveNs float64
+	b.Run("hit", func(b *testing.B) {
+		cache := vcache.New(64, nil)
+		if _, _, err := vcache.Check(ctx, cache, m, hist); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, hit, err := vcache.Check(ctx, cache, m, variant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !hit || v.Allowed || !v.Decided() {
+				b.Fatalf("hit=%v allowed=%v decided=%v, want a forbidden cache hit", hit, v.Allowed, v.Decided())
+			}
+		}
+		hitNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("solve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := model.AllowsCtx(ctx, m, variant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v.Allowed || !v.Decided() {
+				b.Fatalf("allowed=%v decided=%v, want forbidden under WO", v.Allowed, v.Decided())
+			}
+		}
+		solveNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	if hitNs > 0 && solveNs > 0 {
+		speedup := solveNs / hitNs
+		b.ReportMetric(speedup, "x-speedup")
+		if speedup < 10 {
+			b.Fatalf("cache hit %.0fns vs solve %.0fns: %.1fx speedup, want >= 10x", hitNs, solveNs, speedup)
+		}
+	}
+}

@@ -1,7 +1,7 @@
 // Package cliflags registers the bounding and observability flags shared
 // by every command in this repository — -workers, -timeout, -budget,
 // -fastpath, -trace, -metrics, -report, -serve, -drain-timeout, -degrade,
-// -faults, -pprof — with one help text, and
+// -faults, -cache-size, -pprof — with one help text, and
 // wires them into a context: the timeout and work budget bound every check
 // made under it, the trace sink receives structured JSONL events, the
 // metrics registry collects counters flushed as a JSON snapshot on exit,
@@ -37,6 +37,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/obshttp"
+	"repro/internal/vcache"
 	"repro/model"
 )
 
@@ -77,6 +78,11 @@ type Flags struct {
 	// "svc.worker=delay:50ms@p:0.1" (see internal/fault; also readable
 	// from the FAULT_INJECT environment variable).
 	Faults string
+	// CacheSize bounds the content-addressed verdict cache
+	// (internal/vcache): histories are canonicalized so relabeled
+	// variants collapse onto one solve. The cache serves both the run's
+	// own checks and -serve's POST /check; 0 disables it.
+	CacheSize int
 	// Pprof names the CPU-profile file; with a ".trace" suffix a Go
 	// runtime execution trace is written instead.
 	Pprof string
@@ -107,6 +113,8 @@ func Register(fs *flag.FlagSet) *Flags {
 		"shed over-capacity POST /check work as 200 Unknown{reason:\"shed\"} instead of 429 Too Many Requests")
 	fs.StringVar(&f.Faults, "faults", "",
 		"arm fault-injection points for chaos runs, e.g. 'svc.worker=delay:50ms@p:0.1,pool.drain=panic:chaos@nth:100' (see internal/fault)")
+	fs.IntVar(&f.CacheSize, "cache-size", 0,
+		"bound the content-addressed verdict cache to this many canonical histories (0 = no cache); hits skip the NP-hard solve and replay the witness under the caller's labels")
 	fs.StringVar(&f.Pprof, "pprof", "",
 		"write a CPU profile to this file (a .trace suffix writes a Go execution trace for `go tool trace` instead)")
 	return f
@@ -167,6 +175,17 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 	}
 	var sinks obs.Tee
 
+	// One verdict cache serves both the run's own checks (litmus.RunCtx
+	// picks it off the context) and -serve's POST /check path, so a warmed
+	// CLI run and the service it exposes share hits. The hit/miss/evict
+	// counters land in the same registry as everything else — and thus in
+	// -metrics snapshots and -report artifacts.
+	var cache *vcache.Cache
+	if f.CacheSize > 0 {
+		cache = vcache.New(f.CacheSize, reg)
+		ctx = vcache.WithCache(ctx, cache)
+	}
+
 	if f.Metrics != "" {
 		path := f.Metrics
 		down = append(down, func() error {
@@ -222,6 +241,7 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			Degrade:      f.Degrade,
 			DrainTimeout: f.DrainTimeout,
 			Enumerate:    !f.FastPath,
+			Cache:        cache,
 		})
 		addr, err := srv.Start(f.Serve)
 		if err != nil {

@@ -16,7 +16,8 @@
 //
 // Usage:
 //
-//	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-require-prune P]... [-json] baseline.json new.json
+//	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-require-prune P]...
+//	        [-require-counter C]... [-json] baseline.json new.json
 //	obsdiff -bench [-max-bench R] [-bench-filter S] [-json] baseline.jsonl new.jsonl
 //
 // Exit status: 0 when the new report passes, 1 on any hard problem,
@@ -57,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var requirePrune stringList
 	fs.Var(&requirePrune, "require-prune",
 		"fail when no model attributes a prune to this part in the new report (repeatable)")
+	var requireCounter stringList
+	fs.Var(&requireCounter, "require-counter",
+		"fail when this registry counter is zero or absent in the new report's metrics snapshot (repeatable)")
 	benchMode := fs.Bool("bench", false,
 		"compare benchmark trajectory files (last JSONL entry each) instead of run reports")
 	maxBench := fs.Float64("max-bench", 1.25,
@@ -114,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MinStat:           *minStat,
 			MaxTimeRatio:      *maxTime,
 			RequirePruneParts: requirePrune,
+			RequireCounters:   requireCounter,
 		})
 		tally = fmt.Sprintf("%d checks vs %d", len(baseline.Checks), len(current.Checks))
 	}

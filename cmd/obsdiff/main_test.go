@@ -126,6 +126,43 @@ func TestRunRequirePrune(t *testing.T) {
 	}
 }
 
+func TestRunRequireCounter(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", false)
+	cur := writeReport(t, dir, "cur.json", false)
+	var out, errb bytes.Buffer
+	// The fixture reports carry no vcache counters at all, so requiring
+	// one must fail the new report.
+	if code := run([]string{"-require-counter", "vcache.hits", base, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "counter-coverage") {
+		t.Errorf("counter-coverage not reported: %q", out.String())
+	}
+
+	// A report whose registry recorded cache hits passes the same gate.
+	reg := obs.NewRegistry()
+	reg.Counter("vcache.hits").Add(3)
+	b := obs.NewReportBuilder("litmus", nil)
+	b.Emit(obs.Event{Type: obs.EvLitmus, Test: "Fig1-SB", Model: "SC", Verdict: "forbidden"})
+	b.Emit(obs.Event{Type: obs.EvLitmus, Test: "Fig1-SB", Model: "TSO", Verdict: "allowed"})
+	b.Emit(obs.Event{Type: obs.EvRunFinish, Model: "SC", Verdict: "forbidden", Candidates: 10, Nodes: 50})
+	b.Emit(obs.Event{Type: obs.EvRunFinish, Model: "TSO", Verdict: "allowed", Candidates: 12, Nodes: 60})
+	cached := filepath.Join(dir, "cached.json")
+	f, err := os.Create(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Report(reg).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out.Reset()
+	if code := run([]string{"-require-counter", "vcache.hits", base, cached}, &out, &errb); code != 0 {
+		t.Fatalf("cached report: exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
 func TestRunUsageAndIOErrors(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run(nil, &out, &errb); code != 2 {

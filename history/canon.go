@@ -1,0 +1,367 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// This file implements symmetry reduction on system execution histories.
+// Every memory model in the paper treats processors, locations and values
+// symmetrically: verdicts are invariant under renaming processors, renaming
+// locations, and renaming values per location as long as the initial value
+// 0 stays fixed (legality, reads-from and coherence only ever compare
+// values at one location, and only for equality or against Initial).
+// Canonicalize exploits that symmetry: it maps a System to a normal form
+// that is identical for every history in the same isomorphism class, so a
+// content-addressed verdict cache can collapse millions of relabeled client
+// histories onto one NP-hard solve.
+
+// Renaming records the bijections Canonicalize applied, in both directions,
+// so a witness found on the canonical form can be mapped back to the
+// caller's labels (model.RelabelWitness) and tests can round-trip.
+type Renaming struct {
+	// ProcTo[p] is the canonical processor for original processor p;
+	// ProcFrom is its inverse.
+	ProcTo, ProcFrom []Proc
+	// LocTo maps original locations to canonical ones; LocFrom inverts it.
+	LocTo, LocFrom map[Loc]Loc
+	// ValTo[loc] maps original values at original location loc to canonical
+	// values; ValFrom[cloc] maps canonical values at canonical location
+	// cloc back. Initial (0) always maps to itself. Only values that appear
+	// in the history are present.
+	ValTo, ValFrom map[Loc]map[Value]Value
+	// OpTo[id] is the canonical OpID for original operation id; OpFrom is
+	// its inverse. Program order per processor is preserved, so the i-th
+	// operation of p maps to the i-th operation of ProcTo[p].
+	OpTo, OpFrom []OpID
+}
+
+// maxCanonOrders caps the number of candidate processor orders the
+// tie-break enumeration may try. Processor signatures almost always
+// separate processors; the cap only bites on highly symmetric histories
+// (k processors with op-for-op identical shapes cost k! orders).
+const maxCanonOrders = 40320 // 8!
+
+// Canonicalize returns the normal form of s: an isomorphic System whose
+// processors, locations and values carry canonical labels, plus the
+// Renaming that maps between the two. Two histories have identical
+// canonical forms (compare with Format) exactly when one is a relabeling
+// of the other by a processor permutation, a location bijection, and
+// per-location value bijections fixing Initial — and every memory model's
+// verdict is invariant under exactly those relabelings.
+//
+// The normal form is computed label-independently: processors are ordered
+// by a signature of their operation sequences that mentions no original
+// label (locations and values are encoded by first-touch order), ties
+// between signature-identical processors are broken by enumerating the
+// tied orders and keeping the lexicographically least encoding, locations
+// are renamed l0, l1, ... in first-touch order of the chosen processor
+// order, and values are renumbered 1, 2, ... per location in first-touch
+// order with Initial pinned to 0. The returned System is always isomorphic
+// to s; the only failure mode is a symmetry class so large that the
+// tie-break enumeration would exceed its cap, in which case an error is
+// returned and the caller should fall back to the uncanonicalized history.
+func Canonicalize(s *System) (*System, *Renaming, error) {
+	n := s.NumProcs()
+	// Label-independent signature per processor.
+	sigs := make([]string, n)
+	for p := 0; p < n; p++ {
+		sigs[p] = procSignature(s, Proc(p))
+	}
+	// Sort processors by signature; equal signatures form tie classes.
+	order := make([]Proc, n)
+	for i := range order {
+		order[i] = Proc(i)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return sigs[order[i]] < sigs[order[j]] })
+
+	var classes [][]Proc
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && sigs[order[j]] == sigs[order[i]] {
+			j++
+		}
+		classes = append(classes, order[i:j:j])
+		i = j
+	}
+	total := 1
+	for _, cl := range classes {
+		for k := 2; k <= len(cl); k++ {
+			total *= k
+			if total > maxCanonOrders {
+				return nil, nil, fmt.Errorf("history: Canonicalize: %d processors share a signature; tie-break needs > %d candidate orders", len(cl), maxCanonOrders)
+			}
+		}
+	}
+
+	// Enumerate the tied orders and keep the lexicographically least
+	// encoding. The minimum over a processor's full symmetry orbit is the
+	// same whatever labels the input carried, which is what makes the
+	// normal form label-independent even when signatures tie.
+	best := ""
+	var bestOrder []Proc
+	cand := append([]Proc(nil), order...)
+	permuteClasses(cand, classes, 0, func() {
+		enc := encodeOrder(s, cand)
+		if best == "" || enc < best {
+			best = enc
+			bestOrder = append(bestOrder[:0], cand...)
+		}
+	})
+
+	return build(s, bestOrder)
+}
+
+// procSignature encodes processor p's operation sequence without using any
+// original label: locations become first-touch indices within p's own
+// sequence, values become 'z' for Initial or a per-location first-touch
+// counter. Relabeling the history cannot change any processor's signature.
+func procSignature(s *System, p Proc) string {
+	var b strings.Builder
+	locTok := make(map[Loc]int)
+	valTok := make(map[Loc]map[Value]int)
+	for _, id := range s.ProcOps(p) {
+		o := s.Op(id)
+		lt, ok := locTok[o.Loc]
+		if !ok {
+			lt = len(locTok)
+			locTok[o.Loc] = lt
+			valTok[o.Loc] = make(map[Value]int)
+		}
+		b.WriteByte(kindChar(o))
+		fmt.Fprintf(&b, "%d.", lt)
+		if o.Value == Initial {
+			b.WriteByte('z')
+		} else {
+			vt, ok := valTok[o.Loc][o.Value]
+			if !ok {
+				vt = len(valTok[o.Loc]) + 1
+				valTok[o.Loc][o.Value] = vt
+			}
+			fmt.Fprintf(&b, "%d", vt)
+		}
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// kindChar is the r/w/R/W operation letter shared by String, signatures
+// and encodings.
+func kindChar(o Op) byte {
+	switch {
+	case o.Kind == Read && !o.Labeled:
+		return 'r'
+	case o.Kind == Read && o.Labeled:
+		return 'R'
+	case o.Kind == Write && !o.Labeled:
+		return 'w'
+	default:
+		return 'W'
+	}
+}
+
+// permuteClasses invokes f for every arrangement of cand that permutes
+// processors within each tie class and keeps the class sequence fixed.
+func permuteClasses(cand []Proc, classes [][]Proc, ci int, f func()) {
+	if ci == len(classes) {
+		f()
+		return
+	}
+	cl := classes[ci]
+	// Locate the class's window in cand (classes are contiguous windows of
+	// the sorted order).
+	off := 0
+	for i := 0; i < ci; i++ {
+		off += len(classes[i])
+	}
+	window := cand[off : off+len(cl)]
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(window) {
+			permuteClasses(cand, classes, ci+1, f)
+			return
+		}
+		for i := k; i < len(window); i++ {
+			window[k], window[i] = window[i], window[k]
+			rec(k + 1)
+			window[k], window[i] = window[i], window[k]
+		}
+	}
+	rec(0)
+	// Restore the class's original window order.
+	copy(window, cl)
+}
+
+// encodeOrder renders the history with processors taken in the given
+// order, locations renamed l0, l1, ... by first touch and values
+// renumbered per location by first touch (Initial stays 0). The string
+// equals Format of the canonical System built from the same order.
+func encodeOrder(s *System, order []Proc) string {
+	var b strings.Builder
+	locName := make(map[Loc]string)
+	valNum := make(map[Loc]map[Value]Value)
+	for cp, p := range order {
+		fmt.Fprintf(&b, "p%d:", cp)
+		for _, id := range s.ProcOps(p) {
+			o := s.Op(id)
+			ln, ok := locName[o.Loc]
+			if !ok {
+				ln = fmt.Sprintf("l%d", len(locName))
+				locName[o.Loc] = ln
+				valNum[o.Loc] = make(map[Value]Value)
+			}
+			v := Initial
+			if o.Value != Initial {
+				vn, ok := valNum[o.Loc][o.Value]
+				if !ok {
+					vn = Value(len(valNum[o.Loc]) + 1)
+					valNum[o.Loc][o.Value] = vn
+				}
+				v = vn
+			}
+			fmt.Fprintf(&b, " %c(%s)%d", kindChar(o), ln, v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// build constructs the canonical System for the chosen processor order and
+// the full Renaming between s and it.
+func build(s *System, order []Proc) (*System, *Renaming, error) {
+	n := s.NumProcs()
+	r := &Renaming{
+		ProcTo:   make([]Proc, n),
+		ProcFrom: make([]Proc, n),
+		LocTo:    make(map[Loc]Loc),
+		LocFrom:  make(map[Loc]Loc),
+		ValTo:    make(map[Loc]map[Value]Value),
+		ValFrom:  make(map[Loc]map[Value]Value),
+		OpTo:     make([]OpID, s.NumOps()),
+		OpFrom:   make([]OpID, s.NumOps()),
+	}
+	b := NewBuilder(n)
+	next := OpID(0)
+	for cp, p := range order {
+		r.ProcTo[p] = Proc(cp)
+		r.ProcFrom[cp] = p
+		for _, id := range s.ProcOps(p) {
+			o := s.Op(id)
+			cloc, ok := r.LocTo[o.Loc]
+			if !ok {
+				cloc = Loc(fmt.Sprintf("l%d", len(r.LocTo)))
+				r.LocTo[o.Loc] = cloc
+				r.LocFrom[cloc] = o.Loc
+				r.ValTo[o.Loc] = map[Value]Value{Initial: Initial}
+				r.ValFrom[cloc] = map[Value]Value{Initial: Initial}
+			}
+			cv, ok := r.ValTo[o.Loc][o.Value]
+			if !ok {
+				cv = Value(len(r.ValTo[o.Loc])) // Initial occupies slot 0
+				r.ValTo[o.Loc][o.Value] = cv
+				r.ValFrom[cloc][cv] = o.Value
+			}
+			b.add(Proc(cp), o.Kind, o.Labeled, cloc, cv)
+			r.OpTo[id] = next
+			r.OpFrom[next] = id
+			next++
+		}
+	}
+	return b.System(), r, nil
+}
+
+// RelabelRandom draws a random verdict-preserving relabeling of s from
+// rng: a uniform processor permutation, fresh opaque location names, and
+// per-location value bijections fixing Initial. Every memory model's
+// verdict on the result equals its verdict on s — the symmetry the
+// canonicalizer and its differential suites are built on.
+func RelabelRandom(s *System, rng *rand.Rand) (*System, error) {
+	procPerm := rng.Perm(s.NumProcs())
+	locName := make(map[Loc]Loc, len(s.Locs()))
+	valName := make(map[Loc]map[Value]Value, len(s.Locs()))
+	for i, loc := range s.Locs() {
+		locName[loc] = Loc(fmt.Sprintf("m%d_%d", i, rng.Intn(1<<16)))
+		vm := map[Value]Value{Initial: Initial}
+		used := map[Value]bool{Initial: true}
+		for _, id := range s.OpsOn(loc) {
+			v := s.Op(id).Value
+			if _, ok := vm[v]; ok {
+				continue
+			}
+			nv := Value(rng.Intn(1 << 20))
+			for used[nv] {
+				nv = Value(rng.Intn(1 << 20))
+			}
+			vm[v] = nv
+			used[nv] = true
+		}
+		valName[loc] = vm
+	}
+	return Relabel(s,
+		func(p Proc) Proc { return Proc(procPerm[p]) },
+		func(l Loc) Loc { return locName[l] },
+		func(l Loc, v Value) Value { return valName[l][v] })
+}
+
+// Relabel returns a copy of s with processors permuted by procOf,
+// locations renamed by locOf and values renamed by valOf (called with the
+// original location). It validates that procOf is a permutation of the
+// processors, that locOf is injective on the history's locations, and that
+// valOf is injective per location — the relabelings under which every
+// model's verdict is preserved additionally require valOf(loc, Initial) ==
+// Initial, which Relabel does not enforce (tests use it for mechanical
+// round-trips too). Per-processor program order is preserved.
+func Relabel(s *System, procOf func(Proc) Proc, locOf func(Loc) Loc, valOf func(Loc, Value) Value) (*System, error) {
+	n := s.NumProcs()
+	seenProc := make([]bool, n)
+	for p := 0; p < n; p++ {
+		np := procOf(Proc(p))
+		if int(np) < 0 || int(np) >= n {
+			return nil, fmt.Errorf("history: Relabel: processor %d maps out of range to %d", p, np)
+		}
+		if seenProc[np] {
+			return nil, fmt.Errorf("history: Relabel: two processors map to %d", np)
+		}
+		seenProc[np] = true
+	}
+	seenLoc := make(map[Loc]Loc)
+	for _, loc := range s.Locs() {
+		nl := locOf(loc)
+		if prev, dup := seenLoc[nl]; dup {
+			return nil, fmt.Errorf("history: Relabel: locations %q and %q both map to %q", prev, loc, nl)
+		}
+		seenLoc[nl] = loc
+		seen := make(map[Value]Value)
+		for _, id := range s.OpsOn(loc) {
+			v := s.Op(id).Value
+			nv := valOf(loc, v)
+			if prev, dup := seen[nv]; dup && prev != v {
+				return nil, fmt.Errorf("history: Relabel: values %d and %d at %q both map to %d", prev, v, loc, nv)
+			}
+			seen[nv] = v
+		}
+	}
+	b := NewBuilder(n)
+	type slot struct {
+		kind    Kind
+		labeled bool
+		loc     Loc
+		value   Value
+	}
+	lines := make([][]slot, n)
+	for p := 0; p < n; p++ {
+		np := procOf(Proc(p))
+		for _, id := range s.ProcOps(Proc(p)) {
+			o := s.Op(id)
+			lines[np] = append(lines[np], slot{o.Kind, o.Labeled, locOf(o.Loc), valOf(o.Loc, o.Value)})
+		}
+	}
+	for np, ops := range lines {
+		for _, o := range ops {
+			b.add(Proc(np), o.kind, o.labeled, o.loc, o.value)
+		}
+	}
+	return b.System(), nil
+}

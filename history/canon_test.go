@@ -1,0 +1,174 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// relabelRandom applies a random verdict-preserving relabeling to s: a
+// processor permutation, fresh location names, and per-location value
+// bijections fixing Initial. Shared with the cross-package symmetry suites
+// via RelabelRandom in export_test-style helpers below.
+func relabelRandom(t *testing.T, s *System, rng *rand.Rand) *System {
+	t.Helper()
+	out, err := RelabelRandom(s, rng)
+	if err != nil {
+		t.Fatalf("RelabelRandom: %v", err)
+	}
+	return out
+}
+
+func TestCanonicalizeInvariantUnderRelabeling(t *testing.T) {
+	histories := []string{
+		"p0: w(x)1 r(y)0\np1: w(y)1 r(x)0",
+		"p0: w(x)1\np1: r(x)1 w(y)1\np2: r(y)1 r(x)0",
+		"p0: w(x)1 r(x)1 r(x)2\np1: w(x)2 r(x)2 r(x)1",
+		"p0: W(s)1 r(d)0\np1: w(d)7 W(s)2\np2: R(s)2 R(s)1",
+		"p0: w(x)1\np1: w(y)1\np2: r(x)1 r(y)0\np3: r(y)1 r(x)0",
+		"p0: r(a)0\np1: r(a)0", // identical processors: a real tie class
+		"p0:\np1: w(x)1",       // empty processor line
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, text := range histories {
+		s := MustParse(text)
+		canon, ren, err := Canonicalize(s)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", text, err)
+		}
+		checkRenaming(t, s, canon, ren)
+		for i := 0; i < 25; i++ {
+			rs := relabelRandom(t, s, rng)
+			rc, _, err := Canonicalize(rs)
+			if err != nil {
+				t.Fatalf("Canonicalize(relabel %d of %q): %v", i, text, err)
+			}
+			if Format(rc) != Format(canon) {
+				t.Fatalf("canonical form not invariant for %q:\noriginal relabeling:\n%s\ncanonical of original:\n%s\ncanonical of relabeling:\n%s",
+					text, Format(rs), Format(canon), Format(rc))
+			}
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	for _, text := range []string{
+		"p0: w(x)1 r(y)0\np1: w(y)1 r(x)0",
+		"p0: w(zz)3 w(zz)9\np1: r(zz)9 r(zz)3",
+	} {
+		s := MustParse(text)
+		c1, _, err := Canonicalize(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _, err := Canonicalize(c1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Format(c1) != Format(c2) {
+			t.Fatalf("not idempotent for %q:\nfirst:\n%s\nsecond:\n%s", text, Format(c1), Format(c2))
+		}
+	}
+}
+
+func TestCanonicalizeNormalizesLabels(t *testing.T) {
+	s := MustParse("p0: w(zebra)42 r(apple)0\np1: w(apple)7 r(zebra)0")
+	canon, _, err := Canonicalize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Format(canon)
+	for _, loc := range canon.Locs() {
+		if !strings.HasPrefix(string(loc), "l") {
+			t.Errorf("canonical location %q does not use canonical naming", loc)
+		}
+	}
+	// The canonical form must itself parse back to an identical history
+	// (the encoding is what the verdict cache hashes).
+	rt, err := Parse(got)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, got)
+	}
+	if Format(rt) != got {
+		t.Fatalf("canonical form does not round-trip through Parse:\n%s\nvs\n%s", got, Format(rt))
+	}
+}
+
+// checkRenaming verifies the renaming really is the isomorphism between s
+// and canon: relabeling s through the To-maps reproduces canon exactly,
+// and the Op/Proc maps are mutually inverse.
+func checkRenaming(t *testing.T, s, canon *System, r *Renaming) {
+	t.Helper()
+	for p := 0; p < s.NumProcs(); p++ {
+		if r.ProcFrom[r.ProcTo[p]] != Proc(p) {
+			t.Fatalf("ProcTo/ProcFrom not inverse at %d", p)
+		}
+	}
+	for id := 0; id < s.NumOps(); id++ {
+		if r.OpFrom[r.OpTo[id]] != OpID(id) {
+			t.Fatalf("OpTo/OpFrom not inverse at %d", id)
+		}
+		o, co := s.Op(OpID(id)), canon.Op(r.OpTo[OpID(id)])
+		if o.Kind != co.Kind || o.Labeled != co.Labeled {
+			t.Fatalf("op %d changed shape under renaming: %v vs %v", id, o, co)
+		}
+		if r.LocTo[o.Loc] != co.Loc {
+			t.Fatalf("op %d: LocTo[%q] = %q but canonical op has %q", id, o.Loc, r.LocTo[o.Loc], co.Loc)
+		}
+		if r.ValTo[o.Loc][o.Value] != co.Value {
+			t.Fatalf("op %d: ValTo[%q][%d] = %d but canonical op has %d",
+				id, o.Loc, o.Value, r.ValTo[o.Loc][o.Value], co.Value)
+		}
+	}
+	rebuilt, err := Relabel(s,
+		func(p Proc) Proc { return r.ProcTo[p] },
+		func(l Loc) Loc { return r.LocTo[l] },
+		func(l Loc, v Value) Value { return r.ValTo[l][v] })
+	if err != nil {
+		t.Fatalf("Relabel through renaming: %v", err)
+	}
+	if Format(rebuilt) != Format(canon) {
+		t.Fatalf("renaming does not rebuild the canonical form:\n%s\nvs\n%s", Format(rebuilt), Format(canon))
+	}
+}
+
+func TestCanonicalizeTieClassCap(t *testing.T) {
+	// Nine op-for-op identical processors form a 9! > 8! tie class.
+	var lines []string
+	for i := 0; i < 9; i++ {
+		lines = append(lines, fmt.Sprintf("p%d: r(x)0", i))
+	}
+	s := MustParse(strings.Join(lines, "\n"))
+	if _, _, err := Canonicalize(s); err == nil {
+		t.Fatal("want an error for an oversized tie class, got none")
+	}
+	// Eight identical processors are within the cap.
+	s = MustParse(strings.Join(lines[:8], "\n"))
+	if _, _, err := Canonicalize(s); err != nil {
+		t.Fatalf("8-processor tie class should canonicalize: %v", err)
+	}
+}
+
+func TestRelabelRejectsNonBijections(t *testing.T) {
+	s := MustParse("p0: w(x)1 w(y)2\np1: r(x)1")
+	if _, err := Relabel(s,
+		func(Proc) Proc { return 0 }, // both processors collapse to 0
+		func(l Loc) Loc { return l },
+		func(_ Loc, v Value) Value { return v }); err == nil {
+		t.Error("want error for a non-injective processor map")
+	}
+	if _, err := Relabel(s,
+		func(p Proc) Proc { return p },
+		func(Loc) Loc { return "z" }, // x and y collapse
+		func(_ Loc, v Value) Value { return v }); err == nil {
+		t.Error("want error for a non-injective location map")
+	}
+	s2 := MustParse("p0: w(x)1 w(x)2")
+	if _, err := Relabel(s2,
+		func(p Proc) Proc { return p },
+		func(l Loc) Loc { return l },
+		func(Loc, Value) Value { return 5 }); err == nil {
+		t.Error("want error for a non-injective value map")
+	}
+}

@@ -67,6 +67,10 @@ const (
 	// SvcExplain fires before witness explanation; an injected error
 	// drops the explanation but must never change the verdict.
 	SvcExplain = "svc.explain"
+	// SvcCache fires on the verdict-cache path before the lookup; an
+	// injected error bypasses the cache for this check (it solves
+	// directly), which must never change the verdict.
+	SvcCache = "svc.cache"
 	// SvcDrain fires once per drain, between the admission gate closing
 	// and the fleet being waited on.
 	SvcDrain = "svc.drain"
@@ -77,7 +81,7 @@ const (
 func Points() []string {
 	return []string{
 		PoolGo, PoolIndexed, PoolDrain,
-		SvcHandler, SvcAdmit, SvcEnqueue, SvcWorker, SvcExplain, SvcDrain,
+		SvcHandler, SvcAdmit, SvcEnqueue, SvcWorker, SvcExplain, SvcCache, SvcDrain,
 	}
 }
 

@@ -19,6 +19,12 @@ type DiffOptions struct {
 	// or the procedure it instruments — silently stopped running, which
 	// is a coverage loss no verdict comparison would catch.
 	RequirePruneParts []string
+	// RequireCounters lists registry counters (e.g. "vcache.hits") that
+	// must be nonzero in the NEW report's metrics snapshot. Same rationale
+	// as RequirePruneParts: a subsystem the gate runs on purpose (the
+	// verdict cache) silently dropping to zero traffic is a regression
+	// even when every verdict still matches.
+	RequireCounters []string
 }
 
 // Problem is one finding of a report comparison. Hard problems (verdict
@@ -127,6 +133,14 @@ func DiffReports(old, new *Report, opts DiffOptions) []Problem {
 		}
 		if total == 0 {
 			add(true, "prune-coverage", "no model attributes any prune to required part %q in the new report", part)
+		}
+	}
+
+	// Required counters: same, but over the raw metrics snapshot (cache
+	// hit rates and the like live here, not in prune attribution).
+	for _, name := range opts.RequireCounters {
+		if new.Metrics.Counters[name] == 0 {
+			add(true, "counter-coverage", "required counter %q is zero or absent in the new report", name)
 		}
 	}
 

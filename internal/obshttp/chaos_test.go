@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -13,6 +14,18 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 )
+
+// chaosCacheSize sizes the verdict cache for chaos servers. The CI chaos
+// job runs the whole suite a second time with OBSHTTP_TEST_CACHE set, so
+// every fault scenario also executes on the cached /check path — the
+// invariants (no flipped verdicts, balanced accounting, no leaks) must
+// hold there too.
+func chaosCacheSize() int {
+	if os.Getenv("OBSHTTP_TEST_CACHE") != "" {
+		return 256
+	}
+	return 0
+}
 
 // The chaos suite injects panics, delays and errors at every fault point
 // on the /check path — handler, admission, enqueue, worker, explain,
@@ -101,6 +114,7 @@ func TestChaosFaultMatrix(t *testing.T) {
 		{"worker-panic-prob", fault.SvcWorker, fault.Fault{Panic: "worker chaos", Prob: 0.3, Seed: 7}},
 		{"worker-delay", fault.SvcWorker, fault.Fault{Delay: 5 * time.Millisecond, Every: 2}},
 		{"explain-error", fault.SvcExplain, fault.Fault{Err: fault.ErrInjected, Every: 2}},
+		{"cache-error", fault.SvcCache, fault.Fault{Err: fault.ErrInjected, Every: 2}},
 		{"pool-worker-panic", fault.PoolDrain, fault.Fault{Panic: "pool chaos", Nth: 4}},
 		{"pool-launch-panic", fault.PoolGo, fault.Fault{Panic: "launch chaos", Nth: 2}},
 		{"drain-delay", fault.SvcDrain, fault.Fault{Delay: 20 * time.Millisecond}},
@@ -119,7 +133,11 @@ func TestChaosFaultMatrix(t *testing.T) {
 
 			reg := obs.NewRegistry()
 			s := New(reg, 256)
-			s.EnableCheck(CheckOptions{Workers: 3, QueueDepth: 16})
+			cacheSize := chaosCacheSize()
+			if sc.point == fault.SvcCache {
+				cacheSize = 256 // the cached path must exist for its fault point to fire
+			}
+			s.EnableCheck(CheckOptions{Workers: 3, QueueDepth: 16, CacheSize: cacheSize})
 			addr, err := s.Start("127.0.0.1:0")
 			if err != nil {
 				t.Fatal(err)
@@ -182,7 +200,7 @@ func TestChaosSaturationStorm(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	s := New(reg, 256)
-	s.EnableCheck(CheckOptions{Workers: 1, QueueDepth: 2})
+	s.EnableCheck(CheckOptions{Workers: 1, QueueDepth: 2, CacheSize: chaosCacheSize()})
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +262,7 @@ func TestChaosShutdownMidRequest(t *testing.T) {
 
 	reg := obs.NewRegistry()
 	s := New(reg, 256)
-	s.EnableCheck(CheckOptions{Workers: 2, QueueDepth: 8})
+	s.EnableCheck(CheckOptions{Workers: 2, QueueDepth: 8, CacheSize: chaosCacheSize()})
 	addr, err := s.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/pool"
+	"repro/internal/vcache"
 	"repro/model"
 )
 
@@ -102,14 +103,18 @@ type Tier struct {
 	MaxCandidates int64
 	MaxNodes      int64
 	Deadline      time.Duration
+	// Cache enables the content-addressed verdict cache for this tier
+	// (when the service has one). The heavy tier stays uncached: it is the
+	// escape hatch that buys a fresh full-budget solve, never a replay.
+	Cache bool
 }
 
 // Tiers returns the service's admission tiers. The zero name maps to
 // "default".
 func Tiers() []Tier {
 	return []Tier{
-		{Name: "small", MaxCandidates: 1 << 10, MaxNodes: 1 << 14, Deadline: 250 * time.Millisecond},
-		{Name: "default", MaxCandidates: 1 << 16, MaxNodes: 1 << 20, Deadline: 2 * time.Second},
+		{Name: "small", MaxCandidates: 1 << 10, MaxNodes: 1 << 14, Deadline: 250 * time.Millisecond, Cache: true},
+		{Name: "default", MaxCandidates: 1 << 16, MaxNodes: 1 << 20, Deadline: 2 * time.Second, Cache: true},
 		{Name: "heavy", MaxCandidates: 1 << 20, MaxNodes: 1 << 24, Deadline: 10 * time.Second},
 	}
 }
@@ -148,6 +153,16 @@ type CheckOptions struct {
 	// Enumerate pins every check to the exhaustive enumerator
 	// (model.RouteEnumerate) instead of the fast-path router.
 	Enumerate bool
+	// CacheSize enables the content-addressed verdict cache
+	// (internal/vcache) on cache-enabled tiers, bounded to this many
+	// entries (0 = no cache). Histories are canonicalized
+	// (history.Canonicalize) so relabeled variants share one solve;
+	// Unknown verdicts are never cached.
+	CacheSize int
+	// Cache supplies a pre-built verdict cache instead of CacheSize —
+	// cliflags uses it to share one cache between the service and the
+	// process's own in-context checks.
+	Cache *vcache.Cache
 }
 
 // checker is the service core behind POST /check: the bounded queue, the
@@ -173,6 +188,9 @@ type checker struct {
 	enumerate    bool
 	drainTimeout time.Duration
 
+	// cache is the content-addressed verdict cache, nil when disabled.
+	cache *vcache.Cache
+
 	sink obs.Sink
 
 	received, admitted, shed, failed *obs.Counter
@@ -192,6 +210,10 @@ type job struct {
 	enq     time.Time
 	done    chan checkResult // buffered: the fleet never blocks on a gone client
 	degrade bool
+	// verdict is the engine verdict runJob stashed, for the cache path
+	// (the witness lives here; checkResult only renders strings). Reading
+	// it is ordered by the j.done delivery.
+	verdict *model.Verdict
 }
 
 // String renders a job as its request ID — it is what pool.Drain's
@@ -218,6 +240,10 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 	if opts.Enumerate {
 		ctx = model.WithRoute(ctx, model.RouteEnumerate)
 	}
+	cache := opts.Cache
+	if cache == nil && opts.CacheSize > 0 {
+		cache = vcache.New(opts.CacheSize, s.reg)
+	}
 	c := &checker{
 		jobs:         make(chan *job, opts.QueueDepth),
 		ctx:          ctx,
@@ -226,6 +252,7 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 		degrade:      opts.Degrade,
 		enumerate:    opts.Enumerate,
 		drainTimeout: opts.DrainTimeout,
+		cache:        cache,
 		sink:         s.sink,
 		received:     s.reg.Counter("svc.check.received"),
 		admitted:     s.reg.Counter("svc.check.admitted"),
@@ -474,6 +501,34 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 		return shed(http.StatusTooManyRequests, "shed")
 	}
 
+	// The verdict cache sits between admission control and the queue:
+	// cache-served checks consume no queue or fleet capacity, and
+	// relabeled variants of one history collapse onto one solve. An
+	// injected fault at svc.cache — or a history whose symmetry class
+	// defeats canonicalization — bypasses the cache and solves directly,
+	// so the cache can fail without flipping any verdict.
+	if c.cache != nil && tier.Cache {
+		if ferr := fault.Check(fault.SvcCache, 0, id); ferr == nil {
+			if canon, ren, cerr := history.Canonicalize(sys); cerr == nil {
+				cres, kind := c.doCached(ctx, id, req, sys, canon, ren, m, tier, degrade)
+				if kind == "" {
+					counted = true // the flight or the fleet classified the initiating solve
+				} else {
+					switch kind {
+					case "admitted":
+						count(c.admitted)
+					case "shed":
+						count(c.shed)
+					default:
+						count(c.failed)
+					}
+					c.emitFinish(cres)
+				}
+				return cres
+			}
+		}
+	}
+
 	jctx, jcancel := context.WithDeadline(c.ctx, time.Now().Add(tier.Deadline))
 	jctx = model.WithBudget(jctx, model.Budget{MaxCandidates: tier.MaxCandidates, MaxNodes: tier.MaxNodes})
 	j := &job{
@@ -518,6 +573,145 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 				Status: http.StatusGatewayTimeout, Verdict: "unknown", Reason: "deadline exceeded"}
 		}
 	}
+}
+
+// svcError carries a service-level outcome (an enqueue rejection, a
+// drain-time shed, a checker failure) across the cache's single-flight
+// boundary, so every waiter on the flight renders the same outcome under
+// its own request id. kind is the classify-once class the *waiter* should
+// count itself under; the initiating request is classified by the flight
+// itself (enqueue rejections) or by the fleet (owned jobs).
+type svcError struct {
+	res  checkResult // ID is overwritten per waiter
+	kind string      // "shed" or "failed"
+}
+
+func (e svcError) Error() string {
+	if e.res.Error != "" {
+		return e.res.Error
+	}
+	return e.res.Reason
+}
+
+// doCached serves one check through the verdict cache: a cached decided
+// verdict (or a seat on an identical in-flight solve) answers without
+// touching the queue; a cold key admits one job for the canonical history
+// into the fleet and every concurrent identical request shares its
+// verdict. The returned kind tells do how to classify this request — ""
+// means classification already happened elsewhere (the initiating solve is
+// classified by the flight or the fleet under this request's id).
+func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys, canon *history.System, ren *history.Renaming, m model.Model, tier Tier, degrade bool) (checkResult, string) {
+	enc := history.Format(canon)
+	key := vcache.KeyFor(enc, m.Name(), model.RouteFromContext(c.ctx).String())
+	start := time.Now()
+	v, hit, err := c.cache.Do(ctx, key, enc, func() (model.Verdict, error) {
+		return c.solveCanonical(id, m, canon, tier)
+	})
+	var se svcError
+	switch {
+	case err == nil:
+		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name, Status: http.StatusOK,
+			Candidates: v.Progress.Candidates, Nodes: v.Progress.Nodes, Frontier: v.Progress.Frontier,
+			WallUs: time.Since(start).Microseconds()}
+		rv := model.RelabelVerdict(v, ren)
+		switch {
+		case !rv.Decided():
+			res.Verdict = "unknown"
+			res.Reason = rv.Unknown.String()
+		case rv.Allowed:
+			res.Verdict = "allowed"
+		default:
+			res.Verdict = "forbidden"
+		}
+		if req.Explain && rv.Decided() {
+			// The cached witness is in canonical labels; rv carries it
+			// mapped back, so the explanation is built — and replayable —
+			// against the caller's own history.
+			if ferr := fault.Check(fault.SvcExplain, 0, id); ferr != nil {
+				res.ExplainError = ferr.Error()
+			} else if e, eerr := model.Explain(m, sys, rv); eerr != nil {
+				res.ExplainError = eerr.Error()
+			} else if data, jerr := e.JSON(); jerr != nil {
+				res.ExplainError = jerr.Error()
+			} else {
+				res.Explanation = data
+			}
+		}
+		if hit {
+			return res, "admitted"
+		}
+		return res, "" // the fleet classified and emitted this id's job
+	case errors.As(err, &se):
+		res := se.res
+		res.ID = id
+		if degrade && se.kind == "shed" {
+			res.Status = http.StatusOK
+		}
+		if hit {
+			return res, se.kind
+		}
+		return res, "" // the flight classified and emitted under this id
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The caller's context expired while waiting. The solve (if this
+		// request initiated one) still completes and is classified under
+		// this id by the fleet; a waiter classifies itself — its answer
+		// was withheld, not refused.
+		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+			Status: statusClientClosedRequest, Verdict: "unknown", Reason: "canceled"}
+		if hit {
+			return res, "admitted"
+		}
+		return res, ""
+	default:
+		// The solve died before the fleet owned a job — e.g. a panic
+		// injected at admission, contained by the flight — so no other
+		// layer classifies this check. Waiters and the initiator alike
+		// classify themselves as failed.
+		return checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+			Status: http.StatusInternalServerError, Error: err.Error()}, "failed"
+	}
+}
+
+// solveCanonical is the single engine solve behind a cache flight: it
+// admits a job for the canonical history into the fleet under the
+// initiating request's id and returns the engine verdict, witness in
+// canonical labels. It classifies the initiating request on the enqueue
+// rejection paths; an enqueued job is classified by the fleet as usual.
+// It runs detached from any request context — the solve completes and
+// populates the cache even if every waiting client disconnects.
+func (c *checker) solveCanonical(id string, m model.Model, canon *history.System, tier Tier) (model.Verdict, error) {
+	jctx, jcancel := context.WithDeadline(c.ctx, time.Now().Add(tier.Deadline))
+	jctx = model.WithBudget(jctx, model.Budget{MaxCandidates: tier.MaxCandidates, MaxNodes: tier.MaxNodes})
+	j := &job{
+		id: id, req: checkRequest{Model: m.Name(), Tier: tier.Name},
+		sys: canon, m: m, tier: tier,
+		ctx: jctx, cancel: jcancel,
+		enq: time.Now(), done: make(chan checkResult, 1),
+	}
+	rejected := func(status int, reason string) error {
+		jcancel()
+		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
+			Status: status, Verdict: "unknown", Reason: reason}
+		c.shed.Add(1)
+		c.emitFinish(res)
+		return svcError{kind: "shed", res: res}
+	}
+	switch c.enqueue(j) {
+	case admitOK:
+	case admitDraining:
+		return model.Verdict{}, rejected(http.StatusServiceUnavailable, "draining")
+	case admitFull:
+		return model.Verdict{}, rejected(http.StatusTooManyRequests, "shed")
+	}
+	res := <-j.done // the fleet always delivers: process, drain flush, or pending flush
+	if j.verdict == nil {
+		kind := "shed"
+		if res.Error != "" && res.Verdict == "" {
+			kind = "failed"
+		}
+		return model.Verdict{}, svcError{kind: kind, res: res}
+	}
+	return *j.verdict, nil
 }
 
 // handlerGrace is how long past its deadline a handler waits for the
@@ -618,6 +812,7 @@ func (c *checker) runJob(w int, j *job) (res checkResult) {
 		res.Error = err.Error()
 		return res
 	}
+	j.verdict = &v // the cache path needs the witness, not just the rendering
 	res.Candidates = v.Progress.Candidates
 	res.Nodes = v.Progress.Nodes
 	res.Frontier = v.Progress.Frontier

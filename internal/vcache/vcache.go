@@ -1,0 +1,284 @@
+// Package vcache is the content-addressed verdict cache behind the
+// checking service: histories are reduced to their canonical form
+// (history.Canonicalize), the canonical encoding plus the model name and
+// route mode are hashed to a key, and decided verdicts — witnesses in
+// canonical labels — are stored under it, so every history in the same
+// isomorphism class costs one NP-hard solve. The cache is bounded (LRU),
+// single-flighted (concurrent lookups of one key share a solve), and
+// instrumented in the obs registry:
+//
+//	vcache.lookups     every Do call
+//	vcache.hits        answered without initiating a solve (LRU or a
+//	                   shared in-flight solve); hits + misses == lookups
+//	vcache.misses      a solve was initiated (or a collision forced one)
+//	vcache.coalesced   the subset of hits that joined an in-flight solve
+//	vcache.evictions   entries dropped by the LRU bound
+//	vcache.collisions  a key whose stored encoding differs from the
+//	                   caller's — never served, always re-solved
+//	vcache.entries     (gauge) resident entries
+//
+// Unknown verdicts are never cached: a budget-starved answer must not mask
+// the full solve a later, better-funded request could complete.
+package vcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/history"
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// Key is the cache key: SHA-256 over the canonical history encoding, the
+// model name, and the route mode, NUL-separated.
+type Key [sha256.Size]byte
+
+// KeyFor computes the key for a canonical encoding checked under the named
+// model and route.
+func KeyFor(enc, modelName, route string) Key {
+	h := sha256.New()
+	h.Write([]byte(enc))
+	h.Write([]byte{0})
+	h.Write([]byte(modelName))
+	h.Write([]byte{0})
+	h.Write([]byte(route))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// entry is one cached decided verdict. The encoding is kept so a hash
+// collision (a different history mapping to the same key) is detected and
+// never served.
+type entry struct {
+	key Key
+	enc string
+	v   model.Verdict
+}
+
+// flight is one in-progress solve that concurrent lookups of the same key
+// share. The solve runs on its own goroutine, so it completes (and
+// populates the cache) even if every waiter gives up.
+type flight struct {
+	enc  string
+	done chan struct{}
+	v    model.Verdict
+	err  error
+}
+
+// Cache is a bounded, single-flighted, content-addressed verdict cache.
+// The zero value is not usable; call New. A nil *Cache is inert: Do solves
+// directly.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recent; values are *entry
+	entries map[Key]*list.Element
+	flights map[Key]*flight
+
+	lookups, hits, misses, coalesced, evictions, collisions *obs.Counter
+	entriesG                                                *obs.Gauge
+}
+
+// New returns a Cache holding at most size entries, instrumented in reg
+// (nil-safe: a nil registry disables the counters, not the cache). A size
+// <= 0 disables storage but keeps single-flight coalescing.
+func New(size int, reg *obs.Registry) *Cache {
+	return &Cache{
+		cap:        size,
+		lru:        list.New(),
+		entries:    make(map[Key]*list.Element),
+		flights:    make(map[Key]*flight),
+		lookups:    reg.Counter("vcache.lookups"),
+		hits:       reg.Counter("vcache.hits"),
+		misses:     reg.Counter("vcache.misses"),
+		coalesced:  reg.Counter("vcache.coalesced"),
+		evictions:  reg.Counter("vcache.evictions"),
+		collisions: reg.Counter("vcache.collisions"),
+		entriesG:   reg.Gauge("vcache.entries"),
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters (the same
+// values the obs registry exports as vcache.*). Built from nil-safe
+// counter reads, so a cache created with a nil registry reports zeros.
+type Stats struct {
+	Lookups, Hits, Misses, Coalesced, Evictions, Collisions, Entries int64
+}
+
+// Stats snapshots the counters. The fields are read individually, not
+// under one lock; the hits+misses==lookups invariant holds exactly only
+// when no lookup is concurrently in progress.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Lookups:    c.lookups.Value(),
+		Hits:       c.hits.Value(),
+		Misses:     c.misses.Value(),
+		Coalesced:  c.coalesced.Value(),
+		Evictions:  c.evictions.Value(),
+		Collisions: c.collisions.Value(),
+		Entries:    c.entriesG.Value(),
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Do answers the check identified by (k, enc) — enc must be the canonical
+// encoding k was derived from. A cached decided verdict is returned
+// immediately; otherwise the first caller starts solve on its own
+// goroutine and concurrent callers of the same key wait for it. hit
+// reports whether this caller was answered without initiating a solve.
+// The caller's context bounds only its wait: an initiated solve runs to
+// completion and populates the cache even if ctx expires first. Decided
+// verdicts are cached; Unknown verdicts and solve errors are not.
+//
+// Witnesses returned from a hit are shared structure — callers must treat
+// them as immutable (model.RelabelWitness copies, so the usual relabel
+// step already does).
+func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.Verdict, error)) (v model.Verdict, hit bool, err error) {
+	if c == nil {
+		v, err = solve()
+		return v, false, err
+	}
+	c.lookups.Add(1)
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*entry)
+		if e.enc == enc {
+			c.lru.MoveToFront(el)
+			v = e.v
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return v, true, nil
+		}
+		// A different history hashed to this key. Never serve it; solve
+		// directly without disturbing the resident entry or its flights.
+		c.mu.Unlock()
+		c.collisions.Add(1)
+		c.misses.Add(1)
+		v, err = solve()
+		return v, false, err
+	}
+	if f, ok := c.flights[k]; ok {
+		if f.enc != enc {
+			c.mu.Unlock()
+			c.collisions.Add(1)
+			c.misses.Add(1)
+			v, err = solve()
+			return v, false, err
+		}
+		c.mu.Unlock()
+		c.hits.Add(1)
+		c.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.v, true, f.err
+		case <-ctx.Done():
+			return model.Verdict{}, true, ctx.Err()
+		}
+	}
+	f := &flight{enc: enc, done: make(chan struct{})}
+	c.flights[k] = f
+	c.mu.Unlock()
+	c.misses.Add(1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("vcache: solve panicked: %v", r)
+			}
+			c.mu.Lock()
+			delete(c.flights, k)
+			if f.err == nil && f.v.Decided() {
+				c.putLocked(k, enc, f.v)
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.v, f.err = solve()
+	}()
+	select {
+	case <-f.done:
+		return f.v, false, f.err
+	case <-ctx.Done():
+		return model.Verdict{}, false, ctx.Err()
+	}
+}
+
+// putLocked stores a decided verdict, evicting from the LRU tail to stay
+// within capacity. Callers hold c.mu.
+func (c *Cache) putLocked(k Key, enc string, v model.Verdict) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*entry).v = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		old := c.lru.Back()
+		oe := old.Value.(*entry)
+		c.lru.Remove(old)
+		delete(c.entries, oe.key)
+		c.evictions.Add(1)
+	}
+	c.entries[k] = c.lru.PushFront(&entry{key: k, enc: enc, v: v})
+	c.entriesG.Set(int64(c.lru.Len()))
+}
+
+// Check decides m on s through the cache: canonicalize, look up, solve on
+// a miss (model.AllowsCtx on the canonical form, so the cached witness is
+// in canonical labels), and map the verdict's witness back to s's labels.
+// The route mode in the context is part of the key. When the cache is nil
+// or the history defeats canonicalization (an oversized symmetry class),
+// the check falls through to a plain AllowsCtx — caching is an
+// optimization, never a prerequisite. hit is as in Do.
+func Check(ctx context.Context, c *Cache, m model.Model, s *history.System) (model.Verdict, bool, error) {
+	if c == nil {
+		v, err := model.AllowsCtx(ctx, m, s)
+		return v, false, err
+	}
+	canon, ren, err := history.Canonicalize(s)
+	if err != nil {
+		v, err := model.AllowsCtx(ctx, m, s)
+		return v, false, err
+	}
+	enc := history.Format(canon)
+	k := KeyFor(enc, m.Name(), model.RouteFromContext(ctx).String())
+	v, hit, err := c.Do(ctx, k, enc, func() (model.Verdict, error) {
+		return model.AllowsCtx(ctx, m, canon)
+	})
+	if err != nil {
+		return v, hit, err
+	}
+	return model.RelabelVerdict(v, ren), hit, nil
+}
+
+type ctxKey struct{}
+
+// WithCache attaches c to the context so cache-aware call sites deep in
+// the stack (litmus.RunCtx) check through it. A nil cache detaches.
+func WithCache(ctx context.Context, c *Cache) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext returns the cache attached by WithCache, or nil.
+func FromContext(ctx context.Context) *Cache {
+	c, _ := ctx.Value(ctxKey{}).(*Cache)
+	return c
+}

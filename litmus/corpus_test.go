@@ -1,0 +1,24 @@
+package litmus
+
+import (
+	"testing"
+
+	"repro/model"
+)
+
+// forEachCorpusModel drives the corpus × model matrix that every
+// differential suite in this package iterates: one subtest per corpus
+// test, fn invoked once per model inside it. Suites that also sweep a
+// worker count or a route do so inside fn, so the subtest name stays the
+// corpus test and a failure always names the (test, model) pair.
+func forEachCorpusModel(t *testing.T, fn func(t *testing.T, tc Test, m model.Model)) {
+	t.Helper()
+	for _, tc := range Corpus() {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			for _, m := range model.All() {
+				fn(t, tc, m)
+			}
+		})
+	}
+}

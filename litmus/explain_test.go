@@ -16,36 +16,34 @@ import (
 // paper's Figures 1–4 are in the corpus, so this covers the acceptance
 // criterion directly.
 func TestExplainCorpusReplay(t *testing.T) {
-	for _, tc := range Corpus() {
-		for _, m := range model.All() {
-			v, err := m.Allows(tc.History)
-			if err != nil {
-				continue // ambiguous/oversized for this model; not explainable
-			}
-			e, err := model.Explain(m, tc.History, v)
-			if err != nil {
-				t.Fatalf("%s under %s: Explain: %v", tc.Name, m.Name(), err)
-			}
-			data, err := e.JSON()
-			if err != nil {
-				t.Fatalf("%s under %s: JSON: %v", tc.Name, m.Name(), err)
-			}
-			var rt model.Explanation
-			if err := json.Unmarshal(data, &rt); err != nil {
-				t.Fatalf("%s under %s: round-trip: %v", tc.Name, m.Name(), err)
-			}
-			if err := model.ValidateExplanation(m, tc.History, &rt); err != nil {
-				t.Errorf("%s under %s: replay validation: %v", tc.Name, m.Name(), err)
-			}
-			text := e.Text()
-			if text == "" {
-				t.Errorf("%s under %s: empty text rendering", tc.Name, m.Name())
-			}
-			if v.Allowed && !strings.Contains(text, "allowed") {
-				t.Errorf("%s under %s: text rendering lacks verdict: %q", tc.Name, m.Name(), text)
-			}
+	forEachCorpusModel(t, func(t *testing.T, tc Test, m model.Model) {
+		v, err := m.Allows(tc.History)
+		if err != nil {
+			return // ambiguous/oversized for this model; not explainable
 		}
-	}
+		e, err := model.Explain(m, tc.History, v)
+		if err != nil {
+			t.Fatalf("%s: Explain: %v", m.Name(), err)
+		}
+		data, err := e.JSON()
+		if err != nil {
+			t.Fatalf("%s: JSON: %v", m.Name(), err)
+		}
+		var rt model.Explanation
+		if err := json.Unmarshal(data, &rt); err != nil {
+			t.Fatalf("%s: round-trip: %v", m.Name(), err)
+		}
+		if err := model.ValidateExplanation(m, tc.History, &rt); err != nil {
+			t.Errorf("%s: replay validation: %v", m.Name(), err)
+		}
+		text := e.Text()
+		if text == "" {
+			t.Errorf("%s: empty text rendering", m.Name())
+		}
+		if v.Allowed && !strings.Contains(text, "allowed") {
+			t.Errorf("%s: text rendering lacks verdict: %q", m.Name(), text)
+		}
+	})
 }
 
 // TestExplainTamperedEdgeRejected: the validator must reject an

@@ -18,6 +18,7 @@ import (
 
 	"repro/history"
 	"repro/internal/obs"
+	"repro/internal/vcache"
 	"repro/model"
 )
 
@@ -62,11 +63,14 @@ func Run(t Test, models []model.Model) ([]Result, error) {
 
 // RunCtx is Run under a context: the deadline, cancellation and any
 // model.WithBudget budget apply to every check, and a check cut short
-// reports its Unknown reason instead of a (meaningless) verdict.
+// reports its Unknown reason instead of a (meaningless) verdict. A verdict
+// cache attached with vcache.WithCache serves repeated (or relabeled)
+// checks from their canonical form instead of re-solving.
 func RunCtx(ctx context.Context, t Test, models []model.Model) ([]Result, error) {
+	cache := vcache.FromContext(ctx)
 	out := make([]Result, 0, len(models))
 	for _, m := range models {
-		v, err := model.AllowsCtx(ctx, m, t.History)
+		v, _, err := vcache.Check(ctx, cache, m, t.History)
 		if err != nil {
 			return nil, fmt.Errorf("litmus: %s under %s: %w", t.Name, m.Name(), err)
 		}

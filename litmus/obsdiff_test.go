@@ -17,43 +17,38 @@ import (
 // the un-instrumented check reaches, and instrumented witnesses must still
 // verify. Tracing observes the search; it must never steer it.
 func TestObservabilityNeverChangesVerdicts(t *testing.T) {
-	for _, workers := range []int{1, 4} {
-		for _, tc := range Corpus() {
-			tc, workers := tc, workers
-			t.Run(tc.Name, func(t *testing.T) {
-				for _, m := range model.All() {
-					m = model.WithWorkers(m, workers)
-					plain, perr := m.Allows(tc.History)
+	forEachCorpusModel(t, func(t *testing.T, tc Test, m model.Model) {
+		for _, workers := range []int{1, 4} {
+			wm := model.WithWorkers(m, workers)
+			plain, perr := wm.Allows(tc.History)
 
-					reg := obs.NewRegistry()
-					ctx := obs.WithRegistry(context.Background(), reg)
-					ctx = obs.WithSink(ctx, obs.NewJSONL(io.Discard))
-					traced, terr := model.AllowsCtx(ctx, m, tc.History)
+			reg := obs.NewRegistry()
+			ctx := obs.WithRegistry(context.Background(), reg)
+			ctx = obs.WithSink(ctx, obs.NewJSONL(io.Discard))
+			traced, terr := model.AllowsCtx(ctx, wm, tc.History)
 
-					if (perr == nil) != (terr == nil) {
-						t.Errorf("%s w=%d: plain err=%v, traced err=%v", m.Name(), workers, perr, terr)
-						continue
-					}
-					if perr != nil {
-						continue // both reject the question consistently
-					}
-					if plain.Allowed != traced.Allowed || plain.Decided() != traced.Decided() {
-						t.Errorf("%s w=%d: plain=(allowed=%v decided=%v) traced=(allowed=%v decided=%v)",
-							m.Name(), workers, plain.Allowed, plain.Decided(),
-							traced.Allowed, traced.Decided())
-					}
-					if traced.Allowed {
-						if err := model.VerifyWitness(m, tc.History, traced.Witness); err != nil {
-							t.Errorf("%s w=%d: traced witness fails verification: %v", m.Name(), workers, err)
-						}
-					}
-					if reg.Counter("check.runs").Value() == 0 {
-						t.Errorf("%s w=%d: instrumented check recorded no run", m.Name(), workers)
-					}
+			if (perr == nil) != (terr == nil) {
+				t.Errorf("%s w=%d: plain err=%v, traced err=%v", m.Name(), workers, perr, terr)
+				continue
+			}
+			if perr != nil {
+				continue // both reject the question consistently
+			}
+			if plain.Allowed != traced.Allowed || plain.Decided() != traced.Decided() {
+				t.Errorf("%s w=%d: plain=(allowed=%v decided=%v) traced=(allowed=%v decided=%v)",
+					m.Name(), workers, plain.Allowed, plain.Decided(),
+					traced.Allowed, traced.Decided())
+			}
+			if traced.Allowed {
+				if err := model.VerifyWitness(wm, tc.History, traced.Witness); err != nil {
+					t.Errorf("%s w=%d: traced witness fails verification: %v", m.Name(), workers, err)
 				}
-			})
+			}
+			if reg.Counter("check.runs").Value() == 0 {
+				t.Errorf("%s w=%d: instrumented check recorded no run", m.Name(), workers)
+			}
 		}
-	}
+	})
 }
 
 // TestObservabilityRingSink re-runs the Figure 1–4 tests with a bounded

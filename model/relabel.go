@@ -1,0 +1,59 @@
+package model
+
+import (
+	"repro/history"
+)
+
+// RelabelWitness maps a witness found on the canonical form of a history
+// (history.Canonicalize) back to the caller's original labels, using the
+// renaming the canonicalizer returned. Views, orders and serializations
+// are rewritten operation by operation; the result verifies against the
+// original history exactly as the input verified against the canonical
+// one, because the renaming is an isomorphism. The input witness is not
+// modified. A nil witness maps to nil.
+func RelabelWitness(w *Witness, r *history.Renaming) *Witness {
+	if w == nil {
+		return nil
+	}
+	view := func(v history.View) history.View {
+		if v == nil {
+			return nil
+		}
+		out := make(history.View, len(v))
+		for i, id := range v {
+			out[i] = r.OpFrom[id]
+		}
+		return out
+	}
+	out := &Witness{
+		WriteOrder:   view(w.WriteOrder),
+		LabeledOrder: view(w.LabeledOrder),
+	}
+	if w.Views != nil {
+		out.Views = make(map[history.Proc]history.View, len(w.Views))
+		for p, v := range w.Views {
+			out.Views[r.ProcFrom[p]] = view(v)
+		}
+	}
+	if w.Coherence != nil {
+		out.Coherence = make(map[history.Loc]history.View, len(w.Coherence))
+		for loc, v := range w.Coherence {
+			out.Coherence[r.LocFrom[loc]] = view(v)
+		}
+	}
+	if w.LocSerializations != nil {
+		out.LocSerializations = make(map[history.Loc]history.View, len(w.LocSerializations))
+		for loc, v := range w.LocSerializations {
+			out.LocSerializations[r.LocFrom[loc]] = view(v)
+		}
+	}
+	return out
+}
+
+// RelabelVerdict is RelabelWitness lifted to a whole verdict: the verdict
+// is copied with its witness mapped back through the renaming. Progress
+// counters and the Unknown reason carry over unchanged.
+func RelabelVerdict(v Verdict, r *history.Renaming) Verdict {
+	v.Witness = RelabelWitness(v.Witness, r)
+	return v
+}

@@ -8,14 +8,14 @@
 #   ./scripts/bench.sh [trajectory-file]      # default: BENCH_TRAJECTORY.jsonl
 #
 # Environment:
-#   BENCH      benchmark regex          (default: ObsOverhead|BudgetOverhead|FastPath)
+#   BENCH      benchmark regex          (default: ObsOverhead|BudgetOverhead|FastPath|CacheHit)
 #   BENCHTIME  go test -benchtime value (default: 1s)
 #   COUNT      repetitions for medians  (default: 5)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_TRAJECTORY.jsonl}
-bench=${BENCH:-'ObsOverhead|BudgetOverhead|FastPath'}
+bench=${BENCH:-'ObsOverhead|BudgetOverhead|FastPath|CacheHit'}
 benchtime=${BENCHTIME:-1s}
 count=${COUNT:-5}
 
