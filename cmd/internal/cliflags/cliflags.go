@@ -236,6 +236,19 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 
 	if f.Serve != "" {
 		srv := obshttp.New(reg, 0)
+		// Tap the trace file and the report builder into the server's own
+		// event path (before EnableCheck captures it): events the service
+		// originates — POST /check run records and the per-phase span tree
+		// — reach -trace and -report, not just /trace subscribers. The
+		// context then carries srv.Sink() alone, which already tees into
+		// everything, so each event is delivered exactly once per sink.
+		switch len(sinks) {
+		case 0:
+		case 1:
+			srv.Tap(sinks[0])
+		default:
+			srv.Tap(sinks)
+		}
 		srv.EnableCheck(obshttp.CheckOptions{
 			Workers:      f.Workers,
 			Degrade:      f.Degrade,
@@ -249,7 +262,7 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (POST /check, /metrics /trace /runs /healthz /readyz /debug/pprof/)\n", addr)
-		sinks = append(sinks, srv.Sink())
+		ctx = obs.WithSink(ctx, srv.Sink())
 		down = append(down, func() error {
 			// The shutdown budget covers the service drain (bounded by
 			// -drain-timeout inside) plus connection teardown.
@@ -257,14 +270,14 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			defer cancel()
 			return srv.Shutdown(sctx)
 		})
-	}
-
-	switch len(sinks) {
-	case 0:
-	case 1:
-		ctx = obs.WithSink(ctx, sinks[0])
-	default:
-		ctx = obs.WithSink(ctx, sinks)
+	} else {
+		switch len(sinks) {
+		case 0:
+		case 1:
+			ctx = obs.WithSink(ctx, sinks[0])
+		default:
+			ctx = obs.WithSink(ctx, sinks)
+		}
 	}
 
 	if f.Pprof != "" {

@@ -14,11 +14,25 @@
 // or disappeared — fails the gate. -bench-filter restricts the gate to a
 // benchmark-name substring.
 //
+// -max-phase phase=R (repeatable) gates span-phase latency in both
+// modes: in report mode it compares the phases table's estimated p95s,
+// in bench mode the trajectory entries' p50s. The quantiles come from
+// power-of-two histograms (2x-wide buckets), so sensible ratios sit
+// well above 2 — the CI gates use ~25x. -min-phase-ns sets the absolute
+// noise floor under which growth is ignored.
+//
+// -phases FILE is a helper mode, not a comparison: it prints "phase p50ns"
+// lines from one report's phases table, for scripts/bench.sh to fold into
+// trajectory entries.
+//
 // Usage:
 //
 //	obsdiff [-max-stat R] [-min-stat N] [-max-time R] [-require-prune P]...
-//	        [-require-counter C]... [-json] baseline.json new.json
-//	obsdiff -bench [-max-bench R] [-bench-filter S] [-json] baseline.jsonl new.jsonl
+//	        [-require-counter C]... [-max-phase P=R]... [-min-phase-ns N]
+//	        [-json] baseline.json new.json
+//	obsdiff -bench [-max-bench R] [-bench-filter S] [-max-phase P=R]...
+//	        [-min-phase-ns N] [-json] baseline.jsonl new.jsonl
+//	obsdiff -phases report.json
 //
 // Exit status: 0 when the new report passes, 1 on any hard problem,
 // 2 on bad usage or unreadable input.
@@ -30,6 +44,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/obs"
@@ -44,6 +60,33 @@ type stringList []string
 
 func (l *stringList) String() string     { return strings.Join(*l, ",") }
 func (l *stringList) Set(v string) error { *l = append(*l, v); return nil }
+
+// ratioMap collects a repeatable "name=ratio" flag into a map.
+type ratioMap map[string]float64
+
+func (m *ratioMap) String() string {
+	var parts []string
+	for k, v := range *m {
+		parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *ratioMap) Set(v string) error {
+	name, ratio, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ratio, got %q", v)
+	}
+	r, err := strconv.ParseFloat(ratio, 64)
+	if err != nil {
+		return fmt.Errorf("bad ratio in %q: %w", v, err)
+	}
+	if *m == nil {
+		*m = make(ratioMap)
+	}
+	(*m)[name] = r
+	return nil
+}
 
 // run is main without the process exit, for tests.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -67,14 +110,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"with -bench: fail when a benchmark's median ns/op grows beyond this ratio of the baseline (0 disables)")
 	benchFilter := fs.String("bench-filter", "",
 		"with -bench: only gate benchmarks whose name contains this substring")
+	var maxPhase ratioMap
+	fs.Var(&maxPhase, "max-phase",
+		"fail when this span phase's latency (report p95, trajectory p50) grows beyond name=ratio of the baseline (repeatable; quantiles are 2x-bucket estimates, use ratios well above 2)")
+	minPhaseNs := fs.Int64("min-phase-ns", 200000,
+		"ignore span-phase growth below this absolute delta in nanoseconds (noise floor)")
+	phasesFile := fs.String("phases", "",
+		"print \"phase p50ns\" lines from this report's phases table and exit (helper for scripts/bench.sh)")
 	jsonOut := fs.Bool("json", false, "print the problem list as JSON")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: obsdiff [flags] baseline.json new.json")
 		fmt.Fprintln(stderr, "       obsdiff -bench [flags] baseline.jsonl new.jsonl")
+		fmt.Fprintln(stderr, "       obsdiff -phases report.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *phasesFile != "" {
+		if fs.NArg() != 0 {
+			fs.Usage()
+			return 2
+		}
+		r, err := readReport(*phasesFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "obsdiff:", err)
+			return 2
+		}
+		for _, name := range sortedPhaseNames(r.Phases) {
+			fmt.Fprintf(stdout, "%s %d\n", name, r.Phases[name].P50Ns)
+		}
+		return 0
 	}
 	if fs.NArg() != 2 {
 		fs.Usage()
@@ -99,6 +165,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		problems = obs.DiffTrajectory(baseline, current, obs.TrajectoryOptions{
 			MaxBenchRatio: *maxBench,
 			Filter:        *benchFilter,
+			MaxPhaseP50:   maxPhase,
+			MinPhaseNs:    float64(*minPhaseNs),
 		})
 		tally = fmt.Sprintf("entry %s vs %s, %d benchmarks vs %d",
 			baseline.Commit, current.Commit, len(baseline.Medians), len(current.Medians))
@@ -119,6 +187,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxTimeRatio:      *maxTime,
 			RequirePruneParts: requirePrune,
 			RequireCounters:   requireCounter,
+			MaxPhaseP95:       maxPhase,
+			MinPhaseNs:        *minPhaseNs,
 		})
 		tally = fmt.Sprintf("%d checks vs %d", len(baseline.Checks), len(current.Checks))
 	}
@@ -147,6 +217,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// sortedPhaseNames returns the phase table's keys sorted, for stable
+// -phases output.
+func sortedPhaseNames(m map[string]obs.PhaseLatency) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func readReport(path string) (*obs.Report, error) {

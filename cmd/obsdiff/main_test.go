@@ -175,3 +175,116 @@ func TestRunUsageAndIOErrors(t *testing.T) {
 		t.Errorf("bad flag: exit = %d, want 2", code)
 	}
 }
+
+// writePhaseReport writes a minimal report whose registry holds one span
+// histogram per phase at the given latency.
+func writePhaseReport(t *testing.T, dir, name string, phases map[string]int64) string {
+	t.Helper()
+	reg := obs.NewRegistry()
+	for phase, ns := range phases {
+		reg.Histogram("span." + phase + ".ns").Observe(ns)
+	}
+	b := obs.NewReportBuilder("litmus", nil)
+	b.Emit(obs.Event{Type: obs.EvRunFinish, Model: "SC", Verdict: "forbidden"})
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := b.Report(reg).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMaxPhaseGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writePhaseReport(t, dir, "base.json", map[string]int64{"solve": 1 << 20})
+	same := writePhaseReport(t, dir, "same.json", map[string]int64{"solve": 1 << 20})
+	worse := writePhaseReport(t, dir, "worse.json", map[string]int64{"solve": 1 << 28})
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-max-phase", "solve=25", base, same}, &out, &errb); code != 0 {
+		t.Fatalf("unchanged phase: exit = %d; stdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"-max-phase", "solve=25", base, worse}, &out, &errb); code != 1 {
+		t.Fatalf("256x phase regression: exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "phase-regression") {
+		t.Errorf("phase-regression not reported: %q", out.String())
+	}
+	// The gated phase vanishing fails even when every verdict matches.
+	gone := writePhaseReport(t, dir, "gone.json", nil)
+	out.Reset()
+	if code := run([]string{"-max-phase", "solve=25", base, gone}, &out, &errb); code != 1 {
+		t.Fatalf("missing phase: exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "phase-missing") {
+		t.Errorf("phase-missing not reported: %q", out.String())
+	}
+	// A malformed flag value is a usage error.
+	out.Reset()
+	if code := run([]string{"-max-phase", "solve", base, same}, &out, &errb); code != 2 {
+		t.Errorf("bad -max-phase value: exit = %d, want 2", code)
+	}
+}
+
+func TestRunPhasesMode(t *testing.T) {
+	dir := t.TempDir()
+	rep := writePhaseReport(t, dir, "rep.json", map[string]int64{"solve": 1 << 20, "cache.lookup": 1 << 10})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-phases", rep}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d; stderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), out.String())
+	}
+	// Sorted by phase name; each line is "phase p50ns".
+	if !strings.HasPrefix(lines[0], "cache.lookup ") || !strings.HasPrefix(lines[1], "solve ") {
+		t.Errorf("lines = %q, want sorted 'phase p50ns' pairs", lines)
+	}
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) != 2 {
+			t.Fatalf("line %q: want 2 fields", l)
+		}
+		if n, err := strconv.ParseInt(fields[1], 10, 64); err != nil || n <= 0 {
+			t.Errorf("line %q: p50 %q not a positive integer", l, fields[1])
+		}
+	}
+	// -phases takes its file from the flag, not positional args.
+	out.Reset()
+	if code := run([]string{"-phases", rep, "extra.json"}, &out, &errb); code != 2 {
+		t.Errorf("positional arg with -phases: exit = %d, want 2", code)
+	}
+}
+
+func TestRunBenchModePhaseGate(t *testing.T) {
+	dir := t.TempDir()
+	writeEntry := func(name string, solve float64) string {
+		path := filepath.Join(dir, name)
+		line := `{"date":"2026-08-01T00:00:00Z","commit":"abc1234","go":"go1.24.0","benchtime":"1s","count":5,` +
+			`"ns_op_median":{"FastPath/SC/Fig1-SB/auto":1000},"phase_ns_p50":{"solve":` +
+			strconv.FormatFloat(solve, 'g', -1, 64) + `}}` + "\n"
+		if err := os.WriteFile(path, []byte(line), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := writeEntry("base.jsonl", 1e6)
+	worse := writeEntry("worse.jsonl", 1e8)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench", "-max-phase", "solve=25", base, base}, &out, &errb); code != 0 {
+		t.Fatalf("identical entries: exit = %d; stdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-bench", "-max-phase", "solve=25", base, worse}, &out, &errb); code != 1 {
+		t.Fatalf("100x phase regression: exit = %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "phase-regression") {
+		t.Errorf("phase-regression not reported: %q", out.String())
+	}
+}

@@ -15,12 +15,48 @@ import "sync"
 // set — cheap enough to leave in a tee permanently.
 type Broadcast struct {
 	// Drops, when non-nil, accumulates every subscriber's drops — set it
-	// before events flow (it is read without the lock held).
+	// (or call InstrumentDrops) before events flow.
 	Drops *Counter
 
 	mu    sync.Mutex
 	subs  map[*Subscriber]struct{}
 	total int64
+
+	// Per-event-kind drop counters (InstrumentDrops): span-event loss is
+	// a different operational problem than flat-event loss — a dropped
+	// span orphans a whole subtree of a request's trace — so the registry
+	// distinguishes them as <prefix>.<kind>. Guarded by mu (drops are
+	// only counted on the Emit path, which holds it).
+	dropReg    *Registry
+	dropPrefix string
+	kindDrops  map[EventType]*Counter
+}
+
+// InstrumentDrops routes the hub's drop accounting into reg: the total
+// into a counter named prefix (same as setting Drops directly), plus one
+// counter per dropped event's kind named prefix.<kind>. Call before
+// events flow.
+func (b *Broadcast) InstrumentDrops(reg *Registry, prefix string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.Drops = reg.Counter(prefix)
+	b.dropReg = reg
+	b.dropPrefix = prefix
+	b.kindDrops = make(map[EventType]*Counter)
+}
+
+// noteDrop counts one evicted event. Called with b.mu held.
+func (b *Broadcast) noteDrop(t EventType) {
+	b.Drops.Add(1)
+	if b.dropReg == nil {
+		return
+	}
+	c, ok := b.kindDrops[t]
+	if !ok {
+		c = b.dropReg.Counter(b.dropPrefix + "." + string(t))
+		b.kindDrops[t] = c
+	}
+	c.Add(1)
 }
 
 // NewBroadcast returns an empty broadcast hub.
@@ -34,7 +70,7 @@ func (b *Broadcast) Emit(e Event) {
 	b.mu.Lock()
 	b.total++
 	for s := range b.subs {
-		s.push(e, b.Drops)
+		s.push(e, b)
 	}
 	b.mu.Unlock()
 }
@@ -91,15 +127,17 @@ type Subscriber struct {
 
 // push queues the event, evicting the oldest when full. Called with the
 // hub lock held; the per-subscriber lock bounds the critical section to a
-// few word writes.
-func (s *Subscriber) push(e Event, hubDrops *Counter) {
+// few word writes. The *evicted* event's kind is what the hub counts —
+// the loss is the old event, not the one being queued.
+func (s *Subscriber) push(e Event, b *Broadcast) {
 	s.mu.Lock()
 	if s.n == len(s.buf) {
+		evicted := s.buf[s.start].Type
 		s.start = (s.start + 1) % len(s.buf)
 		s.n--
 		s.dropped++
 		s.pending++
-		hubDrops.Add(1)
+		b.noteDrop(evicted)
 	}
 	s.buf[(s.start+s.n)%len(s.buf)] = e
 	s.n++

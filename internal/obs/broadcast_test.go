@@ -161,3 +161,47 @@ func TestBroadcastConcurrent(t *testing.T) {
 		t.Errorf("stable subscriber dropped %d with a sufficient ring", stable.Dropped())
 	}
 }
+
+func TestBroadcastKindLabeledDrops(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBroadcast()
+	b.InstrumentDrops(reg, "obs.http.trace_dropped")
+	slow := b.Subscribe(2)
+	defer b.Unsubscribe(slow)
+
+	// Fill the ring with two span events, then push three flat events:
+	// the evictions lose the two spans first, then one flat event.
+	b.Emit(Event{Type: EvSpan, Span: "solve"})
+	b.Emit(Event{Type: EvSpan, Span: "queue"})
+	for i := 0; i < 3; i++ {
+		b.Emit(Event{Type: EvRunFinish})
+	}
+
+	if got := reg.Counter("obs.http.trace_dropped").Value(); got != 3 {
+		t.Errorf("total drop counter = %d, want 3", got)
+	}
+	if got := reg.Counter("obs.http.trace_dropped.span").Value(); got != 2 {
+		t.Errorf("span drop counter = %d, want 2 (the evicted events were spans)", got)
+	}
+	if got := reg.Counter("obs.http.trace_dropped.run_finish").Value(); got != 1 {
+		t.Errorf("run_finish drop counter = %d, want 1", got)
+	}
+	// The ring kept the newest two events — both flat.
+	evs, dropped := slow.Take()
+	if dropped != 3 || len(evs) != 2 || evs[0].Type != EvRunFinish || evs[1].Type != EvRunFinish {
+		t.Errorf("Take = %d events / %d dropped (%v), want 2 run_finish / 3", len(evs), dropped, evs)
+	}
+}
+
+func TestBroadcastUninstrumentedDropsStillCount(t *testing.T) {
+	// Without InstrumentDrops the hub has no registry; per-subscriber
+	// accounting must keep working and nothing may panic.
+	b := NewBroadcast()
+	slow := b.Subscribe(1)
+	defer b.Unsubscribe(slow)
+	b.Emit(Event{Type: EvSpan})
+	b.Emit(Event{Type: EvSpan})
+	if got := slow.Dropped(); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+}

@@ -25,6 +25,18 @@ type DiffOptions struct {
 	// verdict cache) silently dropping to zero traffic is a regression
 	// even when every verdict still matches.
 	RequireCounters []string
+	// MaxPhaseP95 maps a span phase name (Report.Phases key, e.g. "solve"
+	// or "check") to the maximum allowed growth ratio of its estimated
+	// p95 latency over the baseline. A gated phase that disappears from
+	// the new report is hard (the instrumentation — or the phase — went
+	// silent). The p95 estimates come from power-of-two histograms whose
+	// buckets span a 2x range, so meaningful thresholds sit well above 2;
+	// the CI gate also adds cross-hardware headroom.
+	MaxPhaseP95 map[string]float64
+	// MinPhaseNs ignores phase-p95 growth below this absolute delta in
+	// nanoseconds (noise floor for very fast phases, where one bucket of
+	// jitter is a large ratio).
+	MinPhaseNs int64
 }
 
 // Problem is one finding of a report comparison. Hard problems (verdict
@@ -141,6 +153,32 @@ func DiffReports(old, new *Report, opts DiffOptions) []Problem {
 	for _, name := range opts.RequireCounters {
 		if new.Metrics.Counters[name] == 0 {
 			add(true, "counter-coverage", "required counter %q is zero or absent in the new report", name)
+		}
+	}
+
+	// Gated span phases: a phase's p95 latency growing past its threshold
+	// is a perf regression localized to that phase — the breakdown the
+	// flat wall-time comparison cannot give. Phases absent from the
+	// baseline are notes (the baseline predates the instrumentation);
+	// phases absent from the new report are hard.
+	for _, phase := range sortedNames(opts.MaxPhaseP95) {
+		maxRatio := opts.MaxPhaseP95[phase]
+		op, inOld := old.Phases[phase]
+		np, inNew := new.Phases[phase]
+		if !inNew {
+			add(true, "phase-missing", "span phase %q gated but absent from the new report (no span.%s.ns histogram)", phase, phase)
+			continue
+		}
+		if !inOld {
+			add(false, "phase-new", "span phase %q has no baseline entry — regenerate the baseline to gate it", phase)
+			continue
+		}
+		if maxRatio <= 0 || op.P95Ns <= 0 || np.P95Ns-op.P95Ns < opts.MinPhaseNs {
+			continue
+		}
+		if ratio := float64(np.P95Ns) / float64(op.P95Ns); ratio > maxRatio {
+			add(true, "phase-regression", "span phase %q p95 %dns → %dns (%.2fx > %.2fx threshold)",
+				phase, op.P95Ns, np.P95Ns, ratio, maxRatio)
 		}
 	}
 

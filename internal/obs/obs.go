@@ -68,6 +68,11 @@ const (
 	EvSweepFinish EventType = "sweep_finish"
 	// EvLitmus is one litmus test × model verdict.
 	EvLitmus EventType = "litmus"
+	// EvSpan closes one timed phase of a check (obs.Span): admission,
+	// queue wait, cache lookup, canonicalization, solve, explain, encode.
+	// Span/SpanID/Parent/DurUs carry the tree structure and duration; Req
+	// correlates the tree to the service request.
+	EvSpan EventType = "span"
 )
 
 // processStart anchors every event's monotonic timestamp, so events from
@@ -116,8 +121,21 @@ type Event struct {
 	// States / Transitions are explorer counters.
 	States      int `json:"states,omitempty"`
 	Transitions int `json:"transitions,omitempty"`
-	// Detail carries free-form context (violation text, sweep shape).
+	// Detail carries free-form context (violation text, sweep shape,
+	// span attrs and counters as "k=v" pairs).
 	Detail string `json:"detail,omitempty"`
+	// Span is the phase name on EvSpan events; SpanID/Parent link the
+	// flat stream back into a per-request tree (Parent 0 = root), and
+	// DurUs is the phase's wall time in microseconds.
+	Span   string `json:"span,omitempty"`
+	SpanID int64  `json:"span_id,omitempty"`
+	Parent int64  `json:"parent,omitempty"`
+	DurUs  int64  `json:"dur_us,omitempty"`
+	// WaitUs / SolveUs break a service check's wall time down on its
+	// run_finish event: time queued before a fleet worker picked it up,
+	// and time inside the solver — sourced from the queue and solve spans.
+	WaitUs  int64 `json:"wait_us,omitempty"`
+	SolveUs int64 `json:"solve_us,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for concurrent

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"strconv"
 	"strings"
@@ -145,5 +146,88 @@ func TestWritePrometheusNilRegistry(t *testing.T) {
 	}
 	if b.Len() != 0 {
 		t.Errorf("nil registry rendered %q", b.String())
+	}
+}
+
+// TestHistogramQuantileEmpty: a histogram that was created but never
+// observed must snapshot zero quantiles and render no quantile samples
+// (a summary with no observations has no quantiles to report).
+func TestHistogramQuantileEmpty(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("span.check.ns")
+	s := reg.Histogram("span.check.ns").snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = count %d p50 %d p95 %d p99 %d, want all 0", s.Count, s.P50, s.P95, s.P99)
+	}
+	if q := estimateQuantile(nil, 7, 0.5); q != 0 {
+		t.Errorf("estimateQuantile with no buckets = %d, want 0", q)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "span_check_ns_count 0") {
+		t.Errorf("empty histogram missing _count 0:\n%s", out)
+	}
+	if strings.Contains(out, "span_check_ns_quantiles") {
+		t.Errorf("empty histogram rendered quantile samples:\n%s", out)
+	}
+}
+
+// TestHistogramQuantileSingleBucket: when every observation lands in one
+// power-of-two bucket, all quantiles must interpolate inside that
+// bucket's range and stay monotone.
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := new(Histogram)
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // bucket 3 covers [4, 7]
+	}
+	s := h.snapshot()
+	if len(s.Buckets) != 1 {
+		t.Fatalf("got %d buckets, want 1 (%v)", len(s.Buckets), s.Buckets)
+	}
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{{"p50", s.P50}, {"p95", s.P95}, {"p99", s.P99}} {
+		if q.v < 4 || q.v > 7 {
+			t.Errorf("%s = %d, want within the single bucket [4, 7]", q.name, q.v)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Errorf("quantiles not monotone: %d/%d/%d", s.P50, s.P95, s.P99)
+	}
+}
+
+// TestHistogramQuantileSaturatedTopBucket: MaxInt64 observations land in
+// the highest finite bucket; quantile interpolation and the Prometheus
+// bucket bound must clamp there without overflowing to a negative value.
+func TestHistogramQuantileSaturatedTopBucket(t *testing.T) {
+	h := new(Histogram)
+	for i := 0; i < 3; i++ {
+		h.Observe(math.MaxInt64)
+	}
+	s := h.snapshot()
+	lo := int64(1) << 62
+	for _, q := range []struct {
+		name string
+		v    int64
+	}{{"p50", s.P50}, {"p95", s.P95}, {"p99", s.P99}} {
+		if q.v < lo {
+			t.Errorf("%s = %d, want >= %d (top bucket's lower bound; negative means overflow)", q.name, q.v, lo)
+		}
+	}
+	// A rank beyond every bucket's cumulative count clamps to the last
+	// bucket's upper bound instead of running off the slice.
+	if q := estimateQuantile(s.points, s.Count*100, 0.99); q != int64(math.MaxInt64) {
+		t.Errorf("overflow rank quantile = %d, want MaxInt64", q)
+	}
+	var wantSum int64
+	for i := 0; i < 3; i++ {
+		wantSum += math.MaxInt64 // wraps; the snapshot must match the atomic sum exactly
+	}
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want the wrapped sum %d", s.Sum, wantSum)
 	}
 }

@@ -54,9 +54,27 @@ type Report struct {
 	// Explore aggregates state-space explorations, when the run did any.
 	Explore *ExploreSummary `json:"explore,omitempty"`
 
+	// Phases is the per-phase latency table, folded from the span.<phase>.ns
+	// histograms in Metrics: one row per span phase (check, canonicalize,
+	// cache.lookup, route.auto, solve, ...) with count, total, and estimated
+	// p50/p95/p99 — what the obsdiff -max-phase gate compares.
+	Phases map[string]PhaseLatency `json:"phases,omitempty"`
+
 	// Metrics is the registry snapshot at the end of the run (prune
 	// attribution, memo hit/miss counters, duration histograms).
 	Metrics Snapshot `json:"metrics"`
+}
+
+// PhaseLatency summarizes one span phase's wall-time histogram. The
+// quantiles inherit the power-of-two buckets' fidelity: each bucket spans
+// a 2x range, so they are order-of-magnitude estimates, and gates over
+// them need thresholds comfortably above 2x.
+type PhaseLatency struct {
+	Count int64 `json:"count"`
+	SumNs int64 `json:"sum_ns"`
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
 }
 
 // BuildInfo records where a report was produced, for reading regressions
@@ -224,7 +242,29 @@ func (b *ReportBuilder) Report(reg *Registry) *Report {
 		e := b.explore
 		r.Explore = &e
 	}
+	r.Phases = phaseTable(r.Metrics)
 	return r
+}
+
+// phaseTable folds the span.<phase>.ns histograms of a metrics snapshot
+// into the per-phase latency table. Returns nil when the run recorded no
+// spans.
+func phaseTable(s Snapshot) map[string]PhaseLatency {
+	var out map[string]PhaseLatency
+	for name, h := range s.Histograms {
+		if !strings.HasPrefix(name, "span.") || !strings.HasSuffix(name, ".ns") || h.Count == 0 {
+			continue
+		}
+		phase := strings.TrimSuffix(strings.TrimPrefix(name, "span."), ".ns")
+		if phase == "" {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]PhaseLatency)
+		}
+		out[phase] = PhaseLatency{Count: h.Count, SumNs: h.Sum, P50Ns: h.P50, P95Ns: h.P95, P99Ns: h.P99}
+	}
+	return out
 }
 
 // Write writes the finalized report as indented JSON.

@@ -191,3 +191,109 @@ func hasKind(ps []Problem, kind string) bool {
 	}
 	return false
 }
+
+// phaseReport builds a report whose registry carries one span histogram
+// per (phase, p95-ish latency) pair; spanNs is observed once so the
+// estimated quantiles all land in its bucket.
+func phaseReport(t *testing.T, phases map[string]int64) *Report {
+	t.Helper()
+	reg := NewRegistry()
+	for phase, ns := range phases {
+		reg.Histogram("span." + phase + ".ns").Observe(ns)
+	}
+	b := NewReportBuilder("litmus", nil)
+	b.Emit(Event{Type: EvRunFinish, Model: "TSO", Verdict: "allowed"})
+	return b.Report(reg)
+}
+
+func TestReportPhasesTable(t *testing.T) {
+	r := phaseReport(t, map[string]int64{"solve": 1 << 20, "cache.lookup": 1 << 10})
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %v, want solve and cache.lookup", r.Phases)
+	}
+	solve := r.Phases["solve"]
+	if solve.Count != 1 || solve.SumNs != 1<<20 {
+		t.Errorf("solve = %+v, want count 1 sum %d", solve, 1<<20)
+	}
+	if solve.P50Ns < 1<<19 || solve.P50Ns > 1<<21 {
+		t.Errorf("solve p50 = %d, want within one power-of-two bucket of %d", solve.P50Ns, 1<<20)
+	}
+	if solve.P50Ns > solve.P95Ns || solve.P95Ns > solve.P99Ns {
+		t.Errorf("solve quantiles not monotone: %+v", solve)
+	}
+	// Non-span histograms must not leak into the table.
+	reg := NewRegistry()
+	reg.Histogram("check.TSO.duration_us").Observe(5)
+	if got := phaseTable(reg.Snapshot()); got != nil {
+		t.Errorf("non-span histogram produced phases: %v", got)
+	}
+	// Round-trip: the table survives Write/ReadReport for obsdiff.
+	var buf strings.Builder
+	if err := r.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Phases["solve"].SumNs != 1<<20 {
+		t.Errorf("round-trip lost phases: %+v", got.Phases)
+	}
+}
+
+func TestDiffReportsPhaseGate(t *testing.T) {
+	old := phaseReport(t, map[string]int64{"solve": 1 << 20})
+	same := phaseReport(t, map[string]int64{"solve": 1 << 20})
+	grown := phaseReport(t, map[string]int64{"solve": 1 << 26})
+
+	gate := DiffOptions{MaxPhaseP95: map[string]float64{"solve": 25}, MinPhaseNs: 1000}
+	if ps := DiffReports(old, same, gate); AnyHard(ps) {
+		t.Errorf("unchanged phase tripped the gate: %v", ps)
+	}
+	ps := DiffReports(old, grown, gate)
+	if !AnyHard(ps) {
+		t.Fatalf("64x phase growth passed a 25x gate: %v", ps)
+	}
+	found := false
+	for _, p := range ps {
+		if p.Kind == "phase-regression" && p.Hard && strings.Contains(p.Detail, `"solve"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no phase-regression problem: %v", ps)
+	}
+
+	// The absolute noise floor suppresses ratio breaches on fast phases.
+	if ps := DiffReports(old, grown, DiffOptions{MaxPhaseP95: map[string]float64{"solve": 25}, MinPhaseNs: 1 << 30}); AnyHard(ps) {
+		t.Errorf("MinPhaseNs floor did not suppress: %v", ps)
+	}
+
+	// A gated phase vanishing from the new report is hard.
+	empty := phaseReport(t, nil)
+	ps = DiffReports(old, empty, gate)
+	hardMissing := false
+	for _, p := range ps {
+		if p.Kind == "phase-missing" && p.Hard {
+			hardMissing = true
+		}
+	}
+	if !hardMissing {
+		t.Errorf("missing gated phase not hard: %v", ps)
+	}
+
+	// A baseline predating the instrumentation only notes the new phase.
+	ps = DiffReports(empty, grown, gate)
+	if AnyHard(ps) {
+		t.Errorf("phase absent from baseline failed hard: %v", ps)
+	}
+	noted := false
+	for _, p := range ps {
+		if p.Kind == "phase-new" && !p.Hard {
+			noted = true
+		}
+	}
+	if !noted {
+		t.Errorf("phase absent from baseline not noted: %v", ps)
+	}
+}

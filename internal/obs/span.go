@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase of a check: admission, queue wait, cache lookup,
+// canonicalization, solve, explain, encode. Spans are hierarchical — each
+// carries a process-unique ID and its parent's — so the flat Event stream
+// reconstructs into a tree per request, and every End folds the phase's
+// wall time into a `span.<name>.ns` histogram in the registry, which is
+// what /metrics exports and the per-phase CI gate (obsdiff -max-phase)
+// compares.
+//
+// Spans follow the Probe discipline exactly: StartSpan returns nil when
+// the context carries neither a sink nor a registry, and every method is
+// nil-receiver-safe, so the un-instrumented path pays one branch and no
+// allocation. Unlike Probe (which flushes solver counters at a stride),
+// a Span is per-phase — a handful per check — so it emits eagerly.
+type Span struct {
+	sink   Sink
+	reg    *Registry
+	name   string
+	req    string
+	id     int64
+	parent int64
+	start  time.Time
+	ended  atomic.Bool
+	dur    time.Duration
+
+	mu       sync.Mutex
+	attrs    []string // "key=value", appended in order
+	counters map[string]int64
+}
+
+// spanSeq issues process-unique span IDs. IDs only need to be unique and
+// stable within one trace stream; 0 is reserved for "no parent".
+var spanSeq atomic.Int64
+
+type spanCtxKey struct{}
+
+// newSpan builds a started span. Callers guarantee sink or reg is non-nil.
+func newSpan(sink Sink, reg *Registry, name, req string, parent int64) *Span {
+	return &Span{
+		sink:   sink,
+		reg:    reg,
+		name:   name,
+		req:    req,
+		id:     spanSeq.Add(1),
+		parent: parent,
+		start:  time.Now(),
+	}
+}
+
+// StartSpan opens a span named name under ctx and returns a derived
+// context carrying it, so deeper layers' StartSpan calls nest under it.
+// When ctx carries neither a sink nor a registry it returns ctx unchanged
+// and a nil span — no allocation, and every Span method on nil is a
+// no-op. The span inherits the request ID and parent ID of the span
+// already on ctx, if any.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	sink, reg := SinkFrom(ctx), RegistryFrom(ctx)
+	if sink == nil && reg == nil {
+		return ctx, nil
+	}
+	var req string
+	var parent int64
+	if p := SpanFrom(ctx); p != nil {
+		req, parent = p.req, p.id
+	}
+	s := newSpan(sink, reg, name, req, parent)
+	return withSpan(ctx, s), s
+}
+
+// LeafSpan is StartSpan for phases with no sub-phases: it opens the span
+// without deriving a context, so the common leaf case costs no context
+// allocation.
+func LeafSpan(ctx context.Context, name string) *Span {
+	sink, reg := SinkFrom(ctx), RegistryFrom(ctx)
+	if sink == nil && reg == nil {
+		return nil
+	}
+	var req string
+	var parent int64
+	if p := SpanFrom(ctx); p != nil {
+		req, parent = p.req, p.id
+	}
+	return newSpan(sink, reg, name, req, parent)
+}
+
+// NewSpan opens a root span outside any instrumented context — the
+// obshttp handler uses it, whose request contexts deliberately carry no
+// obs values (attaching the sink there would flood the trace with
+// engine-internal candidate events). Returns nil when both destinations
+// are nil. req stamps the span and every child (obs.Event.Req).
+func NewSpan(sink Sink, reg *Registry, name, req string) *Span {
+	if sink == nil && reg == nil {
+		return nil
+	}
+	return newSpan(sink, reg, name, req, 0)
+}
+
+// SpanStarter resolves the context's sink, registry and parent span once
+// and returns a cheap per-call span factory — for loops (pool workers)
+// that open many sibling spans without re-walking the context each time.
+// The factory returns nil spans when the context is un-instrumented.
+func SpanStarter(ctx context.Context) func(name string) *Span {
+	sink, reg := SinkFrom(ctx), RegistryFrom(ctx)
+	if sink == nil && reg == nil {
+		return func(string) *Span { return nil }
+	}
+	var req string
+	var parent int64
+	if p := SpanFrom(ctx); p != nil {
+		req, parent = p.req, p.id
+	}
+	return func(name string) *Span { return newSpan(sink, reg, name, req, parent) }
+}
+
+// SpanFrom returns the span attached by StartSpan/Context, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+func withSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// Child opens a sub-span of s, inheriting its sink, registry and request
+// ID. Nil-safe: a nil parent yields a nil child.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return newSpan(s.sink, s.reg, name, s.req, s.id)
+}
+
+// Context attaches s — and its sink and registry — to ctx, so a subtree
+// of calls that only received a plain context (the cache path under the
+// service handler) becomes instrumented and nests under s. Nil-safe: a
+// nil span returns ctx unchanged.
+func (s *Span) Context(ctx context.Context) context.Context {
+	if s == nil {
+		return ctx
+	}
+	if s.sink != nil {
+		ctx = WithSink(ctx, s.sink)
+	}
+	if s.reg != nil {
+		ctx = WithRegistry(ctx, s.reg)
+	}
+	return withSpan(ctx, s)
+}
+
+// SetReq restamps the span's request ID — the obshttp handler sets the
+// per-item ID on batch children. Call before End and before Child.
+func (s *Span) SetReq(req string) {
+	if s == nil {
+		return
+	}
+	s.req = req
+}
+
+// Attr records a key=value annotation rendered into the span event's
+// detail field (e.g. outcome=hit). Nil-safe.
+func (s *Span) Attr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, key+"="+value)
+	s.mu.Unlock()
+}
+
+// Count accumulates a per-span counter, rendered into the detail field at
+// End (sorted by name, after attrs). Nil-safe.
+func (s *Span) Count(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// detail renders attrs then counters as one space-separated string.
+func (s *Span) detail() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 && len(s.counters) == 0 {
+		return ""
+	}
+	parts := append([]string(nil), s.attrs...)
+	names := make([]string, 0, len(s.counters))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.counters[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// End closes the span: the phase's wall time is observed into the
+// registry histogram span.<name>.ns and the span event is emitted into
+// the sink with the span's ID, parent and request stamp. Idempotent and
+// nil-safe, so defer sp.End() composes with an explicit early End.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.reg != nil {
+		s.reg.Histogram("span." + s.name + ".ns").Observe(s.dur.Nanoseconds())
+	}
+	if s.sink != nil {
+		s.sink.Emit(stamp(Event{
+			Type:   EvSpan,
+			Req:    s.req,
+			Span:   s.name,
+			SpanID: s.id,
+			Parent: s.parent,
+			DurUs:  s.dur.Microseconds(),
+			Detail: s.detail(),
+		}))
+	}
+}
+
+// Cancel discards the span without recording it — for spans opened
+// speculatively (a pool worker's wait span when the queue closes instead
+// of delivering an item). Idempotent with End: whichever runs first wins.
+func (s *Span) Cancel() {
+	if s == nil {
+		return
+	}
+	s.ended.Store(true)
+}
+
+// Duration returns the wall time recorded by End (0 before End, on
+// Cancel, and on nil). The obshttp handler reads it to surface queue-wait
+// and solve durations on /runs entries.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// ID returns the span's process-unique ID (0 for nil).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name returns the span's phase name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// spanEvents filters a ring's contents down to span events.
+func spanEvents(r *Ring) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Type == EvSpan {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func TestStartSpanUninstrumentedIsFree(t *testing.T) {
+	ctx := context.Background()
+	got, sp := StartSpan(ctx, "check")
+	if got != ctx {
+		t.Error("StartSpan on a bare context derived a new context")
+	}
+	if sp != nil {
+		t.Fatal("StartSpan on a bare context returned a non-nil span")
+	}
+	// Every method must be a no-op on nil, including the ones obtained
+	// through nil receivers.
+	sp.Attr("k", "v")
+	sp.Count("n", 1)
+	sp.SetReq("r")
+	sp.End()
+	sp.Cancel()
+	if sp.Duration() != 0 || sp.ID() != 0 || sp.Name() != "" {
+		t.Error("nil span accessors not zero")
+	}
+	if child := sp.Child("sub"); child != nil {
+		t.Error("nil span produced a non-nil child")
+	}
+	if sp.Context(ctx) != ctx {
+		t.Error("nil span Context derived a new context")
+	}
+	if LeafSpan(ctx, "leaf") != nil {
+		t.Error("LeafSpan on a bare context returned a non-nil span")
+	}
+	if s := SpanStarter(ctx)("x"); s != nil {
+		t.Error("SpanStarter factory on a bare context returned a non-nil span")
+	}
+}
+
+func TestSpanTreeLinkage(t *testing.T) {
+	ring := NewRing(64)
+	reg := NewRegistry()
+
+	root := NewSpan(ring, reg, "request", "req-1")
+	if root == nil {
+		t.Fatal("NewSpan with destinations returned nil")
+	}
+	solve := root.Child("solve")
+	inner := solve.Child("enumerate")
+	inner.End()
+	solve.End()
+	root.End()
+
+	evs := spanEvents(ring)
+	if len(evs) != 3 {
+		t.Fatalf("got %d span events, want 3", len(evs))
+	}
+	byName := map[string]Event{}
+	ids := map[int64]bool{}
+	for _, e := range evs {
+		byName[e.Span] = e
+		if e.SpanID == 0 || ids[e.SpanID] {
+			t.Errorf("span %q has zero or duplicate id %d", e.Span, e.SpanID)
+		}
+		ids[e.SpanID] = true
+		if e.Req != "req-1" {
+			t.Errorf("span %q req = %q, want req-1 (children inherit)", e.Span, e.Req)
+		}
+		if e.DurUs < 0 {
+			t.Errorf("span %q duration %dus negative", e.Span, e.DurUs)
+		}
+	}
+	if byName["request"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["request"].Parent)
+	}
+	if byName["solve"].Parent != byName["request"].SpanID {
+		t.Errorf("solve parent = %d, want root id %d", byName["solve"].Parent, byName["request"].SpanID)
+	}
+	if byName["enumerate"].Parent != byName["solve"].SpanID {
+		t.Errorf("enumerate parent = %d, want solve id %d", byName["enumerate"].Parent, byName["solve"].SpanID)
+	}
+
+	// Each End folded into its span.<name>.ns histogram.
+	for _, name := range []string{"span.request.ns", "span.solve.ns", "span.enumerate.ns"} {
+		if c := reg.Histogram(name).Count(); c != 1 {
+			t.Errorf("%s count = %d, want 1", name, c)
+		}
+	}
+}
+
+func TestStartSpanNestsThroughContext(t *testing.T) {
+	ring := NewRing(16)
+	ctx := WithSink(context.Background(), ring)
+
+	ctx1, outer := StartSpan(ctx, "outer")
+	if outer == nil {
+		t.Fatal("StartSpan on an instrumented context returned nil")
+	}
+	if SpanFrom(ctx1) != outer {
+		t.Error("derived context does not carry the span")
+	}
+	_, inner := StartSpan(ctx1, "inner")
+	leaf := LeafSpan(ctx1, "leaf")
+	inner.End()
+	leaf.End()
+	outer.End()
+
+	byName := map[string]Event{}
+	for _, e := range spanEvents(ring) {
+		byName[e.Span] = e
+	}
+	if byName["inner"].Parent != outer.ID() || byName["leaf"].Parent != outer.ID() {
+		t.Errorf("inner/leaf parents = %d/%d, want %d",
+			byName["inner"].Parent, byName["leaf"].Parent, outer.ID())
+	}
+}
+
+func TestSpanContextInstruments(t *testing.T) {
+	// Span.Context bootstraps instrumentation onto a bare context: the
+	// service handler's request contexts carry no obs values, yet cache
+	// spans must nest under the handler's root span.
+	ring := NewRing(16)
+	reg := NewRegistry()
+	root := NewSpan(ring, reg, "request", "req-9")
+	ctx := root.Context(context.Background())
+	if SinkFrom(ctx) == nil || RegistryFrom(ctx) != reg || SpanFrom(ctx) != root {
+		t.Fatal("Span.Context did not attach sink/registry/span")
+	}
+	sub := LeafSpan(ctx, "cache.lookup")
+	sub.End()
+	evs := spanEvents(ring)
+	if len(evs) != 1 || evs[0].Parent != root.ID() || evs[0].Req != "req-9" {
+		t.Fatalf("cache.lookup event = %+v, want parent %d req req-9", evs, root.ID())
+	}
+}
+
+func TestSpanEndIdempotentAndCancel(t *testing.T) {
+	ring := NewRing(16)
+	reg := NewRegistry()
+
+	sp := NewSpan(ring, reg, "solve", "")
+	sp.End()
+	d := sp.Duration()
+	if d < 0 {
+		t.Errorf("Duration = %v, want >= 0", d)
+	}
+	time.Sleep(time.Millisecond)
+	sp.End() // second End: no event, no histogram sample, duration frozen
+	if got := sp.Duration(); got != d {
+		t.Errorf("Duration changed on second End: %v -> %v", d, got)
+	}
+	if n := len(spanEvents(ring)); n != 1 {
+		t.Errorf("double End emitted %d events, want 1", n)
+	}
+	if c := reg.Histogram("span.solve.ns").Count(); c != 1 {
+		t.Errorf("double End observed %d samples, want 1", c)
+	}
+
+	cancelled := NewSpan(ring, reg, "queue", "")
+	cancelled.Cancel()
+	cancelled.End() // End after Cancel records nothing
+	if n := len(spanEvents(ring)); n != 1 {
+		t.Errorf("cancelled span emitted an event (total %d, want 1)", n)
+	}
+	if c := reg.Histogram("span.queue.ns").Count(); c != 0 {
+		t.Errorf("cancelled span observed %d samples, want 0", c)
+	}
+	if cancelled.Duration() != 0 {
+		t.Errorf("cancelled Duration = %v, want 0", cancelled.Duration())
+	}
+}
+
+func TestSpanDetailRendering(t *testing.T) {
+	ring := NewRing(16)
+	sp := NewSpan(ring, nil, "admit", "r")
+	sp.Attr("tier", "heavy")
+	sp.Attr("outcome", "ok")
+	sp.Count("zz", 2)
+	sp.Count("aa", 1)
+	sp.Count("aa", 2)
+	sp.End()
+	evs := spanEvents(ring)
+	if len(evs) != 1 {
+		t.Fatalf("got %d span events, want 1", len(evs))
+	}
+	// Attrs in insertion order, then counters sorted by name.
+	if want := "tier=heavy outcome=ok aa=3 zz=2"; evs[0].Detail != want {
+		t.Errorf("detail = %q, want %q", evs[0].Detail, want)
+	}
+}
+
+func TestSpanSetReqBeforeChild(t *testing.T) {
+	ring := NewRing(16)
+	root := NewSpan(ring, nil, "request", "batch")
+	root.SetReq("batch#3")
+	child := root.Child("solve")
+	child.End()
+	root.End()
+	for _, e := range spanEvents(ring) {
+		if e.Req != "batch#3" {
+			t.Errorf("span %q req = %q, want batch#3", e.Span, e.Req)
+		}
+	}
+}
+
+func TestSpanStarterSiblings(t *testing.T) {
+	ring := NewRing(32)
+	ctx := WithSink(context.Background(), ring)
+	ctx, parent := StartSpan(ctx, "route.auto")
+	start := SpanStarter(ctx)
+	for i := 0; i < 3; i++ {
+		start("pool.exec").End()
+	}
+	parent.End()
+	execs := 0
+	for _, e := range spanEvents(ring) {
+		if e.Span != "pool.exec" {
+			continue
+		}
+		execs++
+		if e.Parent != parent.ID() {
+			t.Errorf("pool.exec parent = %d, want %d (all siblings share the starter's parent)", e.Parent, parent.ID())
+		}
+	}
+	if execs != 3 {
+		t.Errorf("got %d pool.exec spans, want 3", execs)
+	}
+}
+
+func TestSpanRegistryOnly(t *testing.T) {
+	// Registry without a sink (e.g. -metrics without -trace): histograms
+	// fill, no events flow, and the name is derived from the span name.
+	reg := NewRegistry()
+	ctx := WithRegistry(context.Background(), reg)
+	_, sp := StartSpan(ctx, "canonicalize")
+	if sp == nil {
+		t.Fatal("StartSpan with registry-only context returned nil")
+	}
+	sp.End()
+	h := reg.Histogram("span.canonicalize.ns")
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0 {
+		t.Errorf("histogram sum = %d, want >= 0", h.Sum())
+	}
+}

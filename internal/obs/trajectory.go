@@ -20,6 +20,11 @@ type TrajectoryEntry struct {
 	Benchtime string             `json:"benchtime"`
 	Count     int                `json:"count"`
 	Medians   map[string]float64 `json:"ns_op_median"`
+	// Phases carries the per-phase p50 latencies (ns) from a litmus
+	// sweep's span histograms, keyed by phase name (check, solve,
+	// cache.lookup, ...). Optional — entries predating span attribution
+	// lack it, and DiffTrajectory only gates phases when asked.
+	Phases map[string]float64 `json:"phase_ns_p50,omitempty"`
 }
 
 // ReadTrajectory parses a JSONL trajectory file: one entry per line,
@@ -61,6 +66,16 @@ type TrajectoryOptions struct {
 	// the substring ("" compares everything). The gate uses it to pin
 	// only the fast-path benchmarks while the file accumulates others.
 	Filter string
+	// MaxPhaseP50 maps a span phase name to the maximum allowed growth
+	// ratio of its median latency over the baseline entry. A gated phase
+	// absent from the new entry is hard; one absent from the baseline is
+	// a note (the baseline predates span attribution). The medians come
+	// from power-of-two histograms (2x buckets), so thresholds must sit
+	// well above 2.
+	MaxPhaseP50 map[string]float64
+	// MinPhaseNs ignores phase growth below this absolute delta in
+	// nanoseconds.
+	MinPhaseNs float64
 }
 
 // DiffTrajectory compares a new trajectory entry against a baseline
@@ -115,6 +130,26 @@ func DiffTrajectory(old, new TrajectoryEntry, opts TrajectoryOptions) []Problem 
 	}
 	if matched == 0 {
 		add(true, "bench-missing", "no baseline benchmark matches filter %q — nothing gated", opts.Filter)
+	}
+	for _, phase := range sortedNames(opts.MaxPhaseP50) {
+		maxRatio := opts.MaxPhaseP50[phase]
+		ov, inOld := old.Phases[phase]
+		nv, inNew := new.Phases[phase]
+		if !inNew {
+			add(true, "phase-missing", "span phase %q gated but absent from the new entry", phase)
+			continue
+		}
+		if !inOld {
+			add(false, "phase-new", "span phase %q has no baseline entry — it gates from the next append on", phase)
+			continue
+		}
+		if maxRatio <= 0 || ov <= 0 || nv-ov < opts.MinPhaseNs {
+			continue
+		}
+		if ratio := nv / ov; ratio > maxRatio {
+			add(true, "phase-regression", "span phase %q p50 %.4g → %.4g ns (%.2fx > %.2fx threshold)",
+				phase, ov, nv, ratio, maxRatio)
+		}
 	}
 	return out
 }

@@ -108,3 +108,55 @@ func TestDiffTrajectoryConfigDriftIsSoft(t *testing.T) {
 		t.Errorf("want 2 soft bench-config notes, got %v", problems)
 	}
 }
+
+func TestDiffTrajectoryPhaseGate(t *testing.T) {
+	entry := func(solveNs float64) TrajectoryEntry {
+		return TrajectoryEntry{
+			Benchtime: "100ms", Count: 3,
+			Medians: map[string]float64{"BenchmarkFastPath": 100},
+			Phases:  map[string]float64{"solve": solveNs},
+		}
+	}
+	gate := TrajectoryOptions{MaxPhaseP50: map[string]float64{"solve": 25}, MinPhaseNs: 1000}
+	if ps := DiffTrajectory(entry(1e6), entry(1e6), gate); AnyHard(ps) {
+		t.Errorf("unchanged phase tripped the gate: %v", ps)
+	}
+	ps := DiffTrajectory(entry(1e6), entry(1e8), gate)
+	hard := false
+	for _, p := range ps {
+		if p.Kind == "phase-regression" && p.Hard {
+			hard = true
+		}
+	}
+	if !hard {
+		t.Errorf("100x phase growth passed a 25x gate: %v", ps)
+	}
+	// Gated phase missing from the new entry is hard; missing from the
+	// baseline (an entry predating span attribution) is a note.
+	old := entry(1e6)
+	cur := entry(1e6)
+	cur.Phases = nil
+	if ps := DiffTrajectory(old, cur, gate); !AnyHard(ps) {
+		t.Errorf("phase vanished from new entry but gate passed: %v", ps)
+	}
+	old.Phases = nil
+	if ps := DiffTrajectory(old, entry(1e6), gate); AnyHard(ps) {
+		t.Errorf("baseline without phases failed hard: %v", ps)
+	}
+	// The noise floor suppresses sub-threshold absolute growth.
+	if ps := DiffTrajectory(entry(10), entry(900), gate); AnyHard(ps) {
+		t.Errorf("growth under MinPhaseNs tripped the gate: %v", ps)
+	}
+}
+
+func TestTrajectoryPhasesRoundTrip(t *testing.T) {
+	line := `{"date":"2026-08-07","commit":"abc","go":"go1.22","benchtime":"100ms","count":3,` +
+		`"ns_op_median":{"BenchmarkFastPath":100},"phase_ns_p50":{"solve":125000,"check":250000}}`
+	entries, err := ReadTrajectory(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Phases["solve"] != 125000 || entries[0].Phases["check"] != 250000 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}

@@ -89,6 +89,11 @@ type checkResult struct {
 	Frontier   int   `json:"frontier,omitempty"`
 	// WallUs is the wall-clock time from admission to verdict.
 	WallUs int64 `json:"wall_us,omitempty"`
+	// WaitUs / SolveUs break WallUs down: time queued before a fleet
+	// worker picked the check up, and time inside the solver — sourced
+	// from the queue and solve spans. Cache-served checks have neither.
+	WaitUs  int64 `json:"wait_us,omitempty"`
+	SolveUs int64 `json:"solve_us,omitempty"`
 	// Explanation is the model/explain.go JSON when requested and
 	// available; ExplainError reports why it is missing despite Explain.
 	Explanation  json.RawMessage `json:"explanation,omitempty"`
@@ -210,6 +215,11 @@ type job struct {
 	enq     time.Time
 	done    chan checkResult // buffered: the fleet never blocks on a gone client
 	degrade bool
+	// span is the check's root span; qspan is its queue-wait child,
+	// opened at enqueue and ended by the fleet worker that picks the job
+	// up (Cancel'd when the job is flushed instead). Both are nil-safe.
+	span  *obs.Span
+	qspan *obs.Span
 	// verdict is the engine verdict runJob stashed, for the cache path
 	// (the witness lives here; checkResult only renders strings). Reading
 	// it is ordered by the j.done delivery.
@@ -298,6 +308,7 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 		// nothing admitted to the queue goes missing.
 		for j := range c.jobs {
 			c.queueDepth.Set(int64(len(c.jobs)))
+			j.qspan.Cancel()
 			j.cancel()
 			c.finish(j, checkResult{
 				ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
@@ -309,6 +320,7 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 		// shard did not resolve) is classified rather than leaked.
 		c.pending.Range(func(_, v any) bool {
 			j := v.(*job)
+			j.qspan.Cancel()
 			j.cancel()
 			c.finish(j, checkResult{
 				ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
@@ -347,6 +359,13 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		reqID = newRequestID()
 	}
 	w.Header().Set("X-Request-ID", reqID)
+
+	// The root span brackets the request end to end; the admit, queue,
+	// cache, solve, explain and encode children hang off it, Req-stamped,
+	// so /trace SSE and -trace JSONL carry a reconstructable tree per
+	// request. Nil (and free) when the server has no sink or registry.
+	root := obs.NewSpan(c.sink, s.reg, "request", reqID)
+	defer root.End()
 
 	if err := fault.Check(fault.SvcHandler, 0, reqID); err != nil {
 		c.received.Add(1)
@@ -396,9 +415,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		if !single {
 			id = fmt.Sprintf("%s.%d", reqID, i)
 		}
-		results[i] = c.do(r.Context(), id, req)
+		results[i] = c.do(r.Context(), id, req, root)
 	}
 
+	enc := root.Child("encode")
+	defer enc.End()
 	if single {
 		res := results[0]
 		if res.Status == http.StatusTooManyRequests || res.Status == http.StatusServiceUnavailable {
@@ -431,8 +452,10 @@ func retryAfter(tierName string) string {
 // do runs one check end to end: classify-once accounting, admission,
 // enqueue, wait. Every path out of this function (and out of the fleet,
 // for admitted checks) classifies the check exactly once as admitted,
-// shed, or failed.
-func (c *checker) do(ctx context.Context, id string, req checkRequest) (res checkResult) {
+// shed, or failed. root is the request's root span (nil-safe); do hangs
+// the admit/canonicalize/queue children off it, stamped with this
+// check's id.
+func (c *checker) do(ctx context.Context, id string, req checkRequest, root *obs.Span) (res checkResult) {
 	c.received.Add(1)
 	counted := false
 	count := func(counter *obs.Counter) {
@@ -458,7 +481,16 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 		degrade = *req.Degrade
 	}
 
+	// The admit span covers tier resolution, parsing, model lookup and
+	// the admission decision; it ends before the check enters the cache
+	// or the queue. End is idempotent, so the shed closure's End on the
+	// post-admission rejection paths (queue full, draining) is a no-op.
+	admit := root.Child("admit")
+	admit.SetReq(id)
+
 	fail := func(status int, err error) checkResult {
+		admit.Attr("outcome", "failed")
+		admit.End()
 		count(c.failed)
 		res := checkResult{ID: id, Model: req.Model, Status: status, Error: err.Error()}
 		c.emitFinish(res)
@@ -487,6 +519,7 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 	// shed classifies an over-capacity check: Unknown{shed} at 200 in
 	// degrade mode, 429/503 otherwise — never an unbounded queue.
 	shed := func(status int, reason string) checkResult {
+		admit.End()
 		count(c.shed)
 		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
 			Status: status, Verdict: "unknown", Reason: reason}
@@ -498,8 +531,11 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 	}
 
 	if err := fault.Check(fault.SvcAdmit, 0, id); err != nil {
+		admit.Attr("outcome", "shed")
 		return shed(http.StatusTooManyRequests, "shed")
 	}
+	admit.Attr("tier", tier.Name)
+	admit.End()
 
 	// The verdict cache sits between admission control and the queue:
 	// cache-served checks consume no queue or fleet capacity, and
@@ -509,8 +545,12 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 	// so the cache can fail without flipping any verdict.
 	if c.cache != nil && tier.Cache {
 		if ferr := fault.Check(fault.SvcCache, 0, id); ferr == nil {
-			if canon, ren, cerr := history.Canonicalize(sys); cerr == nil {
-				cres, kind := c.doCached(ctx, id, req, sys, canon, ren, m, tier, degrade)
+			canonSp := root.Child("canonicalize")
+			canonSp.SetReq(id)
+			canon, ren, cerr := history.Canonicalize(sys)
+			canonSp.End()
+			if cerr == nil {
+				cres, kind := c.doCached(ctx, id, req, sys, canon, ren, m, tier, degrade, root)
 				if kind == "" {
 					counted = true // the flight or the fleet classified the initiating solve
 				} else {
@@ -535,14 +575,19 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest) (res chec
 		id: id, req: req, sys: sys, m: m, tier: tier,
 		ctx: jctx, cancel: jcancel,
 		enq: time.Now(), done: make(chan checkResult, 1), degrade: degrade,
+		span: root,
 	}
+	j.qspan = root.Child("queue")
+	j.qspan.SetReq(id)
 
 	switch c.enqueue(j) {
 	case admitOK:
 	case admitDraining:
+		j.qspan.Cancel()
 		jcancel()
 		return shed(http.StatusServiceUnavailable, "draining")
 	case admitFull:
+		j.qspan.Cancel()
 		jcancel()
 		return shed(http.StatusTooManyRequests, "shed")
 	}
@@ -600,12 +645,16 @@ func (e svcError) Error() string {
 // verdict. The returned kind tells do how to classify this request — ""
 // means classification already happened elsewhere (the initiating solve is
 // classified by the flight or the fleet under this request's id).
-func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys, canon *history.System, ren *history.Renaming, m model.Model, tier Tier, degrade bool) (checkResult, string) {
+func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys, canon *history.System, ren *history.Renaming, m model.Model, tier Tier, degrade bool, root *obs.Span) (checkResult, string) {
 	enc := history.Format(canon)
 	key := vcache.KeyFor(enc, m.Name(), model.RouteFromContext(c.ctx).String())
 	start := time.Now()
-	v, hit, err := c.cache.Do(ctx, key, enc, func() (model.Verdict, error) {
-		return c.solveCanonical(id, m, canon, tier)
+	// root.Context instruments the wait context, so the cache's own
+	// lookup/coalesce spans nest under this request's tree. The solve
+	// itself runs detached under c.ctx; its spans hang off root via the
+	// job (solveCanonical).
+	v, hit, err := c.cache.Do(root.Context(ctx), key, enc, func() (model.Verdict, error) {
+		return c.solveCanonical(id, m, canon, tier, root)
 	})
 	var se svcError
 	switch {
@@ -624,6 +673,9 @@ func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys
 			res.Verdict = "forbidden"
 		}
 		if req.Explain && rv.Decided() {
+			ex := root.Child("explain")
+			ex.SetReq(id)
+			defer ex.End()
 			// The cached witness is in canonical labels; rv carries it
 			// mapped back, so the explanation is built — and replayable —
 			// against the caller's own history.
@@ -679,7 +731,7 @@ func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys
 // rejection paths; an enqueued job is classified by the fleet as usual.
 // It runs detached from any request context — the solve completes and
 // populates the cache even if every waiting client disconnects.
-func (c *checker) solveCanonical(id string, m model.Model, canon *history.System, tier Tier) (model.Verdict, error) {
+func (c *checker) solveCanonical(id string, m model.Model, canon *history.System, tier Tier, root *obs.Span) (model.Verdict, error) {
 	jctx, jcancel := context.WithDeadline(c.ctx, time.Now().Add(tier.Deadline))
 	jctx = model.WithBudget(jctx, model.Budget{MaxCandidates: tier.MaxCandidates, MaxNodes: tier.MaxNodes})
 	j := &job{
@@ -687,8 +739,12 @@ func (c *checker) solveCanonical(id string, m model.Model, canon *history.System
 		sys: canon, m: m, tier: tier,
 		ctx: jctx, cancel: jcancel,
 		enq: time.Now(), done: make(chan checkResult, 1),
+		span: root,
 	}
+	j.qspan = root.Child("queue")
+	j.qspan.SetReq(id)
 	rejected := func(status int, reason string) error {
+		j.qspan.Cancel()
 		jcancel()
 		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name,
 			Status: status, Verdict: "unknown", Reason: reason}
@@ -762,11 +818,17 @@ func (c *checker) process(w int, j *job) {
 	c.queueDepth.Set(int64(len(c.jobs)))
 	c.inflightG.Set(c.inflight.Add(1))
 	defer func() { c.inflightG.Set(c.inflight.Add(-1)) }()
-	c.waitUs.Observe(time.Since(j.enq).Microseconds())
+	j.qspan.End()
+	wait := time.Since(j.enq)
+	if d := j.qspan.Duration(); d > 0 {
+		wait = d
+	}
+	c.waitUs.Observe(wait.Microseconds())
 
 	start := time.Now()
 	res := c.runJob(w, j)
 	res.WallUs = time.Since(j.enq).Microseconds()
+	res.WaitUs = wait.Microseconds()
 	c.runUs.Observe(time.Since(start).Microseconds())
 
 	kind := "admitted"
@@ -796,15 +858,22 @@ func (c *checker) finish(j *job, res checkResult, kind string) {
 // panic contained to this check.
 func (c *checker) runJob(w int, j *job) (res checkResult) {
 	res = checkResult{ID: j.id, Model: j.m.Name(), Tier: j.tier.Name, Status: http.StatusOK}
+	var solve, explainSp *obs.Span
 	defer func() {
 		if v := recover(); v != nil {
+			solve.End() // idempotent; a dangling phase still closes
+			explainSp.End()
 			res = checkResult{ID: j.id, Model: j.m.Name(), Tier: j.tier.Name,
 				Status: http.StatusInternalServerError, Error: fmt.Sprintf("panic: %v", v)}
 		}
 	}()
 	fault.Hit(fault.SvcWorker, w, j.id)
 
+	solve = j.span.Child("solve")
+	solve.SetReq(j.id)
 	v, err := model.AllowsCtx(j.ctx, j.m, j.sys)
+	solve.End()
+	res.SolveUs = solve.Duration().Microseconds()
 	if err != nil {
 		// The question itself was malformed for this checker (oversized
 		// history, ambiguous reads-from) — a client error, not overload.
@@ -826,6 +895,9 @@ func (c *checker) runJob(w int, j *job) (res checkResult) {
 		res.Verdict = "forbidden"
 	}
 	if j.req.Explain && v.Decided() {
+		explainSp = j.span.Child("explain")
+		explainSp.SetReq(j.id)
+		defer explainSp.End()
 		// Explanation failures (including injected ones) lose the
 		// explanation, never the verdict.
 		if err := fault.Check(fault.SvcExplain, w, j.id); err != nil {
@@ -883,11 +955,14 @@ func (c *checker) emit(e obs.Event) {
 }
 
 // emitFinish renders a terminal checkResult as the run-finish trace
-// event, carrying the request ID for /trace–/runs correlation.
+// event, carrying the request ID for /trace–/runs correlation and the
+// queue-wait/solve breakdown sourced from the check's spans, so /runs
+// entries show where a slow check's time went.
 func (c *checker) emitFinish(res checkResult) {
 	c.emit(obs.Event{Type: obs.EvRunFinish, Req: res.ID, Model: res.Model,
 		Verdict: res.Verdict, Reason: res.Reason, Detail: res.Error,
-		Candidates: res.Candidates, Nodes: res.Nodes, Frontier: res.Frontier})
+		Candidates: res.Candidates, Nodes: res.Nodes, Frontier: res.Frontier,
+		WaitUs: res.WaitUs, SolveUs: res.SolveUs})
 }
 
 // writeJSON writes v as the response with the given status.

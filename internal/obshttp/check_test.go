@@ -13,6 +13,7 @@ import (
 	"repro/history"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/vcache"
 	"repro/model"
 )
 
@@ -567,5 +568,173 @@ func TestCheckDrainDeadline(t *testing.T) {
 
 	if rec, adm, shed, _ := checkAccounting(t, reg); rec != 2 || adm+shed != 2 {
 		t.Errorf("received=%d admitted=%d shed=%d, want 2 received all admitted-or-shed", rec, adm, shed)
+	}
+}
+
+// collectSpans drains the ring's span events into a name-indexed map,
+// polling until want names are present or the deadline passes (the root
+// span ends after the response is written, so the client can observe the
+// body before the tree is complete).
+func collectSpans(t *testing.T, ring *obs.Ring, req string, want ...string) map[string]obs.Event {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		byName := map[string]obs.Event{}
+		for _, e := range ring.Events() {
+			if e.Type == obs.EvSpan && e.Req == req {
+				byName[e.Span] = e
+			}
+		}
+		missing := false
+		for _, name := range want {
+			if _, ok := byName[name]; !ok {
+				missing = true
+			}
+		}
+		if !missing {
+			return byName
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("span tree for %s incomplete: have %v, want %v", req, byName, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// startSpanServer boots a check server with a ring tapped into its event
+// path, the way cliflags taps the -trace JSONL sink.
+func startSpanServer(t *testing.T, opts CheckOptions) (string, *obs.Ring, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	ring := obs.NewRing(512)
+	s.Tap(ring)
+	s.EnableCheck(opts)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return "http://" + addr, ring, reg
+}
+
+func TestCheckSpanTree(t *testing.T) {
+	base, ring, reg := startSpanServer(t, CheckOptions{Workers: 1})
+
+	body := fmt.Sprintf(`{"history":%q,"model":"SC","explain":true}`, figure1SB)
+	res, resp := postCheck(t, base, body, map[string]string{"X-Request-ID": "req-spans-1"})
+	if resp.StatusCode != http.StatusOK || res.Verdict != "forbidden" {
+		t.Fatalf("status %d verdict %q, want 200 forbidden", resp.StatusCode, res.Verdict)
+	}
+	if res.WaitUs < 0 || res.SolveUs < 0 {
+		t.Errorf("wait_us=%d solve_us=%d, want non-negative", res.WaitUs, res.SolveUs)
+	}
+
+	spans := collectSpans(t, ring, "req-spans-1",
+		"request", "admit", "queue", "solve", "explain", "encode")
+	root := spans["request"]
+	if root.Parent != 0 {
+		t.Errorf("root span parent = %d, want 0", root.Parent)
+	}
+	if root.SpanID == 0 {
+		t.Fatal("root span has no ID")
+	}
+	for _, name := range []string{"admit", "queue", "solve", "explain", "encode"} {
+		e := spans[name]
+		if e.Parent != root.SpanID {
+			t.Errorf("span %q parent = %d, want root %d", name, e.Parent, root.SpanID)
+		}
+		if e.SpanID == 0 || e.DurUs < 0 {
+			t.Errorf("span %q id=%d dur=%dus malformed", name, e.SpanID, e.DurUs)
+		}
+	}
+	if !strings.Contains(spans["admit"].Detail, "tier=default") {
+		t.Errorf("admit detail = %q, want tier=default", spans["admit"].Detail)
+	}
+
+	// Every ended phase folded into its span.<phase>.ns histogram — the
+	// /metrics exposition and the obsdiff phase gate read these.
+	for _, name := range []string{"span.request.ns", "span.admit.ns", "span.queue.ns", "span.solve.ns"} {
+		if c := reg.Histogram(name).Count(); c < 1 {
+			t.Errorf("histogram %s count = %d, want >= 1", name, c)
+		}
+	}
+
+	// The run-finish event on /runs carries the span-sourced breakdown.
+	runResp, err := http.Get(base + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runResp.Body.Close()
+	var runs struct {
+		Runs []obs.Event `json:"runs"`
+	}
+	if err := json.NewDecoder(runResp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range runs.Runs {
+		if e.Req == "req-spans-1" && e.Type == obs.EvRunFinish {
+			found = true
+			if e.WaitUs < 0 || e.SolveUs < 0 {
+				t.Errorf("/runs entry wait_us=%d solve_us=%d, want non-negative", e.WaitUs, e.SolveUs)
+			}
+		}
+	}
+	if !found {
+		t.Error("/runs has no run_finish entry for req-spans-1")
+	}
+}
+
+func TestCheckSpanTreeCachePath(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	ring := obs.NewRing(512)
+	s.Tap(ring)
+	s.EnableCheck(CheckOptions{Workers: 1, Cache: vcache.New(16, reg)})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	base := "http://" + addr
+
+	body := fmt.Sprintf(`{"history":%q,"model":"TSO"}`, figure1SB)
+	if res, resp := postCheck(t, base, body, map[string]string{"X-Request-ID": "req-miss"}); resp.StatusCode != http.StatusOK || res.Verdict != "allowed" {
+		t.Fatalf("miss: status %d verdict %q, want 200 allowed", resp.StatusCode, res.Verdict)
+	}
+	miss := collectSpans(t, ring, "req-miss", "request", "canonicalize", "cache.lookup", "solve")
+	if !strings.Contains(miss["cache.lookup"].Detail, "outcome=miss") {
+		t.Errorf("first lookup detail = %q, want outcome=miss", miss["cache.lookup"].Detail)
+	}
+	if miss["canonicalize"].Parent != miss["request"].SpanID {
+		t.Errorf("canonicalize parent = %d, want root %d", miss["canonicalize"].Parent, miss["request"].SpanID)
+	}
+
+	// Same canonical history again: served from the cache, no solve span.
+	if res, resp := postCheck(t, base, body, map[string]string{"X-Request-ID": "req-hit"}); resp.StatusCode != http.StatusOK || res.Verdict != "allowed" {
+		t.Fatalf("hit: status %d verdict %q, want 200 allowed", resp.StatusCode, res.Verdict)
+	}
+	if hits := reg.Counter("vcache.hits").Value(); hits != 1 {
+		t.Errorf("vcache.hits = %d, want 1 (second request must be served from cache)", hits)
+	}
+	hit := collectSpans(t, ring, "req-hit", "request", "canonicalize", "cache.lookup", "encode")
+	if !strings.Contains(hit["cache.lookup"].Detail, "outcome=hit") {
+		t.Errorf("second lookup detail = %q, want outcome=hit", hit["cache.lookup"].Detail)
+	}
+	if _, solved := hit["solve"]; solved {
+		t.Error("cache hit ran a solve span")
 	}
 }

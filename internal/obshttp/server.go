@@ -88,7 +88,11 @@ func New(reg *obs.Registry, runsCap int) *Server {
 		done:  make(chan struct{}),
 	}
 	if reg != nil {
-		s.bcast.Drops = reg.Counter("obs.http.trace_dropped")
+		// Per-kind drop counters (obs.http.trace_dropped.<kind>) keep
+		// span-event loss — which orphans a request's trace tree —
+		// distinguishable from flat-event loss; the unsuffixed counter
+		// stays the total.
+		s.bcast.InstrumentDrops(reg, "obs.http.trace_dropped")
 		s.runs.Drops = reg.Counter("obs.http.runs_evicted")
 	}
 	s.sink = obs.Tee{s.bcast, obs.Filter{Next: s.runs, Allow: runEventTypes}}
@@ -98,6 +102,19 @@ func New(reg *obs.Registry, runsCap int) *Server {
 // Sink returns the sink the engine should emit into (tee it with any
 // other sinks): it feeds both the /trace broadcast and the /runs log.
 func (s *Server) Sink() obs.Sink { return s.sink }
+
+// Tap tees extra into the server's event path, so service-originated
+// events — POST /check run_finish records and the per-phase span tree —
+// reach it alongside /trace and /runs. cliflags uses it to carry service
+// spans into the -trace JSONL file and the -report builder. Call after
+// New and before EnableCheck (the checker captures the sink once), and
+// before any events flow.
+func (s *Server) Tap(extra obs.Sink) {
+	if extra == nil {
+		return
+	}
+	s.sink = obs.Tee{s.sink, extra}
+}
 
 // Handler returns the service's routing table, for embedding into an
 // existing server instead of Start.

@@ -196,16 +196,30 @@ func Drain[T any](ctx context.Context, workers int, jobs <-chan T, fn func(worke
 	items, panics := reg.Counter("pool.items"), reg.Counter("pool.panics")
 	var first firstError
 	goErr := Go(workers, func(w int) {
+		// Per-item spans split a worker's time into waiting for work
+		// (pool.wait — worker idle, the queue's side of the story) and
+		// executing it (pool.exec). SpanStarter resolves the context once
+		// per worker; on an un-instrumented context it returns nil spans
+		// and the loop pays two nil checks per item. A wait that ends in
+		// shutdown instead of an item is cancelled, not recorded.
+		startSpan := obs.SpanStarter(ctx)
 		for {
+			wait := startSpan("pool.wait")
 			select {
 			case <-dctx.Done():
+				wait.Cancel()
 				return
 			case item, ok := <-jobs:
 				if !ok {
+					wait.Cancel()
 					return
 				}
+				wait.End()
 				items.Add(1)
-				if err := runItem(w, item, fn); err != nil {
+				exec := startSpan("pool.exec")
+				err := runItem(w, item, fn)
+				exec.End()
+				if err != nil {
 					panics.Add(1)
 					first.set(err)
 					cancel()

@@ -155,6 +155,12 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 		v, err = solve()
 		return v, false, err
 	}
+	// The lookup span covers the keyed probe up to its outcome (hit,
+	// collision, coalesce, miss); the coalesce span covers a waiter's
+	// time on someone else's flight; the solve span brackets the detached
+	// solve itself. All nest under whatever span ctx carries — the
+	// service's request tree, or litmus's per-check span.
+	look := obs.LeafSpan(ctx, "cache.lookup")
 	c.lookups.Add(1)
 	c.mu.Lock()
 	if el, ok := c.entries[k]; ok {
@@ -164,6 +170,8 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 			v = e.v
 			c.mu.Unlock()
 			c.hits.Add(1)
+			look.Attr("outcome", "hit")
+			look.End()
 			return v, true, nil
 		}
 		// A different history hashed to this key. Never serve it; solve
@@ -171,6 +179,8 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 		c.mu.Unlock()
 		c.collisions.Add(1)
 		c.misses.Add(1)
+		look.Attr("outcome", "collision")
+		look.End()
 		v, err = solve()
 		return v, false, err
 	}
@@ -179,16 +189,23 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 			c.mu.Unlock()
 			c.collisions.Add(1)
 			c.misses.Add(1)
+			look.Attr("outcome", "collision")
+			look.End()
 			v, err = solve()
 			return v, false, err
 		}
 		c.mu.Unlock()
 		c.hits.Add(1)
 		c.coalesced.Add(1)
+		look.Attr("outcome", "coalesce")
+		look.End()
+		co := obs.LeafSpan(ctx, "cache.coalesce")
 		select {
 		case <-f.done:
+			co.End()
 			return f.v, true, f.err
 		case <-ctx.Done():
+			co.End()
 			return model.Verdict{}, true, ctx.Err()
 		}
 	}
@@ -196,6 +213,12 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 	c.flights[k] = f
 	c.mu.Unlock()
 	c.misses.Add(1)
+	look.Attr("outcome", "miss")
+	look.End()
+	// The solve span is created by the initiating caller but ends on the
+	// detached goroutine — spans only reference their sink and registry,
+	// never the context, so outliving ctx is safe.
+	solveSp := obs.LeafSpan(ctx, "cache.solve")
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -207,6 +230,7 @@ func (c *Cache) Do(ctx context.Context, k Key, enc string, solve func() (model.V
 				c.putLocked(k, enc, f.v)
 			}
 			c.mu.Unlock()
+			solveSp.End()
 			close(f.done)
 		}()
 		f.v, f.err = solve()
@@ -253,7 +277,9 @@ func Check(ctx context.Context, c *Cache, m model.Model, s *history.System) (mod
 		v, err := model.AllowsCtx(ctx, m, s)
 		return v, false, err
 	}
+	cs := obs.LeafSpan(ctx, "canonicalize")
 	canon, ren, err := history.Canonicalize(s)
+	cs.End()
 	if err != nil {
 		v, err := model.AllowsCtx(ctx, m, s)
 		return v, false, err

@@ -70,7 +70,15 @@ func RunCtx(ctx context.Context, t Test, models []model.Model) ([]Result, error)
 	cache := vcache.FromContext(ctx)
 	out := make([]Result, 0, len(models))
 	for _, m := range models {
-		v, _, err := vcache.Check(ctx, cache, m, t.History)
+		// One span per test × model check; the cache, routing and pool
+		// spans of the check nest under it, so a -trace stream breaks a
+		// slow table down phase by phase. Nil (and free) when ctx carries
+		// no sink or registry.
+		cctx, sp := obs.StartSpan(ctx, "check")
+		sp.Attr("test", t.Name)
+		sp.Attr("model", m.Name())
+		v, _, err := vcache.Check(cctx, cache, m, t.History)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("litmus: %s under %s: %w", t.Name, m.Name(), err)
 		}

@@ -1,0 +1,118 @@
+package litmus
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// TestSpansNeverChangeVerdicts is the span-attribution acceptance
+// differential: for every corpus test under every model, at one worker
+// and at a parallel worker count, a check run with span instrumentation
+// attached (a registry plus a ring sink, the configuration under which
+// StartSpan/LeafSpan/SpanStarter all go live) must reach exactly the
+// verdict the span-free check reaches, and its witnesses must still
+// verify. Spans time the phases; they must never steer the search.
+func TestSpansNeverChangeVerdicts(t *testing.T) {
+	forEachCorpusModel(t, func(t *testing.T, tc Test, m model.Model) {
+		for _, workers := range []int{1, 4} {
+			wm := model.WithWorkers(m, workers)
+			plain, perr := model.AllowsCtx(context.Background(), wm, tc.History)
+
+			reg := obs.NewRegistry()
+			ring := obs.NewRing(1 << 16)
+			ctx := obs.WithRegistry(context.Background(), reg)
+			ctx = obs.WithSink(ctx, ring)
+			ctx, root := obs.StartSpan(ctx, "check")
+			spanned, serr := model.AllowsCtx(ctx, wm, tc.History)
+			root.End()
+
+			if (perr == nil) != (serr == nil) {
+				t.Errorf("%s w=%d: plain err=%v, spanned err=%v", m.Name(), workers, perr, serr)
+				continue
+			}
+			if perr != nil {
+				continue // both reject the question consistently
+			}
+			if plain.Allowed != spanned.Allowed || plain.Decided() != spanned.Decided() {
+				t.Errorf("%s w=%d: plain=(allowed=%v decided=%v) spanned=(allowed=%v decided=%v)",
+					m.Name(), workers, plain.Allowed, plain.Decided(),
+					spanned.Allowed, spanned.Decided())
+			}
+			if spanned.Allowed {
+				if err := model.VerifyWitness(wm, tc.History, spanned.Witness); err != nil {
+					t.Errorf("%s w=%d: spanned witness fails verification: %v", m.Name(), workers, err)
+				}
+			}
+
+			// The span stream must be well-formed: at least the check and
+			// route spans emitted, IDs unique, parents resolving to an
+			// emitted span (or 0 for the root), durations non-negative.
+			ids := map[int64]bool{}
+			var spans []obs.Event
+			for _, e := range ring.Events() {
+				if e.Type != obs.EvSpan {
+					continue
+				}
+				spans = append(spans, e)
+				if e.SpanID == 0 || ids[e.SpanID] {
+					t.Errorf("%s w=%d: span %q id %d zero or duplicated", m.Name(), workers, e.Span, e.SpanID)
+				}
+				ids[e.SpanID] = true
+				if e.DurUs < 0 {
+					t.Errorf("%s w=%d: span %q negative duration %dus", m.Name(), workers, e.Span, e.DurUs)
+				}
+			}
+			names := map[string]int{}
+			for _, e := range spans {
+				names[e.Span]++
+				if e.Parent != 0 && !ids[e.Parent] {
+					t.Errorf("%s w=%d: span %q parent %d never emitted", m.Name(), workers, e.Span, e.Parent)
+				}
+			}
+			if names["check"] != 1 {
+				t.Errorf("%s w=%d: %d check spans, want 1", m.Name(), workers, names["check"])
+			}
+			routes := names["route.auto"] + names["route.enumerate"]
+			if routes != 1 {
+				t.Errorf("%s w=%d: %d route spans (%v), want 1", m.Name(), workers, routes, names)
+			}
+			// span.<phase>.ns histograms are the /metrics export the CI
+			// phase gate reads; the check span must have landed there.
+			if c := reg.Histogram("span.check.ns").Count(); c != 1 {
+				t.Errorf("%s w=%d: span.check.ns count = %d, want 1", m.Name(), workers, c)
+			}
+		}
+	})
+}
+
+// TestRunCtxEmitsCheckSpans drives the table-level RunCtx path: one
+// "check" span per test × model, attributed with both names in the
+// detail, and none at all on an un-instrumented context.
+func TestRunCtxEmitsCheckSpans(t *testing.T) {
+	tc, err := ByName("Fig1-SB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := model.All()
+	ring := obs.NewRing(1 << 16)
+	ctx := obs.WithSink(context.Background(), ring)
+	if _, err := RunCtx(ctx, tc, models); err != nil {
+		t.Fatal(err)
+	}
+	var checks int
+	for _, e := range ring.Events() {
+		if e.Type == obs.EvSpan && e.Span == "check" {
+			checks++
+			if want := "test=Fig1-SB"; !strings.Contains(e.Detail, want) {
+				t.Errorf("check span detail = %q, want it to carry %q", e.Detail, want)
+			}
+		}
+	}
+	if checks != len(models) {
+		t.Errorf("%d check spans, want one per model (%d)", checks, len(models))
+	}
+}

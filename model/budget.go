@@ -8,6 +8,7 @@ import (
 
 	"repro/history"
 	"repro/internal/budget"
+	"repro/internal/obs"
 )
 
 // Budget bounds the work a single membership check may perform. Deciding
@@ -129,7 +130,17 @@ func AllowsCtx(ctx context.Context, m Model, s *history.System) (Verdict, error)
 		return Verdict{Unknown: r}, nil
 	}
 	if cm, ok := m.(ContextModel); ok {
-		return cm.AllowsCtx(ctx, s)
+		if !obs.Enabled(ctx) {
+			return cm.AllowsCtx(ctx, s)
+		}
+		// The route span attributes the solve to the procedure that ran
+		// it — span.route.auto.ns vs span.route.enumerate.ns — and is the
+		// parent of the pool's wait/exec spans. The Enabled check keeps
+		// the un-instrumented path free of the name concatenation.
+		sctx, sp := obs.StartSpan(ctx, "route."+RouteFromContext(ctx).String())
+		v, err := cm.AllowsCtx(sctx, s)
+		sp.End()
+		return v, err
 	}
 	return m.Allows(s)
 }

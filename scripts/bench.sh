@@ -20,7 +20,8 @@ benchtime=${BENCHTIME:-1s}
 count=${COUNT:-5}
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+phasereport=$(mktemp)
+trap 'rm -f "$raw" "$phasereport"' EXIT
 
 go test -run '^$' -bench "$bench" -benchtime "$benchtime" -count "$count" . | tee "$raw" >&2
 
@@ -51,6 +52,20 @@ if [ -z "$benches" ]; then
     exit 1
 fi
 
-printf '{"date":"%s","commit":"%s","dirty":%s,"go":"%s","benchtime":"%s","count":%s,"ns_op_median":{%s}}\n' \
-    "$date" "$commit" "$dirty" "$goversion" "$benchtime" "$count" "$benches" >> "$out"
+# Per-phase latency: one instrumented corpus run (same shape as the CI
+# regression gate) produces a report whose span.<phase>.ns histograms
+# obsdiff -phases flattens to "phase p50ns" lines; they ride along as
+# phase_ns_p50 so obsdiff -bench -max-phase can gate phase latency from
+# the trajectory too. The 2x-wide histogram buckets make these medians
+# order-of-magnitude estimates, not microbenchmark numbers.
+go run ./cmd/litmus -workers 1 -cache-size 512 -repeat 2 -report "$phasereport" >&2
+phases=$(go run ./cmd/obsdiff -phases "$phasereport" |
+    awk '{printf "%s\"%s\":%s", sep, $1, $2; sep = ","}')
+phasefield=""
+if [ -n "$phases" ]; then
+    phasefield=$(printf ',"phase_ns_p50":{%s}' "$phases")
+fi
+
+printf '{"date":"%s","commit":"%s","dirty":%s,"go":"%s","benchtime":"%s","count":%s,"ns_op_median":{%s}%s}\n' \
+    "$date" "$commit" "$dirty" "$goversion" "$benchtime" "$count" "$benches" "$phasefield" >> "$out"
 echo "bench.sh: appended $(printf '%s\n' "$benches" | tr ',' '\n' | wc -l) medians to $out" >&2
