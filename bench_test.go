@@ -19,6 +19,7 @@ import (
 	"repro/drf"
 	"repro/explore"
 	"repro/history"
+	"repro/internal/incident"
 	"repro/internal/obs"
 	"repro/internal/search"
 	"repro/litmus"
@@ -411,8 +412,11 @@ func BenchmarkBudgetOverhead(b *testing.B) {
 // BenchmarkObsOverhead measures the cost of the observability layer on the
 // same corpus-scale decisions as BenchmarkBudgetOverhead: open-loop (no
 // sink, no registry — the nil-Probe fast path), metrics-only (a live
-// registry, counters flushed per search), and fully traced (registry plus a
-// JSONL sink on a discarding writer). The open-loop column must stay at the
+// registry, counters flushed per search), fully traced (registry plus a
+// JSONL sink on a discarding writer), and recorded (registry plus the
+// flight recorder as the sink — the always-on incident path with no
+// trigger firing, which must price like any other sink: one mutex
+// acquire and an append per event). The open-loop column must stay at the
 // un-instrumented baseline — the acceptance bar for the disabled path is
 // ≤5% versus BenchmarkBudgetOverhead's open-loop. BENCH_OBS.json records
 // the outcomes.
@@ -452,6 +456,16 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Run(c.test+"/"+c.model+"/traced", func(b *testing.B) {
 			ctx := obs.WithRegistry(context.Background(), obs.NewRegistry())
 			run(b, obs.WithSink(ctx, obs.NewJSONL(io.Discard)))
+		})
+		b.Run(c.test+"/"+c.model+"/recorded", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			spool, err := incident.NewSpool("", 4, reg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := incident.NewRecorder(incident.Config{}, spool, reg)
+			ctx := obs.WithRegistry(context.Background(), reg)
+			run(b, obs.WithSink(ctx, rec))
 		})
 	}
 }

@@ -86,6 +86,14 @@ type Flags struct {
 	// Pprof names the CPU-profile file; with a ".trace" suffix a Go
 	// runtime execution trace is written instead.
 	Pprof string
+	// IncidentDir is where -serve's flight recorder spools sealed incident
+	// bundles ("" keeps them in memory; they are still served over
+	// /incidents). Bundles replay offline with cmd/obsreplay.
+	IncidentDir string
+	// AuditEvery arms the verdict cache's hit audit under -serve: every
+	// n-th cache hit re-solves in the background and a disagreement seals
+	// a cache-divergence incident (0 = off).
+	AuditEvery int64
 }
 
 // Register installs the shared flags on fs and returns their destination.
@@ -117,6 +125,10 @@ func Register(fs *flag.FlagSet) *Flags {
 		"bound the content-addressed verdict cache to this many canonical histories (0 = no cache); hits skip the NP-hard solve and replay the witness under the caller's labels")
 	fs.StringVar(&f.Pprof, "pprof", "",
 		"write a CPU profile to this file (a .trace suffix writes a Go execution trace for `go tool trace` instead)")
+	fs.StringVar(&f.IncidentDir, "incident-dir", "",
+		"spool -serve's sealed incident bundles into this directory (default: in-memory; fetch over /incidents, replay with cmd/obsreplay)")
+	fs.Int64Var(&f.AuditEvery, "audit-every", 0,
+		"audit every n-th verdict-cache hit under -serve with a background re-solve; a disagreement seals a cache-divergence incident (0 = off)")
 	return f
 }
 
@@ -249,6 +261,18 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 		default:
 			srv.Tap(sinks)
 		}
+		// The flight recorder is always on for served runs: faults,
+		// contained panics, cache-audit divergences and SLO burn seal
+		// replayable bundles, spooled to -incident-dir (or memory) and
+		// served under /incidents. It must be enabled before EnableCheck
+		// so the recorder rides the sink the checker captures.
+		if err := srv.EnableIncidents(obshttp.IncidentOptions{
+			SpoolDir:   f.IncidentDir,
+			AuditEvery: f.AuditEvery,
+		}); err != nil {
+			teardown()
+			return nil, nil, err
+		}
 		srv.EnableCheck(obshttp.CheckOptions{
 			Workers:      f.Workers,
 			Degrade:      f.Degrade,
@@ -261,7 +285,7 @@ func (f *Flags) Setup(ctx context.Context) (context.Context, func(), error) {
 			teardown()
 			return nil, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (POST /check, /metrics /trace /runs /healthz /readyz /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "obs: serving http://%s/ (POST /check, /metrics /trace /runs /incidents /cachez /healthz /readyz /debug/pprof/)\n", addr)
 		ctx = obs.WithSink(ctx, srv.Sink())
 		down = append(down, func() error {
 			// The shutdown budget covers the service drain (bounded by

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/incident"
+)
+
+const sb = "w(x)1 r(y)0 | w(y)1 r(x)0"
+
+// recordSample seals a bundle via -record and returns its path.
+func recordSample(t *testing.T, model string, extra ...string) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "bundle.json")
+	args := append([]string{"-record", sb, "-model", model, "-out", out}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("record exited %d: %s", code, stderr.String())
+	}
+	return out
+}
+
+func TestRecordThenReplayReproduces(t *testing.T) {
+	for _, mdl := range []string{"SC", "TSO"} {
+		path := recordSample(t, mdl)
+		var stdout, stderr bytes.Buffer
+		code := run([]string{path}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("%s: replay exited %d\nstdout: %s\nstderr: %s", mdl, code, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "REPRODUCED") {
+			t.Fatalf("%s: replay output missing REPRODUCED:\n%s", mdl, stdout.String())
+		}
+	}
+}
+
+func TestReplayJSONOutput(t *testing.T) {
+	path := recordSample(t, "SC")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("replay exited %d: %s", code, stderr.String())
+	}
+	var res incident.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("-json output not a Result: %v\n%s", err, stdout.String())
+	}
+	if !res.Reproduced || res.ReplayVerdict != "forbidden" || !res.WitnessValidated {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestReplayFlagsDivergence poisons a recorded verdict and expects exit 1.
+func TestReplayFlagsDivergence(t *testing.T) {
+	path := recordSample(t, "SC")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := incident.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Check.Verdict = "allowed" // SC forbids this history
+	b.Check.Explanation = nil
+	poisoned, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, poisoned, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("poisoned replay exited %d, want 1\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "DIVERGED") || !strings.Contains(stdout.String(), "FAIL") {
+		t.Fatalf("divergence not reported:\n%s", stdout.String())
+	}
+}
+
+func TestUsageAndIOErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent/bundle.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-record", sb}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-record without -model: exit %d, want 2", code)
+	}
+	if code := run([]string{"-record", sb, "-model", "NoSuchModel"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown model: exit %d, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":99}`), 0o644)
+	if code := run([]string{bad}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad schema: exit %d, want 2", code)
+	}
+}
+
+// TestRecordEnumerateRoute pins the route through record and replay.
+func TestRecordEnumerateRoute(t *testing.T) {
+	path := recordSample(t, "SC", "-route", "enumerate")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := incident.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Check.Route != "enumerate" {
+		t.Fatalf("route %q", b.Check.Route)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("enumerate replay exited %d: %s", code, stderr.String())
+	}
+}

@@ -165,7 +165,34 @@ var (
 	active atomic.Int32
 	mu     sync.Mutex
 	points = map[string]*installed{}
+
+	// observer, when set, is called on the hitting goroutine every time an
+	// installed fault's trigger fires — before the action runs, so a panic
+	// action cannot outrun the observation. This is the hook the incident
+	// flight recorder uses to turn "a fault fired" into a capture trigger.
+	observer atomic.Pointer[func(point string, worker int, item any)]
 )
+
+// SetObserver installs fn as the global fire observer: it runs once per
+// fired fault (not per hit) with the point name and the hit's
+// worker/item context, on the goroutine about to suffer the fault.
+// Passing nil removes the observer. fn must not itself hit fault points.
+// The unarmed fast path is untouched: with no faults installed, Hit and
+// Check never consult the observer.
+func SetObserver(fn func(point string, worker int, item any)) {
+	if fn == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&fn)
+}
+
+// observe notifies the observer, if any, that a fault fired at name.
+func observe(name string, worker int, item any) {
+	if p := observer.Load(); p != nil {
+		(*p)(name, worker, item)
+	}
+}
 
 // Set installs f at the named point, replacing any previous fault there
 // and resetting the point's hit count. Tests should defer Clear next to
@@ -239,6 +266,7 @@ func Hit(name string, worker int, item any) {
 	if in == nil || !in.fires() {
 		return
 	}
+	observe(name, worker, item)
 	if in.f.Fn != nil {
 		in.f.Fn(worker, item)
 	}
@@ -261,6 +289,7 @@ func Check(name string, worker int, item any) error {
 	if in == nil || !in.fires() {
 		return nil
 	}
+	observe(name, worker, item)
 	if in.f.Fn != nil {
 		in.f.Fn(worker, item)
 	}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserverSeesOnlyFires pins the observer contract: it runs once per
+// *fired* fault — not per hit — with the point and item context, and it
+// runs before a panic action unwinds the goroutine.
+func TestObserverSeesOnlyFires(t *testing.T) {
+	defer Reset()
+	defer SetObserver(nil)
+
+	type fire struct {
+		point  string
+		worker int
+		item   any
+	}
+	var mu sync.Mutex
+	var fires []fire
+	SetObserver(func(point string, worker int, item any) {
+		mu.Lock()
+		fires = append(fires, fire{point, worker, item})
+		mu.Unlock()
+	})
+
+	// Nth:3 — two silent hits, then one fire.
+	Set(SvcWorker, Fault{Err: ErrInjected, Nth: 3})
+	for i := 0; i < 5; i++ {
+		err := Check(SvcWorker, 7, "req-1")
+		if (err != nil) != (i == 2) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+	}
+	mu.Lock()
+	got := len(fires)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("observer ran %d times over 5 hits of an Nth:3 fault, want 1", got)
+	}
+	if fires[0].point != SvcWorker || fires[0].worker != 7 || fires[0].item != "req-1" {
+		t.Fatalf("observer context = %+v", fires[0])
+	}
+
+	// The observer must run before a panic action fires.
+	Set(PoolDrain, Fault{Panic: "boom"})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic action did not panic")
+			}
+		}()
+		Hit(PoolDrain, 0, "item-9")
+	}()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fires) != 2 {
+		t.Fatalf("observer ran %d times after panic fire, want 2", len(fires))
+	}
+	if fires[1].point != PoolDrain || fires[1].item != "item-9" {
+		t.Fatalf("panic-fire context = %+v", fires[1])
+	}
+}
+
+func TestObserverRemovedAndNilSafe(t *testing.T) {
+	defer Reset()
+	var n int
+	SetObserver(func(string, int, any) { n++ })
+	SetObserver(nil)
+	Set(SvcAdmit, Fault{Err: ErrInjected})
+	if err := Check(SvcAdmit, 0, nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Check = %v, want injected error", err)
+	}
+	if n != 0 {
+		t.Fatalf("removed observer still ran %d times", n)
+	}
+	// Delay actions still observe normally once reinstalled.
+	SetObserver(func(string, int, any) { n++ })
+	defer SetObserver(nil)
+	Set(SvcAdmit, Fault{Delay: time.Microsecond})
+	Hit(SvcAdmit, 0, nil)
+	if n != 1 {
+		t.Fatalf("observer ran %d times, want 1", n)
+	}
+}

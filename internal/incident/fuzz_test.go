@@ -1,0 +1,67 @@
+package incident
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// FuzzBundleRoundTrip feeds arbitrary bytes to Decode and, for every
+// input that decodes, requires Encode → Decode to be a fixed point:
+// re-encoding a decoded bundle must yield byte-identical JSON. A bundle
+// that survives validation but mutates across a round trip would corrupt
+// spools and replay evidence silently.
+func FuzzBundleRoundTrip(f *testing.F) {
+	seed := &Bundle{
+		Schema:   BundleSchema,
+		ID:       "inc-seed-0001",
+		SealedAt: "2026-08-07T00:00:00.000Z",
+		Trigger:  Trigger{Kind: "fault", Point: "svc.worker", Detail: "injected", Req: "ab.0", Fires: 2},
+		Check: &CheckInfo{
+			Req: "ab.0", History: "w(x)1 r(y)0 | w(y)1 r(x)0", Model: "SC",
+			Tier: "default", Route: "auto", MaxCandidates: 10, MaxNodes: 100,
+			DeadlineMs: 50, Verdict: "forbidden", Candidates: 2, Nodes: 17, WallUs: 420,
+		},
+		Events: []obs.Event{
+			{Us: 1, Type: obs.EvSpan, Req: "ab.0", Span: "solve", SpanID: 2, Parent: 1, DurUs: 400},
+			{Us: 2, Type: obs.EvRunFinish, Req: "ab.0", Verdict: "forbidden"},
+		},
+		Deltas:  []MetricsDelta{{Us: 3, Counters: map[string]int64{"svc.check.received": 1}}},
+		Metrics: obs.Snapshot{Counters: map[string]int64{"vcache.hits": 4}},
+		Build:   obs.BuildInfo{GoVersion: "go0.0", OS: "linux", Arch: "amd64", NumCPU: 1},
+	}
+	data, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"schema":1,"id":"inc-x","trigger":{"kind":"manual"}}`))
+	f.Add([]byte(`{"schema":1}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		b, err := Decode(in)
+		if err != nil {
+			return // invalid inputs are rejected, never crash
+		}
+		if b.Schema != BundleSchema || b.ID == "" || b.Trigger.Kind == "" {
+			t.Fatalf("Decode accepted an invalid bundle: %+v", b)
+		}
+		enc1, err := b.Encode()
+		if err != nil {
+			t.Fatalf("Encode of a decoded bundle failed: %v", err)
+		}
+		b2, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-Decode failed: %v\n%s", err, enc1)
+		}
+		enc2, err := b2.Encode()
+		if err != nil {
+			t.Fatalf("re-Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("bundle not a round-trip fixed point:\n--- first\n%s\n--- second\n%s", enc1, enc2)
+		}
+	})
+}

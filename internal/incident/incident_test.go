@@ -1,0 +1,376 @@
+package incident
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/history"
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// figSB is the store-buffering shape: forbidden under SC, allowed under
+// TSO — the repo's canonical decided-both-ways history.
+const figSB = "w(x)1 r(y)0 | w(y)1 r(x)0"
+
+func mustParse(t *testing.T, text string) *history.System {
+	t.Helper()
+	s, err := history.Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return s
+}
+
+func newTestRecorder(t *testing.T, cfg Config) (*Recorder, *Spool, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	spool, err := NewSpool("", 16, reg)
+	if err != nil {
+		t.Fatalf("NewSpool: %v", err)
+	}
+	return NewRecorder(cfg, spool, reg), spool, reg
+}
+
+func TestSpoolBoundedAndSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	spool, err := NewSpool(dir, 2, reg)
+	if err != nil {
+		t.Fatalf("NewSpool: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		b := &Bundle{
+			Schema:   BundleSchema,
+			ID:       fmt.Sprintf("inc-test-%04d", i),
+			SealedAt: fmt.Sprintf("2026-08-07T00:00:0%d.000Z", i),
+			Trigger:  Trigger{Kind: "manual", Detail: "test"},
+		}
+		if err := spool.Put(b); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if spool.Len() != 2 {
+		t.Fatalf("spool holds %d bundles, want 2 (cap)", spool.Len())
+	}
+	if spool.Dropped() != 1 {
+		t.Fatalf("spool dropped %d, want 1", spool.Dropped())
+	}
+	if _, ok, _ := spool.Get("inc-test-0000"); ok {
+		t.Fatal("oldest bundle still resident past cap")
+	}
+	b, ok, err := spool.Get("inc-test-0002")
+	if err != nil || !ok {
+		t.Fatalf("Get newest: ok=%v err=%v", ok, err)
+	}
+	if b.Trigger.Kind != "manual" {
+		t.Fatalf("round-tripped trigger = %+v", b.Trigger)
+	}
+
+	// A new process over the same directory re-indexes the survivors.
+	spool2, err := NewSpool(dir, 2, obs.NewRegistry())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	metas := spool2.List()
+	if len(metas) != 2 || metas[0].ID != "inc-test-0001" || metas[1].ID != "inc-test-0002" {
+		t.Fatalf("reindexed listing = %+v", metas)
+	}
+}
+
+func TestRecorderDefersSealToRunFinish(t *testing.T) {
+	rec, spool, _ := newTestRecorder(t, Config{})
+	const req = "abc123.0"
+	rec.NoteCheck(req, CheckInfo{History: figSB, Model: "SC", Tier: "default", Route: "auto"})
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: req, Span: "admit", DurUs: 5}))
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: req, Span: "solve", DurUs: 120}))
+
+	if id := rec.Capture(req, Trigger{Kind: "fault", Point: "svc.worker"}); id != "" {
+		t.Fatalf("capture of live request sealed immediately (id %s), want deferred", id)
+	}
+	if spool.Len() != 0 {
+		t.Fatal("bundle sealed before run_finish")
+	}
+	// A second trigger on the same request merges, it does not double-seal.
+	rec.Capture(req, Trigger{Kind: "panic", Detail: "boom"})
+
+	rec.NoteVerdict(req, CheckInfo{Verdict: "forbidden", Candidates: 3, Nodes: 40, WallUs: 900})
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvRunFinish, Req: req, Verdict: "forbidden"}))
+
+	if spool.Len() != 1 {
+		t.Fatalf("spool holds %d bundles after run_finish, want 1", spool.Len())
+	}
+	meta := spool.List()[0]
+	b, ok, err := spool.Get(meta.ID)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if b.Trigger.Kind != "fault" || b.Trigger.Point != "svc.worker" {
+		t.Fatalf("first trigger should win identity, got %+v", b.Trigger)
+	}
+	if b.Trigger.Fires != 2 {
+		t.Fatalf("merged trigger fires = %d, want 2", b.Trigger.Fires)
+	}
+	if b.Check == nil || b.Check.History != figSB || b.Check.Verdict != "forbidden" {
+		t.Fatalf("bundle check = %+v", b.Check)
+	}
+	if len(b.Events) != 3 {
+		t.Fatalf("bundle carries %d events, want 3 (2 spans + run_finish)", len(b.Events))
+	}
+	if b.Goroutines == "" || !strings.Contains(b.Goroutines, "goroutine") {
+		t.Fatal("bundle has no goroutine dump")
+	}
+	if b.Build.GoVersion == "" {
+		t.Fatal("bundle has no build info")
+	}
+	// Exactly one bundle even though two triggers fired.
+	if st := rec.Stats(); st.Triggers != 2 || st.Merged != 1 || st.Sealed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecorderSealsImmediatelyWhenFinishedOrUnattributed(t *testing.T) {
+	rec, spool, reg := newTestRecorder(t, Config{})
+
+	// Request-less trigger: seals now, with the global recent ring.
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvRunStart, Model: "SC"}))
+	id := rec.Capture("", Trigger{Kind: "slo-burn", Detail: "burn=12.5"})
+	if id == "" {
+		t.Fatal("request-less capture did not seal")
+	}
+	b, _, _ := spool.Get(id)
+	if b == nil || b.Check != nil || len(b.Recent) != 1 {
+		t.Fatalf("request-less bundle = %+v", b)
+	}
+
+	// Trigger after the request already finished: seals now with the trail.
+	const req = "done.0"
+	rec.NoteCheck(req, CheckInfo{History: figSB, Model: "TSO"})
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvRunFinish, Req: req, Verdict: "allowed"}))
+	id2 := rec.Capture(req, Trigger{Kind: "cache-divergence"})
+	if id2 == "" {
+		t.Fatal("post-finish capture did not seal")
+	}
+	b2, _, _ := spool.Get(id2)
+	if b2 == nil || b2.Check == nil || b2.Check.Verdict != "allowed" {
+		t.Fatalf("post-finish bundle check = %+v", b2.Check)
+	}
+
+	// CaptureNow on a live request seals without waiting.
+	const live = "live.0"
+	rec.NoteCheck(live, CheckInfo{History: figSB, Model: "SC"})
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: live, Span: "queue"}))
+	id3 := rec.CaptureNow(live, Trigger{Kind: "manual"})
+	if id3 == "" {
+		t.Fatal("CaptureNow did not seal")
+	}
+	// The seal-time metrics snapshot carries runtime health gauges.
+	b3, _, _ := spool.Get(id3)
+	if b3.Metrics.Gauges[obs.GaugeGoroutines] < 1 {
+		t.Fatalf("bundle metrics lack runtime gauges: %+v", b3.Metrics.Gauges)
+	}
+	_ = reg
+}
+
+func TestRecorderSealsMarkedTrailOnEviction(t *testing.T) {
+	rec, spool, _ := newTestRecorder(t, Config{MaxTrails: 2})
+	rec.NoteCheck("victim", CheckInfo{History: figSB, Model: "SC"})
+	rec.Capture("victim", Trigger{Kind: "fault", Point: "svc.enqueue"})
+	if spool.Len() != 0 {
+		t.Fatal("sealed before eviction")
+	}
+	// Two fresh trails push the marked one out of the LRU.
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: "r2", Span: "admit"}))
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: "r3", Span: "admit"}))
+	if spool.Len() != 1 {
+		t.Fatalf("spool holds %d after eviction of a marked trail, want 1", spool.Len())
+	}
+	b, _, _ := spool.Get(spool.List()[0].ID)
+	if b.Trigger.Point != "svc.enqueue" || b.Check == nil {
+		t.Fatalf("evicted-seal bundle = trigger %+v check %+v", b.Trigger, b.Check)
+	}
+}
+
+func TestRecorderBoundsTrailEvents(t *testing.T) {
+	rec, spool, _ := newTestRecorder(t, Config{MaxTrailEvents: 4})
+	const req = "big.0"
+	for i := 0; i < 10; i++ {
+		rec.Emit(obs.Stamp(obs.Event{Type: obs.EvSpan, Req: req, Span: fmt.Sprintf("p%d", i)}))
+	}
+	rec.Capture(req, Trigger{Kind: "manual"})
+	rec.Emit(obs.Stamp(obs.Event{Type: obs.EvRunFinish, Req: req, Verdict: "allowed"}))
+	b, _, _ := spool.Get(spool.List()[0].ID)
+	if len(b.Events) != 4 {
+		t.Fatalf("trail kept %d events, want 4", len(b.Events))
+	}
+	if b.DroppedEvents != 7 {
+		// 10 spans + run_finish = 11 emitted, 4 kept.
+		t.Fatalf("dropped_events = %d, want 7", b.DroppedEvents)
+	}
+	// The newest events are the ones kept.
+	if last := b.Events[len(b.Events)-1]; last.Type != obs.EvRunFinish {
+		t.Fatalf("last kept event = %+v, want run_finish", last)
+	}
+}
+
+func TestTickDeltasRollingWindow(t *testing.T) {
+	rec, _, reg := newTestRecorder(t, Config{MaxDeltas: 3})
+	rec.TickDeltas() // establish the baseline
+	for i := 0; i < 5; i++ {
+		reg.Counter("svc.check.received").Add(int64(i + 1))
+		rec.TickDeltas()
+	}
+	rec.TickDeltas() // no movement: must not append an empty delta
+	id := rec.CaptureNow("", Trigger{Kind: "manual"})
+	b, _, _ := rec.Spool().Get(id)
+	if len(b.Deltas) != 3 {
+		t.Fatalf("delta window = %d samples, want 3 (bounded)", len(b.Deltas))
+	}
+	last := b.Deltas[len(b.Deltas)-1]
+	if last.Counters["svc.check.received"] != 5 {
+		t.Fatalf("last delta = %+v, want received+=5", last)
+	}
+}
+
+// solveInfo runs the check the way the service would and returns the
+// recorded CheckInfo for a hand-built bundle.
+func solveInfo(t *testing.T, text, modelName string) CheckInfo {
+	t.Helper()
+	sys := mustParse(t, text)
+	m, err := model.ByName(modelName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = model.WithWorkers(m, 1)
+	v, err := model.AllowsCtx(context.Background(), m, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := CheckInfo{
+		History: text,
+		Model:   modelName,
+		Route:   "auto",
+		Verdict: verdictString(v),
+	}
+	if v.Decided() && v.Allowed {
+		e, err := model.Explain(m, sys, v)
+		if err != nil {
+			t.Fatalf("explain: %v", err)
+		}
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info.Explanation = raw
+	}
+	return info
+}
+
+func TestReplayReproducesRecordedVerdicts(t *testing.T) {
+	for _, tc := range []struct {
+		model, want string
+	}{
+		{"SC", "forbidden"},
+		{"TSO", "allowed"},
+	} {
+		info := solveInfo(t, figSB, tc.model)
+		if info.Verdict != tc.want {
+			t.Fatalf("%s(SB) = %s, want %s", tc.model, info.Verdict, tc.want)
+		}
+		b := &Bundle{
+			Schema:  BundleSchema,
+			ID:      "inc-replay-" + tc.model,
+			Trigger: Trigger{Kind: "manual"},
+			Check:   &info,
+			Events: []obs.Event{
+				obs.Stamp(obs.Event{Type: obs.EvSpan, Req: "r", Span: "solve", DurUs: 100}),
+			},
+		}
+		res, err := Replay(context.Background(), b)
+		if err != nil {
+			t.Fatalf("%s: replay: %v", tc.model, err)
+		}
+		if !res.Reproduced || res.Divergence != "" {
+			t.Fatalf("%s: replay = %+v, want reproduced", tc.model, res)
+		}
+		if res.ReplayVerdict != tc.want {
+			t.Fatalf("%s: replay verdict %s, want %s", tc.model, res.ReplayVerdict, tc.want)
+		}
+		if tc.want == "allowed" {
+			if !res.WitnessValidated {
+				t.Fatalf("%s: recorded witness failed validation: %s", tc.model, res.WitnessError)
+			}
+			if !res.ReplayWitnessValidated {
+				t.Fatalf("%s: replay witness failed validation: %s", tc.model, res.ReplayWitnessError)
+			}
+		}
+		// The phase diff compares the recorded solve span with the
+		// replay's.
+		var sawSolve bool
+		for _, p := range res.Phases {
+			if p.Phase == "solve" && p.RecordedUs == 100 && p.ReplayedUs >= 0 {
+				sawSolve = true
+			}
+		}
+		if !sawSolve {
+			t.Fatalf("%s: phase diff missing solve row: %+v", tc.model, res.Phases)
+		}
+	}
+}
+
+func TestReplayFlagsDivergence(t *testing.T) {
+	info := solveInfo(t, figSB, "SC")
+	info.Verdict = "allowed" // lie: SC forbids SB
+	b := &Bundle{Schema: BundleSchema, ID: "inc-lie", Trigger: Trigger{Kind: "manual"}, Check: &info}
+	res, err := Replay(context.Background(), b)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.Reproduced || res.Divergence == "" {
+		t.Fatalf("poisoned bundle replayed clean: %+v", res)
+	}
+}
+
+func TestReplayRecoversUndecidedRecordings(t *testing.T) {
+	// A bundle sealed mid-fault records no verdict; the replay's decided
+	// answer is recovery, not divergence.
+	info := CheckInfo{History: figSB, Model: "SC", Route: "auto"}
+	b := &Bundle{Schema: BundleSchema, ID: "inc-undecided", Trigger: Trigger{Kind: "fault", Point: "svc.worker"}, Check: &info}
+	res, err := Replay(context.Background(), b)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !res.Reproduced || !res.Recovered || res.ReplayVerdict != "forbidden" {
+		t.Fatalf("undecided recording: %+v", res)
+	}
+}
+
+func TestReplayRejectsHollowBundles(t *testing.T) {
+	b := &Bundle{Schema: BundleSchema, ID: "inc-hollow", Trigger: Trigger{Kind: "slo-burn"}}
+	if _, err := Replay(context.Background(), b); err == nil {
+		t.Fatal("replay of a check-less bundle must error")
+	}
+	bad := &Bundle{Schema: BundleSchema, ID: "inc-bad-route", Trigger: Trigger{Kind: "manual"},
+		Check: &CheckInfo{History: figSB, Model: "SC", Route: "warp"}}
+	if _, err := Replay(context.Background(), bad); err == nil {
+		t.Fatal("replay under an unknown route must error")
+	}
+}
+
+func TestBundleDecodeValidates(t *testing.T) {
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := Decode([]byte(`{"schema":99,"id":"x","trigger":{"kind":"manual"}}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Decode([]byte(`{"schema":1,"id":"","trigger":{"kind":"manual"}}`)); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := Decode([]byte(`{"schema":1,"id":"x","trigger":{}}`)); err == nil {
+		t.Fatal("empty trigger kind accepted")
+	}
+}

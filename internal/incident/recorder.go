@@ -1,0 +1,429 @@
+package incident
+
+import (
+	"container/list"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config bounds the recorder. Zero fields take defaults.
+type Config struct {
+	// MaxTrails bounds the number of per-request trails retained (LRU
+	// evicted). Default 256.
+	MaxTrails int
+	// MaxTrailEvents bounds each trail's event list (oldest evicted,
+	// counted into the bundle's DroppedEvents). Default 512.
+	MaxTrailEvents int
+	// RecentEvents bounds the global ring of request-less events.
+	// Default 256.
+	RecentEvents int
+	// MaxDeltas bounds the rolling registry-delta window. Default 32.
+	MaxDeltas int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTrails <= 0 {
+		c.MaxTrails = 256
+	}
+	if c.MaxTrailEvents <= 0 {
+		c.MaxTrailEvents = 512
+	}
+	if c.RecentEvents <= 0 {
+		c.RecentEvents = 256
+	}
+	if c.MaxDeltas <= 0 {
+		c.MaxDeltas = 32
+	}
+	return c
+}
+
+// trail is the retained record of one request: its events, its check
+// metadata, and its pending trigger, if any.
+type trail struct {
+	req      string
+	elem     *list.Element
+	events   []obs.Event
+	dropped  int64
+	check    *CheckInfo
+	trigger  *Trigger // pending capture, sealed at run_finish
+	finished bool     // a run_finish event has been recorded
+}
+
+// Recorder is the always-on flight recorder: an obs.Sink that keeps a
+// bounded per-request window of event/span trails plus a global ring of
+// request-less events, and seals incident bundles into a Spool when a
+// trigger fires. On the un-triggered path its cost is one mutex acquire
+// and an append per event — it rides the same tee the SSE broadcast and
+// JSONL sinks already ride, and emits nothing itself.
+//
+// Sealing is deferred for in-flight requests: a trigger on a live request
+// marks its trail, and the bundle seals when the request's run_finish
+// event arrives — so the bundle carries the request's *complete* trail,
+// outcome included. The service guarantees a run_finish on every classify
+// path (including contained panics), and trail eviction seals any marked
+// trail whose finish never came, so a marked trigger cannot be lost.
+type Recorder struct {
+	cfg   Config
+	spool *Spool
+	reg   *obs.Registry // live registry: delta source + seal-time snapshot
+
+	mu           sync.Mutex
+	trails       map[string]*trail
+	lru          *list.List // front = most recent; values are *trail
+	lastCounters map[string]int64
+	deltas       []MetricsDelta
+
+	recent *obs.Ring
+	seq    atomic.Int64
+
+	triggers, merged, evictedTrails *obs.Counter
+}
+
+// NewRecorder returns a recorder sealing into spool, snapshotting reg.
+func NewRecorder(cfg Config, spool *Spool, reg *obs.Registry) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:           cfg,
+		spool:         spool,
+		reg:           reg,
+		trails:        make(map[string]*trail),
+		lru:           list.New(),
+		recent:        obs.NewRing(cfg.RecentEvents),
+		triggers:      reg.Counter("incident.triggers"),
+		merged:        reg.Counter("incident.triggers_merged"),
+		evictedTrails: reg.Counter("incident.trails_evicted"),
+	}
+}
+
+// Spool returns the recorder's spool.
+func (r *Recorder) Spool() *Spool { return r.spool }
+
+// Emit implements obs.Sink. Request-less events go to the global ring;
+// request events append to their trail. A run_finish event seals the
+// trail's pending trigger, if one is marked.
+func (r *Recorder) Emit(e obs.Event) {
+	if e.Req == "" {
+		r.recent.Emit(e)
+		return
+	}
+	var seal *sealJob
+	r.mu.Lock()
+	t, evicted := r.trailLocked(e.Req)
+	if len(t.events) >= r.cfg.MaxTrailEvents {
+		copy(t.events, t.events[1:])
+		t.events = t.events[:len(t.events)-1]
+		t.dropped++
+	}
+	t.events = append(t.events, e)
+	if e.Type == obs.EvRunFinish {
+		t.finished = true
+		if t.check != nil && t.check.Verdict == "" {
+			// The service's NoteVerdict normally fills these first; fold
+			// from the event as a fallback so a bundle is never mute about
+			// its outcome.
+			t.check.Verdict = e.Verdict
+			t.check.Reason = e.Reason
+			t.check.Candidates = e.Candidates
+			t.check.Nodes = e.Nodes
+			t.check.Frontier = e.Frontier
+			t.check.WallUs = e.DurUs
+		}
+		if t.trigger != nil {
+			seal = r.sealJobLocked(t)
+		}
+	}
+	r.mu.Unlock()
+	for _, job := range evicted {
+		job.run(r)
+	}
+	seal.run(r)
+}
+
+// trailLocked returns the request's trail, creating (and LRU-evicting) as
+// needed. A marked trail evicted before its finish is sealed with what it
+// has rather than lost: its seal jobs are returned for the caller to run
+// after releasing r.mu. Called with r.mu held.
+func (r *Recorder) trailLocked(req string) (*trail, []*sealJob) {
+	if t, ok := r.trails[req]; ok {
+		r.lru.MoveToFront(t.elem)
+		return t, nil
+	}
+	var evicted []*sealJob
+	for r.lru.Len() >= r.cfg.MaxTrails {
+		back := r.lru.Back()
+		old := back.Value.(*trail)
+		r.lru.Remove(back)
+		delete(r.trails, old.req)
+		r.evictedTrails.Add(1)
+		if old.trigger != nil {
+			evicted = append(evicted, r.sealJobLocked(old))
+		}
+	}
+	t := &trail{req: req}
+	t.elem = r.lru.PushFront(t)
+	r.trails[req] = t
+	return t, evicted
+}
+
+// NoteCheck records the check metadata of a request — history, model,
+// tier, route, budget — the moment the service resolves them, so a
+// trigger at any later point has the full question on hand.
+func (r *Recorder) NoteCheck(req string, info CheckInfo) {
+	if r == nil {
+		return
+	}
+	info.Req = req
+	r.mu.Lock()
+	t, evicted := r.trailLocked(req)
+	if t.check == nil {
+		t.check = &info
+	} else {
+		// Keep the earliest identity; fill blanks (the canonical encoding
+		// arrives later than the history).
+		if t.check.Canonical == "" {
+			t.check.Canonical = info.Canonical
+		}
+	}
+	r.mu.Unlock()
+	for _, job := range evicted {
+		job.run(r)
+	}
+}
+
+// NoteCanonical records the canonical encoding once the cache path has
+// computed it.
+func (r *Recorder) NoteCanonical(req, enc string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if t, ok := r.trails[req]; ok && t.check != nil {
+		t.check.Canonical = enc
+	}
+	r.mu.Unlock()
+}
+
+// NoteVerdict records the request's outcome. Call before the run_finish
+// event is emitted so a sealing trail carries it.
+func (r *Recorder) NoteVerdict(req string, info CheckInfo) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if t, ok := r.trails[req]; ok && t.check != nil {
+		c := t.check
+		c.Verdict = info.Verdict
+		c.Reason = info.Reason
+		c.Error = info.Error
+		c.Candidates = info.Candidates
+		c.Nodes = info.Nodes
+		c.Frontier = info.Frontier
+		c.WallUs = info.WallUs
+		if len(info.Explanation) > 0 {
+			c.Explanation = info.Explanation
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Capture marks a trigger. For a live request the seal is deferred to its
+// run_finish so the bundle is complete; for an unknown or already
+// finished request — and for request-less triggers — it seals
+// immediately. At most one pending trigger per request: later triggers
+// merge into the first (Fires counts them). Returns the sealed bundle ID
+// ("" when the seal was deferred or failed).
+func (r *Recorder) Capture(req string, tr Trigger) string {
+	if r == nil {
+		return ""
+	}
+	r.triggers.Add(1)
+	tr.Req = req
+	if tr.Fires == 0 {
+		tr.Fires = 1
+	}
+	var seal *sealJob
+	r.mu.Lock()
+	if req != "" {
+		if t, ok := r.trails[req]; ok {
+			if t.trigger != nil {
+				t.trigger.Fires++
+				r.merged.Add(1)
+				r.mu.Unlock()
+				return ""
+			}
+			t.trigger = &tr
+			if t.finished {
+				seal = r.sealJobLocked(t)
+			}
+			r.mu.Unlock()
+			return seal.run(r)
+		}
+		// No trail (yet): create one so late events still attach, and
+		// defer to its finish.
+		t, evicted := r.trailLocked(req)
+		t.trigger = &tr
+		r.mu.Unlock()
+		for _, job := range evicted {
+			job.run(r)
+		}
+		return ""
+	}
+	r.mu.Unlock()
+	return (&sealJob{trigger: tr}).run(r)
+}
+
+// CaptureNow seals immediately with whatever the recorder has for req —
+// the manual POST /incidents/capture path, which must not wait for a
+// finish that may never come.
+func (r *Recorder) CaptureNow(req string, tr Trigger) string {
+	if r == nil {
+		return ""
+	}
+	r.triggers.Add(1)
+	tr.Req = req
+	if tr.Fires == 0 {
+		tr.Fires = 1
+	}
+	var seal *sealJob
+	r.mu.Lock()
+	if t, ok := r.trails[req]; ok && req != "" {
+		t.trigger = &tr
+		seal = r.sealJobLocked(t)
+	} else {
+		seal = &sealJob{trigger: tr}
+	}
+	r.mu.Unlock()
+	return seal.run(r)
+}
+
+// TickDeltas samples the registry's counters and appends the non-empty
+// diff to the rolling delta window. Called on a ticker by the service (or
+// directly by tests).
+func (r *Recorder) TickDeltas() {
+	if r == nil || r.reg == nil {
+		return
+	}
+	snap := r.reg.Snapshot()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var changed map[string]int64
+	for k, v := range snap.Counters {
+		if d := v - r.lastCounters[k]; d != 0 {
+			if changed == nil {
+				changed = make(map[string]int64)
+			}
+			changed[k] = d
+		}
+	}
+	r.lastCounters = snap.Counters
+	if changed == nil {
+		return
+	}
+	r.deltas = append(r.deltas, MetricsDelta{Us: obs.NowUs(), Counters: changed})
+	if len(r.deltas) > r.cfg.MaxDeltas {
+		r.deltas = r.deltas[len(r.deltas)-r.cfg.MaxDeltas:]
+	}
+}
+
+// sealJob is the data copied out of a trail under the lock; the heavy
+// seal work (registry snapshot, goroutine dump, spool write) runs outside
+// it.
+type sealJob struct {
+	trigger Trigger
+	check   *CheckInfo
+	events  []obs.Event
+	dropped int64
+}
+
+// sealJobLocked detaches the trail's pending state into a seal job and
+// clears the pending trigger. Called with r.mu held.
+func (r *Recorder) sealJobLocked(t *trail) *sealJob {
+	job := &sealJob{
+		events:  append([]obs.Event(nil), t.events...),
+		dropped: t.dropped,
+	}
+	if t.trigger != nil {
+		job.trigger = *t.trigger
+		t.trigger = nil
+	}
+	if t.check != nil {
+		c := *t.check
+		job.check = &c
+	}
+	return job
+}
+
+// run seals the job into a bundle. Nil-safe so deferred paths can call it
+// unconditionally. Returns the bundle ID ("" on a nil job or spool
+// failure).
+func (j *sealJob) run(r *Recorder) string {
+	if j == nil {
+		return ""
+	}
+	b := r.seal(j)
+	if err := r.spool.Put(b); err != nil {
+		return ""
+	}
+	return b.ID
+}
+
+// seal assembles the bundle: trail + trigger from the job, global ring,
+// delta window, runtime-sampled metrics snapshot, goroutine dump, build
+// identity.
+func (r *Recorder) seal(j *sealJob) *Bundle {
+	id := fmt.Sprintf("inc-%s-%04d",
+		time.Now().UTC().Format("20060102T150405"), r.seq.Add(1))
+	obs.SampleRuntime(r.reg)
+	r.mu.Lock()
+	deltas := append([]MetricsDelta(nil), r.deltas...)
+	r.mu.Unlock()
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	return &Bundle{
+		Schema:        BundleSchema,
+		ID:            id,
+		SealedAt:      time.Now().UTC().Format(time.RFC3339Nano),
+		Trigger:       j.trigger,
+		Check:         j.check,
+		Events:        j.events,
+		DroppedEvents: j.dropped,
+		Recent:        r.recent.Events(),
+		Deltas:        deltas,
+		Metrics:       r.reg.Snapshot(),
+		Goroutines:    string(buf[:n]),
+		Build:         obs.CollectBuildInfo(),
+	}
+}
+
+// Stats reports the recorder's trigger accounting.
+type Stats struct {
+	Triggers      int64 `json:"triggers"`
+	Merged        int64 `json:"merged"`
+	Sealed        int64 `json:"sealed"`
+	Dropped       int64 `json:"dropped"`
+	TrailsLive    int   `json:"trails_live"`
+	TrailsEvicted int64 `json:"trails_evicted"`
+}
+
+// Stats snapshots the recorder counters.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	live := len(r.trails)
+	r.mu.Unlock()
+	return Stats{
+		Triggers:      r.triggers.Value(),
+		Merged:        r.merged.Value(),
+		Sealed:        r.spool.sealed.Value(),
+		Dropped:       r.spool.dropped.Value(),
+		TrailsLive:    live,
+		TrailsEvicted: r.evictedTrails.Value(),
+	}
+}

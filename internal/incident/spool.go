@@ -1,0 +1,221 @@
+package incident
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Spool is the bounded home of sealed bundles. With a directory it is an
+// on-disk spool — one <id>.json per bundle, oldest evicted past the cap,
+// surviving restarts (NewSpool re-indexes what it finds) — so a crash
+// that follows the incident does not take the evidence with it. With an
+// empty directory it spools in memory, for tests and for services that
+// only want the HTTP surface.
+type Spool struct {
+	dir string
+	cap int
+
+	mu    sync.Mutex
+	order []string          // bundle IDs, oldest first
+	metas map[string]Meta   // by ID
+	mem   map[string][]byte // encoded bundles, memory mode only
+
+	sealed, dropped *obs.Counter
+	residentG       *obs.Gauge
+}
+
+// NewSpool opens a spool holding at most capacity bundles (minimum 1) in
+// dir, creating the directory if needed; an empty dir spools in memory.
+// Counters land in reg (nil-safe): incident.sealed, incident.dropped, and
+// the incident.spooled gauge.
+func NewSpool(dir string, capacity int, reg *obs.Registry) (*Spool, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	s := &Spool{
+		dir:       dir,
+		cap:       capacity,
+		metas:     make(map[string]Meta),
+		sealed:    reg.Counter("incident.sealed"),
+		dropped:   reg.Counter("incident.dropped"),
+		residentG: reg.Gauge("incident.spooled"),
+	}
+	if dir == "" {
+		s.mem = make(map[string][]byte)
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incident: spool dir: %w", err)
+	}
+	if err := s.reindex(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the spool directory ("" in memory mode).
+func (s *Spool) Dir() string { return s.dir }
+
+// reindex scans the spool directory for bundles from a previous process,
+// restoring the listing (and the eviction order, by sealed-at timestamp).
+// Unreadable or foreign files are skipped, not fatal.
+func (s *Spool) reindex() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("incident: reindex spool: %w", err)
+	}
+	type row struct {
+		meta Meta
+	}
+	var rows []row
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		b, err := Decode(data)
+		if err != nil || b.ID != strings.TrimSuffix(e.Name(), ".json") {
+			continue
+		}
+		rows = append(rows, row{meta: b.meta(int64(len(data)))})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].meta.SealedAt != rows[j].meta.SealedAt {
+			return rows[i].meta.SealedAt < rows[j].meta.SealedAt
+		}
+		return rows[i].meta.ID < rows[j].meta.ID
+	})
+	for _, r := range rows {
+		s.order = append(s.order, r.meta.ID)
+		s.metas[r.meta.ID] = r.meta
+	}
+	s.evictLocked()
+	s.residentG.Set(int64(len(s.order)))
+	return nil
+}
+
+// Put seals b into the spool, evicting the oldest bundle(s) past the cap.
+func (s *Spool) Put(b *Bundle) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir != "" {
+		path := filepath.Join(s.dir, b.ID+".json")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return fmt.Errorf("incident: spool write: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("incident: spool rename: %w", err)
+		}
+	} else {
+		s.mem[b.ID] = data
+	}
+	if _, ok := s.metas[b.ID]; !ok {
+		s.order = append(s.order, b.ID)
+	}
+	s.metas[b.ID] = b.meta(int64(len(data)))
+	s.sealed.Add(1)
+	s.evictLocked()
+	s.residentG.Set(int64(len(s.order)))
+	return nil
+}
+
+// evictLocked drops the oldest bundles until the spool is within cap.
+// Called with s.mu held.
+func (s *Spool) evictLocked() {
+	for len(s.order) > s.cap {
+		id := s.order[0]
+		s.order = s.order[1:]
+		delete(s.metas, id)
+		if s.dir != "" {
+			os.Remove(filepath.Join(s.dir, id+".json"))
+		} else {
+			delete(s.mem, id)
+		}
+		s.dropped.Add(1)
+	}
+}
+
+// List returns the spooled bundles' listing rows, oldest first.
+func (s *Spool) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Meta, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.metas[id])
+	}
+	return out
+}
+
+// Len returns the number of spooled bundles.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Get loads one bundle by ID; ok is false when it is not spooled.
+func (s *Spool) Get(id string) (*Bundle, bool, error) {
+	s.mu.Lock()
+	_, known := s.metas[id]
+	var data []byte
+	if known && s.dir == "" {
+		data = s.mem[id]
+	}
+	s.mu.Unlock()
+	if !known {
+		return nil, false, nil
+	}
+	if s.dir != "" {
+		var err error
+		data, err = os.ReadFile(filepath.Join(s.dir, id+".json"))
+		if err != nil {
+			return nil, false, fmt.Errorf("incident: spool read: %w", err)
+		}
+	}
+	b, err := Decode(data)
+	if err != nil {
+		return nil, true, err
+	}
+	return b, true, nil
+}
+
+// Raw returns the encoded bundle bytes by ID, for handlers that serve the
+// artifact verbatim.
+func (s *Spool) Raw(id string) ([]byte, bool, error) {
+	s.mu.Lock()
+	_, known := s.metas[id]
+	var data []byte
+	if known && s.dir == "" {
+		data = append([]byte(nil), s.mem[id]...)
+	}
+	s.mu.Unlock()
+	if !known {
+		return nil, false, nil
+	}
+	if s.dir != "" {
+		var err error
+		data, err = os.ReadFile(filepath.Join(s.dir, id+".json"))
+		if err != nil {
+			return nil, false, fmt.Errorf("incident: spool read: %w", err)
+		}
+	}
+	return data, true, nil
+}
+
+// Dropped returns the number of bundles evicted past the cap.
+func (s *Spool) Dropped() int64 { return s.dropped.Value() }

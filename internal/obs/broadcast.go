@@ -30,6 +30,9 @@ type Broadcast struct {
 	dropReg    *Registry
 	dropPrefix string
 	kindDrops  map[EventType]*Counter
+
+	// subsG, when set, mirrors len(subs). Guarded by mu.
+	subsG *Gauge
 }
 
 // InstrumentDrops routes the hub's drop accounting into reg: the total
@@ -43,6 +46,20 @@ func (b *Broadcast) InstrumentDrops(reg *Registry, prefix string) {
 	b.dropReg = reg
 	b.dropPrefix = prefix
 	b.kindDrops = make(map[EventType]*Counter)
+}
+
+// InstrumentSubscribers mirrors the live subscriber count into g. The
+// gauge is written to len(subs) under the hub lock on every attach and
+// detach, so a subscriber that disconnects mid-SSE-write is decremented
+// exactly once no matter how many paths (write error, client close,
+// server shutdown) race to Unsubscribe it — Unsubscribe is an idempotent
+// map delete, and the gauge is derived from the map, never incremented
+// blind.
+func (b *Broadcast) InstrumentSubscribers(g *Gauge) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subsG = g
+	g.Set(int64(len(b.subs)))
 }
 
 // noteDrop counts one evicted event. Called with b.mu held.
@@ -101,6 +118,9 @@ func (b *Broadcast) Subscribe(capacity int) *Subscriber {
 	}
 	b.mu.Lock()
 	b.subs[s] = struct{}{}
+	if b.subsG != nil {
+		b.subsG.Set(int64(len(b.subs)))
+	}
 	b.mu.Unlock()
 	return s
 }
@@ -110,6 +130,9 @@ func (b *Broadcast) Subscribe(capacity int) *Subscriber {
 func (b *Broadcast) Unsubscribe(s *Subscriber) {
 	b.mu.Lock()
 	delete(b.subs, s)
+	if b.subsG != nil {
+		b.subsG.Set(int64(len(b.subs)))
+	}
 	b.mu.Unlock()
 }
 

@@ -159,6 +159,12 @@ func stamp(e Event) Event {
 // service) whose events must interleave with the engine's on one axis.
 func Stamp(e Event) Event { return stamp(e) }
 
+// NowUs returns the shared monotonic process clock in microseconds — the
+// same axis every Event.Us is stamped on, so external recorders (the
+// incident flight recorder's metrics-delta window) can timestamp their own
+// samples comparably to the trace stream.
+func NowUs() int64 { return now() }
+
 type sinkKey struct{}
 type registryKey struct{}
 

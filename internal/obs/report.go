@@ -246,6 +246,11 @@ func (b *ReportBuilder) Report(reg *Registry) *Report {
 	return r
 }
 
+// PhaseTable folds the span.<phase>.ns histograms of a metrics snapshot
+// into a per-phase latency table — exported so the incident replay can
+// build a comparable phase profile from its own private registry.
+func PhaseTable(s Snapshot) map[string]PhaseLatency { return phaseTable(s) }
+
 // phaseTable folds the span.<phase>.ns histograms of a metrics snapshot
 // into the per-phase latency table. Returns nil when the run recorded no
 // spans.
@@ -283,6 +288,11 @@ func ReadReport(rd io.Reader) (*Report, error) {
 	}
 	return &r, nil
 }
+
+// CollectBuildInfo returns the host and build identity of this process —
+// the same stamp Report carries, exported so incident bundles can record
+// where they were sealed.
+func CollectBuildInfo() BuildInfo { return buildInfo() }
 
 // buildInfo collects the host and build identity of this process.
 func buildInfo() BuildInfo {

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime health gauges. Verdict counters and span histograms say what the
+// service decided and where the time went; these say what the process was
+// doing to the machine while it decided — the resource context an incident
+// bundle or a /metrics scrape needs to tell "the solver is slow" apart from
+// "the heap is thrashing".
+const (
+	GaugeGoroutines   = "obs.runtime.goroutines"
+	GaugeHeapAlloc    = "obs.runtime.heap_alloc_bytes"
+	GaugeHeapSys      = "obs.runtime.heap_sys_bytes"
+	GaugeHeapObjects  = "obs.runtime.heap_objects"
+	GaugeGCCycles     = "obs.runtime.gc_cycles"
+	GaugeGCPauseTotal = "obs.runtime.gc_pause_total_ns"
+	GaugeNextGC       = "obs.runtime.next_gc_bytes"
+)
+
+// SampleRuntime takes one snapshot of process health — goroutine count,
+// heap, and GC activity from runtime.ReadMemStats — into reg's gauges.
+// Nil-safe on a nil registry. ReadMemStats stops the world for on the
+// order of tens of microseconds, so callers sample on a ticker or at seal
+// points, never per event.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(GaugeGoroutines).Set(int64(runtime.NumGoroutine()))
+	reg.Gauge(GaugeHeapAlloc).Set(int64(ms.HeapAlloc))
+	reg.Gauge(GaugeHeapSys).Set(int64(ms.HeapSys))
+	reg.Gauge(GaugeHeapObjects).Set(int64(ms.HeapObjects))
+	reg.Gauge(GaugeGCCycles).Set(int64(ms.NumGC))
+	reg.Gauge(GaugeGCPauseTotal).Set(int64(ms.PauseTotalNs))
+	reg.Gauge(GaugeNextGC).Set(int64(ms.NextGC))
+}
+
+// StartRuntimeSampler samples runtime health into reg every interval until
+// the returned stop function is called. Stop is synchronous: when it
+// returns, the sampler goroutine has exited and no further samples will be
+// written (the shutdown goroutine-leak checks depend on that). A
+// non-positive interval defaults to 5s. One immediate sample is taken
+// before the first tick so short-lived processes still carry gauges.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	SampleRuntime(reg)
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				SampleRuntime(reg)
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if once {
+			return
+		}
+		once = true
+		close(done)
+		<-exited
+	}
+}

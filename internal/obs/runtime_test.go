@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimeSetsGauges(t *testing.T) {
+	reg := NewRegistry()
+	SampleRuntime(reg)
+	if g := reg.Gauge(GaugeGoroutines).Value(); g < 1 {
+		t.Fatalf("goroutines gauge = %d, want >= 1", g)
+	}
+	if g := reg.Gauge(GaugeHeapAlloc).Value(); g <= 0 {
+		t.Fatalf("heap_alloc gauge = %d, want > 0", g)
+	}
+	if g := reg.Gauge(GaugeHeapSys).Value(); g <= 0 {
+		t.Fatalf("heap_sys gauge = %d, want > 0", g)
+	}
+	// Nil registry must be a no-op, not a panic.
+	SampleRuntime(nil)
+}
+
+func TestRuntimeSamplerTicksAndStops(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartRuntimeSampler(reg, time.Millisecond)
+	// The immediate pre-tick sample guarantees gauges exist right away.
+	if g := reg.Gauge(GaugeGoroutines).Value(); g < 1 {
+		t.Fatalf("goroutines gauge = %d after start, want >= 1", g)
+	}
+	time.Sleep(3 * time.Millisecond) // let at least one tick land
+	stop()
+	stop() // idempotent
+	// After stop returns the goroutine has exited; a further wait must not
+	// observe new samples. Overwrite a gauge and check it stays.
+	reg.Gauge(GaugeGoroutines).Set(-7)
+	time.Sleep(5 * time.Millisecond)
+	if g := reg.Gauge(GaugeGoroutines).Value(); g != -7 {
+		t.Fatalf("sampler still writing after stop: goroutines gauge = %d", g)
+	}
+	if s := StartRuntimeSampler(nil, time.Millisecond); s == nil {
+		t.Fatal("nil-registry sampler must return a callable stop")
+	} else {
+		s()
+	}
+}
+
+func TestBroadcastSubscriberGaugeExactlyOnce(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBroadcast()
+	g := reg.Gauge("obs.http.trace_subscribers")
+	b.InstrumentSubscribers(g)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d before any subscriber, want 0", g.Value())
+	}
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d after two subscribes, want 2", g.Value())
+	}
+	// A subscriber that disconnects mid-write can hit Unsubscribe from
+	// both the write-error path and the connection-close path; the gauge
+	// must decrement exactly once.
+	b.Unsubscribe(s1)
+	b.Unsubscribe(s1)
+	b.Unsubscribe(s1)
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d after triple-unsubscribe of one subscriber, want 1", g.Value())
+	}
+	if n := b.Subscribers(); n != 1 {
+		t.Fatalf("Subscribers() = %d, want 1", n)
+	}
+	b.Unsubscribe(s2)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d after all unsubscribed, want 0", g.Value())
+	}
+	// Instrumenting an already-populated hub snaps the gauge to the live
+	// count rather than starting from zero.
+	s3 := b.Subscribe(4)
+	g2 := reg.Gauge("other.subscribers")
+	b.InstrumentSubscribers(g2)
+	if g2.Value() != 1 {
+		t.Fatalf("late-instrumented gauge = %d, want 1", g2.Value())
+	}
+	b.Unsubscribe(s3)
+	if g2.Value() != 0 {
+		t.Fatalf("late-instrumented gauge = %d after unsubscribe, want 0", g2.Value())
+	}
+}

@@ -1,0 +1,212 @@
+package obshttp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/incident"
+	"repro/internal/obs"
+)
+
+// TestChaosIncidentCapture is the incident leg of the chaos matrix: for
+// every injected fault, at every point on the /check path, exactly one
+// bundle must seal — attributed to the faulted request — and replaying
+// that bundle must reproduce the fault-free verdict. Faults may withhold
+// or delay answers; the flight recorder must turn each firing into one
+// self-contained, replayable artifact, never zero and never a storm of
+// duplicates (a fault that fires AND panics merges into one bundle).
+//
+// Bundles spool under CHAOS_INCIDENT_DIR when set (the CI chaos job sets
+// it and uploads the spool as an artifact), else a test temp dir.
+func TestChaosIncidentCapture(t *testing.T) {
+	defer fault.Reset()
+
+	// The corpus entry: store buffering, forbidden under SC fault-free.
+	const wantVerdict = "forbidden"
+	body := fmt.Sprintf(`{"history":%q,"model":"SC","explain":true}`, figure1SB)
+
+	scenarios := []struct {
+		name  string
+		point string
+		f     fault.Fault
+		// wantCheck: the bundle carries a replayable check (false only for
+		// faults that fire before the request is even parsed).
+		wantCheck bool
+		cache     bool // the point only exists on the cached path
+	}{
+		{"handler-error", fault.SvcHandler, fault.Fault{Err: fault.ErrInjected, Nth: 1}, false, false},
+		{"admit-error", fault.SvcAdmit, fault.Fault{Err: fault.ErrInjected, Nth: 1}, true, false},
+		{"enqueue-panic", fault.SvcEnqueue, fault.Fault{Panic: "enqueue chaos", Nth: 1}, true, false},
+		{"worker-panic", fault.SvcWorker, fault.Fault{Panic: "worker chaos", Nth: 1}, true, false},
+		{"worker-delay", fault.SvcWorker, fault.Fault{Delay: 2 * time.Millisecond, Nth: 1}, true, false},
+		{"explain-error", fault.SvcExplain, fault.Fault{Err: fault.ErrInjected, Nth: 1}, true, false},
+		{"cache-error", fault.SvcCache, fault.Fault{Err: fault.ErrInjected, Nth: 1}, true, true},
+		{"pool-worker-panic", fault.PoolDrain, fault.Fault{Panic: "pool chaos", Nth: 1}, true, false},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+
+			dir := t.TempDir()
+			if base := os.Getenv("CHAOS_INCIDENT_DIR"); base != "" {
+				dir = filepath.Join(base, sc.name)
+			}
+
+			fault.Reset()
+			fault.Set(sc.point, sc.f)
+			defer fault.Reset()
+
+			reg := obs.NewRegistry()
+			s := New(reg, 256)
+			iopts := quietIncidents()
+			iopts.SpoolDir = dir
+			if err := s.EnableIncidents(iopts); err != nil {
+				t.Fatal(err)
+			}
+			cacheSize := chaosCacheSize()
+			if sc.cache {
+				cacheSize = 256
+			}
+			s.EnableCheck(CheckOptions{Workers: 2, QueueDepth: 16, CacheSize: cacheSize})
+			addr, err := s.Start("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := "http://" + addr
+
+			// Sequential requests: the Nth:1 fault fires on exactly one of
+			// them, so exactly one incident must seal.
+			const sent = 3
+			for i := 0; i < sent; i++ {
+				postCheck(t, base, body, nil)
+			}
+
+			rec := s.Recorder()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			if err := s.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown under %s: %v", sc.name, err)
+			}
+			cancel()
+
+			st := rec.Stats()
+			if rec.Spool().Len() != 1 {
+				t.Fatalf("%s: sealed %d bundles, want exactly 1 (stats %+v, spool %v)",
+					sc.name, rec.Spool().Len(), st, rec.Spool().List())
+			}
+			meta := rec.Spool().List()[0]
+			if meta.Trigger.Kind != "fault" || meta.Trigger.Point != sc.point {
+				t.Fatalf("%s: trigger %+v, want kind=fault point=%s", sc.name, meta.Trigger, sc.point)
+			}
+			// On the uncached path an injected panic triggers twice — the
+			// fault observer, then the contained panic — and both must
+			// merge into one bundle. (The cached path's single-flight
+			// contains the panic as an error before any service recover,
+			// so only the fault trigger fires there.)
+			if sc.f.Panic != nil && cacheSize == 0 && meta.Trigger.Fires < 2 {
+				t.Errorf("%s: a fault that panics should merge both triggers, Fires=%d",
+					sc.name, meta.Trigger.Fires)
+			}
+
+			b, ok, err := rec.Spool().Get(meta.ID)
+			if err != nil || !ok {
+				t.Fatalf("%s: bundle %s unreadable: %v", sc.name, meta.ID, err)
+			}
+			if b.Goroutines == "" || b.Build.GoVersion == "" || b.Metrics.Counters == nil {
+				t.Fatalf("%s: bundle not self-contained: %+v", sc.name, b.Trigger)
+			}
+
+			if !sc.wantCheck {
+				if b.Check != nil {
+					t.Fatalf("%s: unexpected check info %+v", sc.name, b.Check)
+				}
+			} else {
+				if b.Check == nil {
+					t.Fatalf("%s: bundle has no check to replay", sc.name)
+				}
+				rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
+				rr, err := incident.Replay(rctx, b)
+				rcancel()
+				if err != nil {
+					t.Fatalf("%s: replay: %v", sc.name, err)
+				}
+				// The replay must land on the fault-free verdict: either the
+				// recording decided (reproduced bit-for-bit) or the fault
+				// withheld the answer and the replay recovers it.
+				if rr.ReplayVerdict != wantVerdict {
+					t.Fatalf("%s: replay verdict %q (reason %q), want %q — recorded %q",
+						sc.name, rr.ReplayVerdict, rr.ReplayReason, wantVerdict, rr.RecordedVerdict)
+				}
+				if rr.Divergence != "" {
+					t.Fatalf("%s: replay divergence: %s", sc.name, rr.Divergence)
+				}
+				if b.Check.Verdict == wantVerdict && !rr.Reproduced {
+					t.Fatalf("%s: decided recording not reproduced: %+v", sc.name, rr)
+				}
+			}
+
+			// The standing chaos invariants hold on this leg too.
+			if rec, _, _, _ := checkAccounting(t, reg); rec != sent {
+				t.Errorf("%s: received %d, sent %d", sc.name, rec, sent)
+			}
+			waitGoroutines(t, sc.name, before)
+		})
+	}
+}
+
+// TestChaosIncidentSpoolSurvivesRestart seals a bundle, reopens the spool
+// directory as a fresh server would, and replays the bundle from disk —
+// the crash-then-diagnose path.
+func TestChaosIncidentSpoolSurvivesRestart(t *testing.T) {
+	defer fault.Reset()
+	fault.Reset()
+	dir := t.TempDir()
+
+	fault.Set(fault.SvcWorker, fault.Fault{Panic: "crash chaos", Nth: 1})
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	iopts := quietIncidents()
+	iopts.SpoolDir = dir
+	if err := s.EnableIncidents(iopts); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableCheck(CheckOptions{Workers: 1})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	postCheck(t, "http://"+addr, fmt.Sprintf(`{"history":%q,"model":"SC"}`, figure1SB), nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s.Shutdown(ctx)
+	cancel()
+	fault.Reset()
+
+	// A fresh spool over the same directory re-indexes the artifact.
+	spool, err := incident.NewSpool(dir, 8, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas := spool.List()
+	if len(metas) != 1 {
+		t.Fatalf("restarted spool holds %d bundles, want 1", len(metas))
+	}
+	b, ok, err := spool.Get(metas[0].ID)
+	if err != nil || !ok {
+		t.Fatalf("bundle from restarted spool: ok=%v err=%v", ok, err)
+	}
+	rr, err := incident.Replay(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ReplayVerdict != "forbidden" {
+		t.Fatalf("replay from restarted spool: %+v", rr)
+	}
+	_ = http.StatusOK
+}

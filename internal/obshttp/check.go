@@ -15,6 +15,7 @@ import (
 
 	"repro/history"
 	"repro/internal/fault"
+	"repro/internal/incident"
 	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/vcache"
@@ -197,8 +198,13 @@ type checker struct {
 	cache *vcache.Cache
 
 	sink obs.Sink
+	// rec is the flight recorder, nil (and nil-safe) when EnableIncidents
+	// was not called. The checker feeds it the check's identity (NoteCheck)
+	// and outcome (NoteVerdict) and triggers captures on contained panics.
+	rec *incident.Recorder
 
 	received, admitted, shed, failed *obs.Counter
+	deadline                         *obs.Counter
 	queueDepth, inflightG            *obs.Gauge
 	waitUs, runUs                    *obs.Histogram
 }
@@ -254,6 +260,23 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 	if cache == nil && opts.CacheSize > 0 {
 		cache = vcache.New(opts.CacheSize, s.reg)
 	}
+	var rec *incident.Recorder
+	if s.inc != nil {
+		rec = s.inc.rec
+		if cache != nil && s.inc.opts.AuditEvery > 0 {
+			// Arm the cache-hit audit: a background re-solve that
+			// disagrees with the cached verdict is a captured incident —
+			// the cache is lying, and the bundle carries both answers.
+			cache.SetAuditEvery(s.inc.opts.AuditEvery)
+			cache.OnDivergence = func(modelName, enc string, cached, fresh model.Verdict) {
+				rec.CaptureNow("", incident.Trigger{
+					Kind: "cache-divergence",
+					Detail: fmt.Sprintf("model %s: cached %s, fresh re-solve %s for %q",
+						modelName, renderVerdict(cached), renderVerdict(fresh), enc),
+				})
+			}
+		}
+	}
 	c := &checker{
 		jobs:         make(chan *job, opts.QueueDepth),
 		ctx:          ctx,
@@ -264,10 +287,12 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 		drainTimeout: opts.DrainTimeout,
 		cache:        cache,
 		sink:         s.sink,
+		rec:          rec,
 		received:     s.reg.Counter("svc.check.received"),
 		admitted:     s.reg.Counter("svc.check.admitted"),
 		shed:         s.reg.Counter("svc.check.shed"),
 		failed:       s.reg.Counter("svc.check.failed"),
+		deadline:     s.reg.Counter("svc.check.deadline"),
 		queueDepth:   s.reg.Gauge("svc.check.queue_depth"),
 		inflightG:    s.reg.Gauge("svc.check.inflight"),
 		waitUs:       s.reg.Histogram("svc.check.wait_us"),
@@ -293,6 +318,12 @@ func (s *Server) EnableCheck(opts CheckOptions) {
 				if v, ok := c.pending.Load(pe.Shard); ok {
 					j := v.(*job)
 					j.cancel()
+					// Capture before finish: the panic trigger merges into
+					// any pending fault trigger, and the run_finish that
+					// finish emits seals the bundle with the outcome.
+					c.rec.Capture(j.id, incident.Trigger{
+						Kind: "panic", Detail: pe.Error(),
+					})
 					c.finish(j, checkResult{
 						ID: j.id, Model: j.req.Model, Tier: j.tier.Name,
 						Status: http.StatusInternalServerError,
@@ -467,6 +498,9 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest, root *obs
 			// A fault injected on the handler path (admission hook,
 			// enqueue hook) must not leak an unaccounted request or kill
 			// the connection.
+			c.rec.Capture(id, incident.Trigger{
+				Kind: "panic", Detail: fmt.Sprintf("handler path: %v", v),
+			})
 			res = checkResult{ID: id, Model: req.Model, Status: http.StatusInternalServerError,
 				Error: fmt.Sprintf("panic: %v", v)}
 			if !counted {
@@ -512,6 +546,19 @@ func (c *checker) do(ctx context.Context, id string, req checkRequest, root *obs
 	// Fleet-level parallelism only: each check runs its checker
 	// sequentially, so one heavy check cannot commandeer every CPU.
 	m = model.WithWorkers(m, 1)
+
+	// The flight recorder learns the check's full identity the moment it
+	// is resolved, so a trigger at any later point — even one that kills
+	// the solve — seals a bundle that can be replayed.
+	c.rec.NoteCheck(id, incident.CheckInfo{
+		History:       req.History,
+		Model:         m.Name(),
+		Tier:          tier.Name,
+		Route:         model.RouteFromContext(c.ctx).String(),
+		MaxCandidates: tier.MaxCandidates,
+		MaxNodes:      tier.MaxNodes,
+		DeadlineMs:    tier.Deadline.Milliseconds(),
+	})
 
 	c.emit(obs.Event{Type: obs.EvRunStart, Req: id, Model: m.Name(),
 		Ops: sys.NumOps(), Procs: sys.NumProcs(), Detail: "svc tier=" + tier.Name})
@@ -647,6 +694,7 @@ func (e svcError) Error() string {
 // classified by the flight or the fleet under this request's id).
 func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys, canon *history.System, ren *history.Renaming, m model.Model, tier Tier, degrade bool, root *obs.Span) (checkResult, string) {
 	enc := history.Format(canon)
+	c.rec.NoteCanonical(id, enc)
 	key := vcache.KeyFor(enc, m.Name(), model.RouteFromContext(c.ctx).String())
 	start := time.Now()
 	// root.Context instruments the wait context, so the cache's own
@@ -659,6 +707,16 @@ func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys
 	var se svcError
 	switch {
 	case err == nil:
+		if hit {
+			// Spend this hit against the audit cadence: when due, a
+			// background re-solve (same route, same budget class, its own
+			// lifetime) cross-checks the cached verdict. A disagreement is
+			// a captured incident, never a changed answer.
+			actx := model.WithBudget(c.ctx, model.Budget{
+				MaxCandidates: tier.MaxCandidates, MaxNodes: tier.MaxNodes,
+			})
+			c.cache.MaybeAudit(actx, m, canon, enc, v)
+		}
 		res := checkResult{ID: id, Model: m.Name(), Tier: tier.Name, Status: http.StatusOK,
 			Candidates: v.Progress.Candidates, Nodes: v.Progress.Nodes, Frontier: v.Progress.Frontier,
 			WallUs: time.Since(start).Microseconds()}
@@ -689,10 +747,18 @@ func (c *checker) doCached(ctx context.Context, id string, req checkRequest, sys
 				res.Explanation = data
 			}
 		}
-		if hit {
-			return res, "admitted"
+		if !hit {
+			// The fleet already emitted this id's run_finish — for the
+			// canonical solve, without the relabeled witness built above.
+			// Re-note the outcome so a later seal carries it.
+			c.rec.NoteVerdict(id, incident.CheckInfo{
+				Verdict: res.Verdict, Reason: res.Reason,
+				Candidates: res.Candidates, Nodes: res.Nodes, Frontier: res.Frontier,
+				WallUs: res.WallUs, Explanation: res.Explanation,
+			})
+			return res, ""
 		}
-		return res, "" // the fleet classified and emitted this id's job
+		return res, "admitted"
 	case errors.As(err, &se):
 		res := se.res
 		res.ID = id
@@ -863,6 +929,13 @@ func (c *checker) runJob(w int, j *job) (res checkResult) {
 		if v := recover(); v != nil {
 			solve.End() // idempotent; a dangling phase still closes
 			explainSp.End()
+			// The capture defers to this job's run_finish (emitted by
+			// finish, right after this recover): one bundle, complete
+			// trail, panic attributed — merged with the fault trigger if
+			// an injected fault observer already marked this request.
+			c.rec.Capture(j.id, incident.Trigger{
+				Kind: "panic", Detail: fmt.Sprintf("worker %d: %v", w, v),
+			})
 			res = checkResult{ID: j.id, Model: j.m.Name(), Tier: j.tier.Name,
 				Status: http.StatusInternalServerError, Error: fmt.Sprintf("panic: %v", v)}
 		}
@@ -959,10 +1032,40 @@ func (c *checker) emit(e obs.Event) {
 // queue-wait/solve breakdown sourced from the check's spans, so /runs
 // entries show where a slow check's time went.
 func (c *checker) emitFinish(res checkResult) {
+	if res.Reason == "deadline exceeded" {
+		// Deadline cutoffs are SLO-bad alongside sheds: the client asked a
+		// question the service withheld the answer to. The burn-rate
+		// sampler folds this counter into the error budget.
+		c.deadline.Add(1)
+	}
+	// The recorder learns the outcome before the run_finish event flows,
+	// so a trail sealing on that event carries verdict and witness.
+	c.rec.NoteVerdict(res.ID, incident.CheckInfo{
+		Verdict:     res.Verdict,
+		Reason:      res.Reason,
+		Error:       res.Error,
+		Candidates:  res.Candidates,
+		Nodes:       res.Nodes,
+		Frontier:    res.Frontier,
+		WallUs:      res.WallUs,
+		Explanation: res.Explanation,
+	})
 	c.emit(obs.Event{Type: obs.EvRunFinish, Req: res.ID, Model: res.Model,
 		Verdict: res.Verdict, Reason: res.Reason, Detail: res.Error,
 		Candidates: res.Candidates, Nodes: res.Nodes, Frontier: res.Frontier,
 		WaitUs: res.WaitUs, SolveUs: res.SolveUs})
+}
+
+// renderVerdict renders an engine verdict the way the service does.
+func renderVerdict(v model.Verdict) string {
+	switch {
+	case !v.Decided():
+		return "unknown (" + v.Unknown.String() + ")"
+	case v.Allowed:
+		return "allowed"
+	default:
+		return "forbidden"
+	}
 }
 
 // writeJSON writes v as the response with the given status.

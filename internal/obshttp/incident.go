@@ -1,0 +1,328 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/incident"
+	"repro/internal/obs"
+	"repro/internal/vcache"
+)
+
+// This file wires the flight recorder (internal/incident) into the
+// serving surface: EnableIncidents tees the recorder into the server's
+// event path, registers the trigger sources — injected faults firing,
+// contained panics, cache-audit divergences, SLO burn — and exposes the
+// sealed bundles over HTTP:
+//
+//	GET  /incidents           the spool listing plus recorder stats
+//	GET  /incidents/{id}      one sealed bundle, verbatim JSON artifact
+//	POST /incidents/capture   seal a bundle on demand ({"req","reason"})
+//	GET  /cachez              the verdict cache's counters (audit included)
+//
+// The recorder rides the same sink tee the SSE broadcast rides, so on the
+// un-triggered path its cost is bounded ring appends — no extra solves,
+// no encoding, no I/O.
+
+// IncidentOptions configures EnableIncidents. Zero values take defaults;
+// the interval fields treat 0 as the default and any negative value as
+// disabled (tests use that to keep background samplers out of the way).
+type IncidentOptions struct {
+	// SpoolDir is the on-disk bundle spool; "" spools in memory.
+	SpoolDir string
+	// SpoolCap bounds the spool (oldest evicted). Default 64.
+	SpoolCap int
+	// Recorder bounds the flight recorder's trails and delta window
+	// (incident.Config zero values take that package's defaults).
+	Recorder incident.Config
+
+	// SLOInterval is the burn-rate sampling period (default 1s, negative
+	// disables). The sampler folds svc.check.shed and svc.check.deadline
+	// into a rolling bad-request rate over svc.check.received and seals an
+	// "slo-burn" bundle when the error budget burns SLOBurn times faster
+	// than target.
+	SLOInterval time.Duration
+	// SLOWindow is the number of samples in the rolling window (default 30
+	// — half a minute at the default interval).
+	SLOWindow int
+	// SLOTarget is the error budget: the tolerable bad-request fraction
+	// (default 0.01).
+	SLOTarget float64
+	// SLOBurn is the burn-rate threshold that seals a bundle (default 10:
+	// the budget is burning ten times faster than sustainable).
+	SLOBurn float64
+	// SLOMinRequests gates the trigger: fewer requests than this in the
+	// window never burn (default 20 — a single shed probe is not a storm).
+	SLOMinRequests int64
+
+	// AuditEvery arms the verdict cache's hit audit: every n-th cache hit
+	// re-solves in the background and a disagreement seals a
+	// "cache-divergence" bundle. 0 disables.
+	AuditEvery int64
+
+	// DeltaInterval is the registry-delta sampling period for bundles'
+	// rolling Deltas window (default 5s, negative disables).
+	DeltaInterval time.Duration
+	// RuntimeInterval is the runtime health gauge sampling period
+	// (obs.runtime.* — goroutines, heap, GC; default 10s, negative
+	// disables). Seal time always samples once more regardless.
+	RuntimeInterval time.Duration
+}
+
+// sloSample is one cumulative reading of the request counters.
+type sloSample struct{ req, bad int64 }
+
+// incidents is the server-side state behind EnableIncidents.
+type incidents struct {
+	opts IncidentOptions
+	rec  *incident.Recorder
+
+	received, shed, deadline *obs.Counter
+	reqG, badG, burnG        *obs.Gauge
+
+	mu      sync.Mutex
+	samples []sloSample
+	burning bool // latched while over threshold: one bundle per excursion
+
+	stops    []func()
+	stopOnce sync.Once
+}
+
+// EnableIncidents turns on the flight recorder and the incident surface.
+// Call it after New (and any Tap) and before EnableCheck — the checker
+// captures the sink once, and the recorder must be teed in by then. The
+// first call wins; calling after EnableCheck is an error because the
+// recorder would never see the service's events.
+func (s *Server) EnableIncidents(opts IncidentOptions) error {
+	if s.inc != nil {
+		return nil
+	}
+	if s.reg == nil {
+		return fmt.Errorf("obshttp: EnableIncidents needs a registry")
+	}
+	if s.check != nil {
+		return fmt.Errorf("obshttp: EnableIncidents must be called before EnableCheck")
+	}
+	if opts.SpoolCap <= 0 {
+		opts.SpoolCap = 64
+	}
+	if opts.SLOWindow <= 0 {
+		opts.SLOWindow = 30
+	}
+	if opts.SLOTarget <= 0 {
+		opts.SLOTarget = 0.01
+	}
+	if opts.SLOBurn <= 0 {
+		opts.SLOBurn = 10
+	}
+	if opts.SLOMinRequests <= 0 {
+		opts.SLOMinRequests = 20
+	}
+	spool, err := incident.NewSpool(opts.SpoolDir, opts.SpoolCap, s.reg)
+	if err != nil {
+		return err
+	}
+	rec := incident.NewRecorder(opts.Recorder, spool, s.reg)
+	inc := &incidents{
+		opts:     opts,
+		rec:      rec,
+		received: s.reg.Counter("svc.check.received"),
+		shed:     s.reg.Counter("svc.check.shed"),
+		deadline: s.reg.Counter("svc.check.deadline"),
+		reqG:     s.reg.Gauge("svc.slo.window_requests"),
+		badG:     s.reg.Gauge("svc.slo.window_bad"),
+		burnG:    s.reg.Gauge("svc.slo.burn_x1000"),
+	}
+	s.inc = inc
+	s.sink = obs.Tee{s.sink, rec}
+
+	// Every injected fault that actually fires is a trigger: the observer
+	// runs before the fault's action (so even a panic is already
+	// attributed), and Capture defers sealing to the request's run_finish
+	// so the bundle carries the complete trail, outcome included.
+	fault.SetObserver(func(point string, worker int, item any) {
+		req := ""
+		switch v := item.(type) {
+		case string:
+			req = v
+		case fmt.Stringer:
+			req = v.String()
+		}
+		rec.Capture(req, incident.Trigger{
+			Kind:   "fault",
+			Point:  point,
+			Detail: fmt.Sprintf("injected fault fired (worker %d)", worker),
+		})
+	})
+	inc.stops = append(inc.stops, func() { fault.SetObserver(nil) })
+
+	if ivl := opts.SLOInterval; ivl >= 0 {
+		if ivl == 0 {
+			ivl = time.Second
+		}
+		inc.startTicker(ivl, inc.tickSLO)
+	}
+	if ivl := opts.DeltaInterval; ivl >= 0 {
+		if ivl == 0 {
+			ivl = 5 * time.Second
+		}
+		inc.startTicker(ivl, rec.TickDeltas)
+	}
+	if ivl := opts.RuntimeInterval; ivl >= 0 {
+		if ivl == 0 {
+			ivl = 10 * time.Second
+		}
+		inc.stops = append(inc.stops, obs.StartRuntimeSampler(s.reg, ivl))
+	}
+	return nil
+}
+
+// Recorder returns the flight recorder (nil before EnableIncidents), for
+// embedders that trigger captures of their own.
+func (s *Server) Recorder() *incident.Recorder {
+	if s.inc == nil {
+		return nil
+	}
+	return s.inc.rec
+}
+
+// startTicker runs f on a ticker until stopBackground; the stop is
+// synchronous (the goroutine has exited when it returns).
+func (i *incidents) startTicker(d time.Duration, f func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				f()
+			}
+		}
+	}()
+	i.stops = append(i.stops, func() { close(done); <-exited })
+}
+
+// stopBackground detaches the fault observer and stops every sampler.
+// Idempotent; called from Shutdown before the drain so nothing triggers
+// into a dying server.
+func (i *incidents) stopBackground() {
+	i.stopOnce.Do(func() {
+		for _, stop := range i.stops {
+			stop()
+		}
+	})
+}
+
+// tickSLO takes one burn-rate sample: the rolling window's bad-request
+// fraction (shed + deadline-exceeded over received) against the error
+// budget. Crossing the threshold seals one bundle per excursion — the
+// latch opens again only after the burn drops back under.
+func (i *incidents) tickSLO() {
+	cur := sloSample{
+		req: i.received.Value(),
+		bad: i.shed.Value() + i.deadline.Value(),
+	}
+	i.mu.Lock()
+	i.samples = append(i.samples, cur)
+	if max := i.opts.SLOWindow + 1; len(i.samples) > max {
+		i.samples = i.samples[len(i.samples)-max:]
+	}
+	first := i.samples[0]
+	dreq, dbad := cur.req-first.req, cur.bad-first.bad
+	var burn float64
+	if dreq > 0 && i.opts.SLOTarget > 0 {
+		burn = (float64(dbad) / float64(dreq)) / i.opts.SLOTarget
+	}
+	i.reqG.Set(dreq)
+	i.badG.Set(dbad)
+	i.burnG.Set(int64(burn * 1000))
+	over := dreq >= i.opts.SLOMinRequests && burn >= i.opts.SLOBurn
+	fire := over && !i.burning
+	i.burning = over
+	detail := fmt.Sprintf("burn rate %.1fx target %.3g: %d bad of %d requests in window",
+		burn, i.opts.SLOTarget, dbad, dreq)
+	i.mu.Unlock()
+	if fire {
+		i.rec.Capture("", incident.Trigger{Kind: "slo-burn", Detail: detail})
+	}
+}
+
+// handleIncidents is GET /incidents: the spool listing (oldest first)
+// plus the recorder's trigger accounting.
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Stats     incident.Stats  `json:"stats"`
+		Incidents []incident.Meta `json:"incidents"`
+	}{Stats: s.inc.rec.Stats(), Incidents: s.inc.rec.Spool().List()}
+	if out.Incidents == nil {
+		out.Incidents = []incident.Meta{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleIncidentGet is GET /incidents/{id}: the sealed bundle, served
+// verbatim — the response body IS the artifact obsreplay consumes.
+func (s *Server) handleIncidentGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok, err := s.inc.rec.Spool().Raw(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, fmt.Sprintf("no incident %q", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".json"))
+	w.Write(data) //nolint:errcheck // client went away
+}
+
+// handleIncidentCapture is POST /incidents/capture: seal a bundle now,
+// with whatever the recorder holds for the (optional) request id. The
+// manual path never waits for a run_finish that may never come.
+func (s *Server) handleIncidentCapture(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Req    string `json:"req"`
+		Reason string `json:"reason"`
+	}
+	if r.Body != nil {
+		// An empty or malformed body is a bare capture, not an error.
+		json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&body) //nolint:errcheck
+	}
+	id := s.inc.rec.CaptureNow(body.Req, incident.Trigger{Kind: "manual", Detail: body.Reason})
+	if id == "" {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "capture failed to seal"})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// handleCachez is GET /cachez: the verdict cache's live counters,
+// including the hit-audit columns, and the resident entry count.
+func (s *Server) handleCachez(w http.ResponseWriter, r *http.Request) {
+	var cache *vcache.Cache
+	if s.check != nil {
+		cache = s.check.cache
+	}
+	if cache == nil {
+		writeJSON(w, http.StatusOK, struct {
+			Enabled bool `json:"enabled"`
+		}{false})
+		return
+	}
+	st := cache.Stats()
+	writeJSON(w, http.StatusOK, struct {
+		Enabled bool         `json:"enabled"`
+		Stats   vcache.Stats `json:"stats"`
+	}{true, st})
+}

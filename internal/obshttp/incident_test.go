@@ -1,0 +1,353 @@
+package obshttp
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/history"
+	"repro/internal/incident"
+	"repro/internal/obs"
+	"repro/internal/vcache"
+	"repro/model"
+)
+
+// quietIncidents returns incident options with every background sampler
+// disabled, so tests drive ticks (and captures) deterministically.
+func quietIncidents() IncidentOptions {
+	return IncidentOptions{
+		SLOInterval:     -1,
+		DeltaInterval:   -1,
+		RuntimeInterval: -1,
+	}
+}
+
+// startIncidentServer boots a server with the flight recorder and the
+// checking service enabled, incidents spooling in memory.
+func startIncidentServer(t *testing.T, iopts IncidentOptions, copts CheckOptions) (*Server, string, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s := New(reg, 64)
+	if err := s.EnableIncidents(iopts); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableCheck(copts)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, "http://" + addr, reg
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp
+}
+
+// TestEnableIncidentsOrdering pins the wiring contract: the recorder must
+// be teed in before the checker captures the sink.
+func TestEnableIncidentsOrdering(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, 8)
+	s.EnableCheck(CheckOptions{Workers: 1})
+	if err := s.EnableIncidents(quietIncidents()); err == nil {
+		t.Fatal("EnableIncidents after EnableCheck must fail — the recorder would miss every event")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx)
+
+	if err := New(nil, 8).EnableIncidents(quietIncidents()); err == nil {
+		t.Fatal("EnableIncidents without a registry must fail")
+	}
+}
+
+// TestManualCaptureAndIncidentEndpoints walks the operator path end to
+// end: run a check, seal it on demand, list it, fetch the bundle, and
+// replay it to the recorded verdict.
+func TestManualCaptureAndIncidentEndpoints(t *testing.T) {
+	s, base, _ := startIncidentServer(t, quietIncidents(), CheckOptions{Workers: 2, CacheSize: 64})
+
+	body := `{"history":"` + figure1SB + `","model":"SC","explain":true}`
+	res, resp := postCheck(t, base, body, map[string]string{"X-Request-ID": "ops-1"})
+	if resp.StatusCode != http.StatusOK || res.Verdict != "forbidden" {
+		t.Fatalf("check: status %d verdict %q", resp.StatusCode, res.Verdict)
+	}
+
+	// Seal the finished request's trail on demand.
+	capResp, err := http.Post(base+"/incidents/capture", "application/json",
+		strings.NewReader(`{"req":"ops-1","reason":"operator snapshot"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var capOut map[string]string
+	data, _ := io.ReadAll(capResp.Body)
+	capResp.Body.Close()
+	if capResp.StatusCode != http.StatusCreated {
+		t.Fatalf("capture: status %d body %s", capResp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &capOut); err != nil || capOut["id"] == "" {
+		t.Fatalf("capture response: %v %s", err, data)
+	}
+	id := capOut["id"]
+
+	// The listing carries the row and the recorder's accounting.
+	var listing struct {
+		Stats     incident.Stats  `json:"stats"`
+		Incidents []incident.Meta `json:"incidents"`
+	}
+	getJSON(t, base+"/incidents", &listing)
+	if len(listing.Incidents) != 1 || listing.Stats.Sealed != 1 {
+		t.Fatalf("listing: %+v", listing)
+	}
+	meta := listing.Incidents[0]
+	if meta.ID != id || meta.Trigger.Kind != "manual" || meta.Req != "ops-1" ||
+		meta.Model != "SC" || meta.Verdict != "forbidden" || meta.Events == 0 {
+		t.Fatalf("meta: %+v", meta)
+	}
+
+	// The bundle itself is a valid, replayable artifact.
+	fetch, err := http.Get(base + "/incidents/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(fetch.Body)
+	fetch.Body.Close()
+	if fetch.StatusCode != http.StatusOK {
+		t.Fatalf("fetch: status %d", fetch.StatusCode)
+	}
+	b, err := incident.Decode(raw)
+	if err != nil {
+		t.Fatalf("served bundle does not decode: %v", err)
+	}
+	if b.Check == nil || b.Check.History != figure1SB || b.Check.Verdict != "forbidden" ||
+		b.Check.Route != "auto" || b.Check.Tier != "default" || len(b.Check.Explanation) == 0 {
+		t.Fatalf("bundle check: %+v", b.Check)
+	}
+	if b.Trigger.Detail != "operator snapshot" {
+		t.Fatalf("trigger detail: %+v", b.Trigger)
+	}
+	if b.Goroutines == "" || b.Metrics.Counters["svc.check.admitted"] != 1 {
+		t.Fatalf("bundle is not self-contained: goroutines=%d bytes, metrics=%v",
+			len(b.Goroutines), b.Metrics.Counters)
+	}
+	rr, err := incident.Replay(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Reproduced || rr.ReplayVerdict != "forbidden" || !rr.WitnessValidated {
+		t.Fatalf("replay: %+v", rr)
+	}
+
+	// Unknown incidents 404; an unknown request still seals (global view).
+	if resp := getJSON(t, base+"/incidents/inc-nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing incident: status %d", resp.StatusCode)
+	}
+
+	// /cachez reports the live cache.
+	var cz struct {
+		Enabled bool         `json:"enabled"`
+		Stats   vcache.Stats `json:"stats"`
+	}
+	getJSON(t, base+"/cachez", &cz)
+	if !cz.Enabled || cz.Stats.Misses != 1 || cz.Stats.Entries != 1 {
+		t.Fatalf("cachez: %+v", cz)
+	}
+	_ = s
+}
+
+// TestCachezDisabled pins the shape when no cache is configured.
+func TestCachezDisabled(t *testing.T) {
+	_, base, _ := startCheckServer(t, CheckOptions{Workers: 1})
+	var cz struct {
+		Enabled bool `json:"enabled"`
+	}
+	getJSON(t, base+"/cachez", &cz)
+	if cz.Enabled {
+		t.Fatal("cachez claims a cache on a cache-less server")
+	}
+}
+
+// TestReadyzJSONBody asserts the readiness body carries the admission
+// picture and flips with the drain, keeping the ready/draining wording
+// external probes grep for.
+func TestReadyzJSONBody(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(reg, 8)
+	s.EnableCheck(CheckOptions{Workers: 1})
+	h := s.Handler()
+
+	var body struct {
+		Status     string `json:"status"`
+		Draining   bool   `json:"draining"`
+		QueueDepth int    `json:"queue_depth"`
+		Inflight   int64  `json:"inflight"`
+	}
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("readyz: %d", rr.Code)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("readyz not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if body.Status != "ready" || body.Draining || body.QueueDepth != 0 || body.Inflight != 0 {
+		t.Fatalf("ready body: %+v", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable || rr.Header().Get("Retry-After") != "1" {
+		t.Fatalf("draining readyz: %d %q", rr.Code, rr.Header().Get("Retry-After"))
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil || body.Status != "draining" || !body.Draining {
+		t.Fatalf("draining body: %v %+v", err, body)
+	}
+}
+
+// TestSLOBurnSealsOncePerExcursion drives the burn-rate sampler by hand:
+// a shed storm seals exactly one bundle, the latch holds while the burn
+// persists, and a second excursion seals a second bundle.
+func TestSLOBurnSealsOncePerExcursion(t *testing.T) {
+	iopts := quietIncidents()
+	iopts.SLOWindow = 5
+	iopts.SLOMinRequests = 10
+	s, _, reg := startIncidentServer(t, iopts, CheckOptions{Workers: 1})
+	rec := s.Recorder()
+
+	s.inc.tickSLO() // baseline sample
+	reg.Counter("svc.check.received").Add(20)
+	reg.Counter("svc.check.shed").Add(10)
+	s.inc.tickSLO()
+	if got := rec.Spool().Len(); got != 1 {
+		t.Fatalf("burn did not seal exactly one bundle: %d", got)
+	}
+	if g := reg.Gauge("svc.slo.window_bad").Value(); g != 10 {
+		t.Fatalf("svc.slo.window_bad = %d", g)
+	}
+	// 10/20 bad against a 0.01 target is a 50x burn.
+	if g := reg.Gauge("svc.slo.burn_x1000").Value(); g != 50_000 {
+		t.Fatalf("svc.slo.burn_x1000 = %d", g)
+	}
+	metas := rec.Spool().List()
+	if metas[0].Trigger.Kind != "slo-burn" || !strings.Contains(metas[0].Trigger.Detail, "burn rate") {
+		t.Fatalf("trigger: %+v", metas[0].Trigger)
+	}
+
+	// Still burning: the latch suppresses a second seal.
+	s.inc.tickSLO()
+	if got := rec.Spool().Len(); got != 1 {
+		t.Fatalf("latch failed: %d bundles", got)
+	}
+
+	// Let the window slide past the storm; the latch opens again.
+	for i := 0; i < iopts.SLOWindow+1; i++ {
+		s.inc.tickSLO()
+	}
+	reg.Counter("svc.check.received").Add(20)
+	reg.Counter("svc.check.deadline").Add(15) // deadline cutoffs burn too
+	s.inc.tickSLO()
+	if got := rec.Spool().Len(); got != 2 {
+		t.Fatalf("second excursion sealed %d bundles, want 2", got)
+	}
+}
+
+// TestCacheAuditDivergenceSealsBundle poisons the verdict cache, lets the
+// hit audit catch the lie, and asserts the divergence seals a bundle with
+// both answers in the trigger detail.
+func TestCacheAuditDivergenceSealsBundle(t *testing.T) {
+	reg := obs.NewRegistry()
+	cache := vcache.New(64, reg)
+	s := New(reg, 64)
+	iopts := quietIncidents()
+	iopts.AuditEvery = 1
+	if err := s.EnableIncidents(iopts); err != nil {
+		t.Fatal(err)
+	}
+	s.EnableCheck(CheckOptions{Workers: 2, Cache: cache})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	// Poison: store "allowed" under the key the service will hit for a
+	// history SC forbids.
+	sys, err := history.Parse(figure1SB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, _, err := history.Canonicalize(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := history.Format(canon)
+	key := vcache.KeyFor(enc, "SC", model.RouteAuto.String())
+	if _, _, err := cache.Do(context.Background(), key, enc, func() (model.Verdict, error) {
+		return model.Verdict{Allowed: true}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hit serves the poisoned verdict (that is the cache's contract —
+	// and exactly why the audit exists), and the audit's background
+	// re-solve catches the divergence.
+	res, _ := postCheck(t, base, `{"history":"`+figure1SB+`","model":"SC"}`, nil)
+	if res.Verdict != "allowed" {
+		t.Fatalf("expected the poisoned hit to serve: %+v", res)
+	}
+	cache.WaitAudits()
+
+	rec := s.Recorder()
+	if got := rec.Spool().Len(); got != 1 {
+		t.Fatalf("divergence sealed %d bundles, want 1", got)
+	}
+	meta := rec.Spool().List()[0]
+	if meta.Trigger.Kind != "cache-divergence" {
+		t.Fatalf("trigger: %+v", meta.Trigger)
+	}
+	if !strings.Contains(meta.Trigger.Detail, "cached allowed") ||
+		!strings.Contains(meta.Trigger.Detail, "forbidden") {
+		t.Fatalf("detail does not carry both verdicts: %q", meta.Trigger.Detail)
+	}
+	if st := cache.Stats(); st.Audits != 1 || st.Divergences != 1 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+}

@@ -10,6 +10,9 @@
 //	GET /metrics.json  the same snapshot as JSON (obs.WriteJSON)
 //	GET /trace         the trace-event stream as Server-Sent Events
 //	GET /runs          recently completed checks (bounded, oldest evicted)
+//	GET /cachez        verdict-cache counters, hit-audit columns included
+//	GET /incidents     sealed incident bundles (with EnableIncidents; see
+//	                   incident.go for the capture/replay surface)
 //	GET /debug/pprof/  the standard Go profiling endpoints
 //
 // The server is strictly opt-in (the CLIs start it only under -serve), and
@@ -47,6 +50,7 @@ type Server struct {
 	runs  *obs.Ring
 	sink  obs.Sink
 	check *checker
+	inc   *incidents
 
 	hs       *http.Server
 	ln       net.Listener
@@ -93,6 +97,7 @@ func New(reg *obs.Registry, runsCap int) *Server {
 		// distinguishable from flat-event loss; the unsuffixed counter
 		// stays the total.
 		s.bcast.InstrumentDrops(reg, "obs.http.trace_dropped")
+		s.bcast.InstrumentSubscribers(reg.Gauge("obs.http.trace_subscribers"))
 		s.runs.Drops = reg.Counter("obs.http.runs_evicted")
 	}
 	s.sink = obs.Tee{s.bcast, obs.Filter{Next: s.runs, Allow: runEventTypes}}
@@ -128,6 +133,12 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /cachez", s.handleCachez)
+	if s.inc != nil {
+		mux.HandleFunc("GET /incidents", s.handleIncidents)
+		mux.HandleFunc("GET /incidents/{id}", s.handleIncidentGet)
+		mux.HandleFunc("POST /incidents/capture", s.handleIncidentCapture)
+	}
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /runs", s.handleRuns)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -167,9 +178,18 @@ func (s *Server) Addr() string {
 // Start was never called and no drain was cut short.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	if s.inc != nil {
+		// Detach the fault observer and stop the SLO/delta/runtime
+		// samplers before the drain, so nothing triggers captures into a
+		// dying server.
+		s.inc.stopBackground()
+	}
 	var derr error
 	if s.check != nil {
 		derr = s.check.drain(ctx)
+		// Background cache-hit audits may still be re-solving; wait so
+		// their divergence captures land before the spool goes quiet.
+		s.check.cache.WaitAudits()
 	}
 	s.stopOnce.Do(func() { close(s.done) })
 	if s.hs != nil {
@@ -188,16 +208,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz is readiness: 200 while the service accepts work, 503 the
 // moment shutdown begins — liveness and readiness diverge exactly during
-// the drain window.
+// the drain window. The JSON body carries the admission picture a load
+// balancer (or an operator with curl) wants alongside the verdict: queue
+// depth, in-flight checks, and whether a drain is underway.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	body := struct {
+		Status     string `json:"status"` // "ready" or "draining"
+		Draining   bool   `json:"draining"`
+		QueueDepth int    `json:"queue_depth"`
+		Inflight   int64  `json:"inflight"`
+	}{Status: "ready"}
+	if s.check != nil {
+		body.QueueDepth = len(s.check.jobs)
+		body.Inflight = s.check.inflight.Load()
+	}
 	if s.draining.Load() {
+		body.Status, body.Draining = "draining", true
 		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleIndex is a plain-text map of the service.
@@ -209,9 +240,15 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /trace         trace events as Server-Sent Events (?types=litmus,run_finish filters)
   /runs          recently completed checks as JSON
   /healthz       liveness
-  /readyz        readiness (503 while draining)
+  /readyz        readiness (503 while draining; JSON queue/in-flight picture)
+  /cachez        verdict-cache counters (hit-audit columns included)
   /debug/pprof/  Go profiling
 `)
+	if s.inc != nil {
+		fmt.Fprintf(w, `  /incidents     sealed incident bundles (GET list, GET /incidents/{id} fetch,
+                 POST /incidents/capture to seal one on demand)
+`)
+	}
 	if s.check != nil {
 		fmt.Fprintf(w, `  POST /check    check a history (or {"checks":[...]} batch) against a model:
                  {"history":"w(x)1 r(y)0 | w(y)1 r(x)0","model":"SC","tier":"small","explain":true}

@@ -1,0 +1,127 @@
+package vcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/history"
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// sb is store buffering: forbidden under SC.
+const sb = "w(x)1 r(y)0 | w(y)1 r(x)0"
+
+func TestAuditDetectsPoisonedEntry(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(8, reg)
+	c.SetAuditEvery(1)
+
+	var mu sync.Mutex
+	var gotModel, gotEnc string
+	var gotCached, gotFresh model.Verdict
+	c.OnDivergence = func(modelName, enc string, cached, fresh model.Verdict) {
+		mu.Lock()
+		defer mu.Unlock()
+		gotModel, gotEnc = modelName, enc
+		gotCached, gotFresh = cached, fresh
+	}
+
+	s, err := history.Parse(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.ByName("SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, _, err := history.Canonicalize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := history.Format(canon)
+	ctx := context.Background()
+	k := KeyFor(enc, m.Name(), model.RouteFromContext(ctx).String())
+
+	// Poison the cache: store "allowed" for a history SC forbids.
+	c.mu.Lock()
+	c.putLocked(k, enc, model.Verdict{Allowed: true})
+	c.mu.Unlock()
+
+	v, hit, err := Check(ctx, c, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || !v.Allowed {
+		t.Fatalf("poisoned entry not served: hit=%v verdict=%+v", hit, v)
+	}
+	c.WaitAudits()
+
+	st := c.Stats()
+	if st.Audits != 1 {
+		t.Fatalf("audits = %d, want 1", st.Audits)
+	}
+	if st.Divergences != 1 {
+		t.Fatalf("divergences = %d, want 1", st.Divergences)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotModel != "SC" || gotEnc != enc {
+		t.Fatalf("divergence context = (%q, %q)", gotModel, gotEnc)
+	}
+	if !gotCached.Allowed || gotFresh.Allowed {
+		t.Fatalf("divergence verdicts: cached=%+v fresh=%+v", gotCached, gotFresh)
+	}
+}
+
+func TestAuditCadenceAndCleanHits(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(8, reg)
+	c.SetAuditEvery(2) // audit every second hit
+
+	fired := false
+	c.OnDivergence = func(string, string, model.Verdict, model.Verdict) { fired = true }
+
+	s, err := history.Parse(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.ByName("SC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Miss, then four hits: with every=2, two audits, zero divergences.
+	for i := 0; i < 5; i++ {
+		if _, _, err := Check(ctx, c, m, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.WaitAudits()
+	st := c.Stats()
+	if st.Hits != 4 || st.Audits != 2 {
+		t.Fatalf("hits=%d audits=%d, want 4 and 2", st.Hits, st.Audits)
+	}
+	if st.Divergences != 0 || fired {
+		t.Fatalf("clean cache reported a divergence (count=%d fired=%v)", st.Divergences, fired)
+	}
+
+	// Disabled cadence audits nothing.
+	c.SetAuditEvery(0)
+	if _, _, err := Check(ctx, c, m, s); err != nil {
+		t.Fatal(err)
+	}
+	c.WaitAudits()
+	if got := c.Stats().Audits; got != 2 {
+		t.Fatalf("audits after disable = %d, want 2", got)
+	}
+
+	// Nil cache: nil-safe no-ops.
+	var nilc *Cache
+	nilc.SetAuditEvery(1)
+	if nilc.MaybeAudit(ctx, m, s, "enc", model.Verdict{}) {
+		t.Fatal("nil cache audited")
+	}
+	nilc.WaitAudits()
+}

@@ -27,6 +27,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/history"
 	"repro/internal/obs"
@@ -80,7 +81,19 @@ type Cache struct {
 	entries map[Key]*list.Element
 	flights map[Key]*flight
 
+	// OnDivergence, when set (before traffic flows), is called from an
+	// audit goroutine when a cache-hit audit's fresh solve decides
+	// differently than the served verdict — a poisoned entry, a hash
+	// collision the encoding guard missed, or a solver bug. The incident
+	// layer uses it as a capture trigger.
+	OnDivergence func(modelName, enc string, cached, fresh model.Verdict)
+
+	auditEvery atomic.Int64
+	auditSeq   atomic.Int64
+	auditWG    sync.WaitGroup
+
 	lookups, hits, misses, coalesced, evictions, collisions *obs.Counter
+	audits, divergences                                     *obs.Counter
 	entriesG                                                *obs.Gauge
 }
 
@@ -89,17 +102,78 @@ type Cache struct {
 // <= 0 disables storage but keeps single-flight coalescing.
 func New(size int, reg *obs.Registry) *Cache {
 	return &Cache{
-		cap:        size,
-		lru:        list.New(),
-		entries:    make(map[Key]*list.Element),
-		flights:    make(map[Key]*flight),
-		lookups:    reg.Counter("vcache.lookups"),
-		hits:       reg.Counter("vcache.hits"),
-		misses:     reg.Counter("vcache.misses"),
-		coalesced:  reg.Counter("vcache.coalesced"),
-		evictions:  reg.Counter("vcache.evictions"),
-		collisions: reg.Counter("vcache.collisions"),
-		entriesG:   reg.Gauge("vcache.entries"),
+		cap:         size,
+		lru:         list.New(),
+		entries:     make(map[Key]*list.Element),
+		flights:     make(map[Key]*flight),
+		lookups:     reg.Counter("vcache.lookups"),
+		hits:        reg.Counter("vcache.hits"),
+		misses:      reg.Counter("vcache.misses"),
+		coalesced:   reg.Counter("vcache.coalesced"),
+		evictions:   reg.Counter("vcache.evictions"),
+		collisions:  reg.Counter("vcache.collisions"),
+		audits:      reg.Counter("vcache.audits"),
+		divergences: reg.Counter("vcache.audit_divergences"),
+		entriesG:    reg.Gauge("vcache.entries"),
+	}
+}
+
+// SetAuditEvery arms the cache-hit audit: every n-th LRU hit (counted
+// across all keys) is re-solved in the background and compared against
+// the verdict the cache served. n <= 0 disables auditing (the default).
+// Audits count into vcache.audits; disagreements into
+// vcache.audit_divergences and the OnDivergence callback.
+func (c *Cache) SetAuditEvery(n int64) {
+	if c == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.auditEvery.Store(n)
+}
+
+// MaybeAudit spends one hit against the audit cadence and, when due,
+// re-solves the canonical history on a background goroutine and compares
+// the fresh verdict with the served one. cached must be the verdict in
+// canonical labels (as stored), canon the canonical history. The audit
+// detaches from the caller's cancellation (the request finishing must not
+// abort its own audit) but keeps the context's values — route and budget
+// still apply, so an audit is bounded exactly like the solve it checks.
+// Returns true when an audit was started.
+func (c *Cache) MaybeAudit(ctx context.Context, m model.Model, canon *history.System, enc string, cached model.Verdict) bool {
+	if c == nil {
+		return false
+	}
+	every := c.auditEvery.Load()
+	if every <= 0 || c.auditSeq.Add(1)%every != 0 {
+		return false
+	}
+	c.audits.Add(1)
+	actx := context.WithoutCancel(ctx)
+	c.auditWG.Add(1)
+	go func() {
+		defer c.auditWG.Done()
+		fresh, err := model.AllowsCtx(actx, m, canon)
+		if err != nil || !fresh.Decided() || !cached.Decided() {
+			return // an unbounded answer is no evidence either way
+		}
+		if fresh.Allowed == cached.Allowed {
+			return
+		}
+		c.divergences.Add(1)
+		if f := c.OnDivergence; f != nil {
+			f(m.Name(), enc, cached, fresh)
+		}
+	}()
+	return true
+}
+
+// WaitAudits blocks until every in-flight audit has finished — shutdown
+// and test hygiene (the goroutine-leak checks run after it).
+func (c *Cache) WaitAudits() {
+	if c != nil {
+		c.auditWG.Wait()
 	}
 }
 
@@ -108,6 +182,7 @@ func New(size int, reg *obs.Registry) *Cache {
 // counter reads, so a cache created with a nil registry reports zeros.
 type Stats struct {
 	Lookups, Hits, Misses, Coalesced, Evictions, Collisions, Entries int64
+	Audits, Divergences                                              int64
 }
 
 // Stats snapshots the counters. The fields are read individually, not
@@ -118,13 +193,15 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Lookups:    c.lookups.Value(),
-		Hits:       c.hits.Value(),
-		Misses:     c.misses.Value(),
-		Coalesced:  c.coalesced.Value(),
-		Evictions:  c.evictions.Value(),
-		Collisions: c.collisions.Value(),
-		Entries:    c.entriesG.Value(),
+		Lookups:     c.lookups.Value(),
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Coalesced:   c.coalesced.Value(),
+		Evictions:   c.evictions.Value(),
+		Collisions:  c.collisions.Value(),
+		Entries:     c.entriesG.Value(),
+		Audits:      c.audits.Value(),
+		Divergences: c.divergences.Value(),
 	}
 }
 
@@ -291,6 +368,9 @@ func Check(ctx context.Context, c *Cache, m model.Model, s *history.System) (mod
 	})
 	if err != nil {
 		return v, hit, err
+	}
+	if hit {
+		c.MaybeAudit(ctx, m, canon, enc, v)
 	}
 	return model.RelabelVerdict(v, ren), hit, nil
 }

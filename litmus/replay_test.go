@@ -1,0 +1,135 @@
+package litmus
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/history"
+	"repro/internal/incident"
+	"repro/internal/obs"
+	"repro/model"
+)
+
+// recordBundle seals one incident bundle for a corpus check through the
+// real flight recorder, exactly as the service would: check metadata,
+// canonical form, span trail, verdict and witness, then a capture.
+func recordBundle(t *testing.T, tc Test, m model.Model) *incident.Bundle {
+	t.Helper()
+	reg := obs.NewRegistry()
+	spool, err := incident.NewSpool("", 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := incident.NewRecorder(incident.Config{}, spool, reg)
+
+	req := tc.Name + "/" + m.Name()
+	mw := model.WithWorkers(m, 1)
+	ctx := obs.WithRegistry(context.Background(), reg)
+	ctx = model.WithBudget(ctx, model.Budget{MaxCandidates: 1 << 16, MaxNodes: 1 << 20})
+	rec.NoteCheck(req, incident.CheckInfo{
+		History:       history.Format(tc.History),
+		Model:         mw.Name(),
+		Tier:          "litmus",
+		Route:         model.RouteAuto.String(),
+		MaxCandidates: 1 << 16,
+		MaxNodes:      1 << 20,
+	})
+	if canon, _, cerr := history.Canonicalize(tc.History); cerr == nil {
+		rec.NoteCanonical(req, history.Format(canon))
+	}
+
+	sp := obs.NewSpan(rec, reg, "solve", req)
+	start := time.Now()
+	v, err := model.AllowsCtx(sp.Context(ctx), mw, tc.History)
+	sp.End()
+	if err != nil {
+		t.Fatalf("%s under %s: %v", tc.Name, mw.Name(), err)
+	}
+	info := incident.CheckInfo{
+		Candidates: v.Progress.Candidates,
+		Nodes:      v.Progress.Nodes,
+		Frontier:   v.Progress.Frontier,
+		WallUs:     time.Since(start).Microseconds(),
+	}
+	switch {
+	case !v.Decided():
+		info.Verdict = "unknown"
+		info.Reason = v.Unknown.String()
+	case v.Allowed:
+		info.Verdict = "allowed"
+	default:
+		info.Verdict = "forbidden"
+	}
+	if v.Decided() {
+		if e, eerr := model.Explain(mw, tc.History, v); eerr == nil {
+			if data, jerr := e.JSON(); jerr == nil {
+				info.Explanation = data
+			}
+		}
+	}
+	rec.NoteVerdict(req, info)
+
+	id := rec.CaptureNow(req, incident.Trigger{Kind: "manual", Detail: "litmus replay round-trip"})
+	if id == "" {
+		t.Fatalf("%s under %s: capture did not seal", tc.Name, mw.Name())
+	}
+	b, ok, err := spool.Get(id)
+	if err != nil || !ok {
+		t.Fatalf("%s under %s: sealed bundle unreadable: ok=%v err=%v", tc.Name, mw.Name(), ok, err)
+	}
+	return b
+}
+
+// TestCorpusReplayRoundTrip seals an incident bundle for every asserted
+// corpus check and replays it: the replay must reproduce the recorded
+// verdict bit-for-bit and re-certify the recorded witness. This pins the
+// whole diagnostic loop — record, seal, decode, deterministic re-solve —
+// against the corpus ground truth, so a bundle pulled off a production
+// spool is trustworthy evidence, not a best-effort log line.
+func TestCorpusReplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the full corpus twice; skipped in -short")
+	}
+	models := map[string]model.Model{}
+	for _, m := range model.All() {
+		models[m.Name()] = m
+	}
+	checked := 0
+	for _, tc := range Corpus() {
+		for name, exp := range tc.Expect {
+			m, ok := models[name]
+			if !ok {
+				continue
+			}
+			b := recordBundle(t, tc, m)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			rr, err := incident.Replay(ctx, b)
+			cancel()
+			if err != nil {
+				t.Fatalf("%s under %s: replay: %v", tc.Name, name, err)
+			}
+			want := "forbidden"
+			if exp {
+				want = "allowed"
+			}
+			if rr.ReplayVerdict != want {
+				t.Errorf("%s under %s: replay verdict %q (reason %q), corpus expects %q",
+					tc.Name, name, rr.ReplayVerdict, rr.ReplayReason, want)
+			}
+			if rr.Divergence != "" {
+				t.Errorf("%s under %s: divergence: %s", tc.Name, name, rr.Divergence)
+			}
+			if b.Check.Verdict == want && !rr.Reproduced {
+				t.Errorf("%s under %s: decided recording not reproduced: note=%q", tc.Name, name, rr.Note)
+			}
+			if len(b.Check.Explanation) > 0 && !rr.WitnessValidated {
+				t.Errorf("%s under %s: recorded witness failed validation: %s", tc.Name, name, rr.WitnessError)
+			}
+			checked++
+		}
+	}
+	if checked < 60 {
+		t.Errorf("only %d bundles round-tripped; corpus shrank?", checked)
+	}
+}

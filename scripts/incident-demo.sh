@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# incident-demo.sh — end-to-end walkthrough of the flight recorder: start
+# the checking service with a fault armed, drive a shed storm over
+# POST /check, let the recorder seal incident bundles (fault, SLO burn,
+# manual), then fetch a bundle and replay it offline with cmd/obsreplay,
+# diffing the replayed verdict and phase profile against the recording.
+#
+# Usage:
+#   ./scripts/incident-demo.sh [port]        # default: 18321
+#
+# Environment:
+#   STORM  number of concurrent POST /check requests (default: 60)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port=${1:-18321}
+storm=${STORM:-60}
+base="http://127.0.0.1:$port"
+dir=$(mktemp -d)
+log=$(mktemp)
+srvpid=""
+cleanup() {
+  [ -n "$srvpid" ] && kill "$srvpid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+echo "== starting the checking service (fault armed: 5th worker execution panics)"
+# No -cache-size: every corpus pass re-solves, keeping the server busy and
+# alive for the storm. The armed fault seals a bundle on its own; any 429s
+# from an outrun queue feed the svc.slo.* burn gauges, and a sustained
+# burn over 10x the 1% error target seals an slo-burn bundle too.
+go run ./cmd/litmus -serve "127.0.0.1:$port" -incident-dir "$dir" \
+  -workers 2 -repeat 100000 \
+  -faults 'svc.worker=panic:incident-demo@nth:5' \
+  >/dev/null 2>"$log" &
+srvpid=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$base/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null || { echo "service never came up:"; cat "$log"; exit 1; }
+
+echo "== shed storm: $storm concurrent POST /check (store buffering under SC)"
+body='{"history":"w(x)1 r(y)0 | w(y)1 r(x)0","model":"SC","explain":true}'
+pids=()
+for _ in $(seq 1 "$storm"); do
+  curl -s -o /dev/null -X POST -d "$body" "$base/check" &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p" || true; done
+
+echo "== sealing a manual capture too (POST /incidents/capture)"
+curl -s -X POST -d '{"reason":"incident-demo manual capture"}' "$base/incidents/capture" || true
+echo
+
+# Give the 1s SLO ticker a chance to observe the storm's 429s.
+sleep 3
+
+echo "== incidents sealed so far (GET /incidents)"
+curl -s "$base/incidents" | head -c 2000
+echo
+
+kill "$srvpid" 2>/dev/null || true
+srvpid=""
+
+echo "== spooled bundles in $dir"
+ls -l "$dir"
+
+# Replay a bundle that recorded a check (manual captures of idle periods
+# have nothing to re-solve; fault bundles always do).
+replayable=$(grep -l '"check"' "$dir"/*.json | head -1)
+echo "== replaying $replayable offline"
+go run ./cmd/obsreplay "$replayable" || true
+
+echo
+echo "Bundles remain in $dir — replay any of them with:"
+echo "  go run ./cmd/obsreplay $dir/<id>.json"
